@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are true pytest-benchmark measurements (multiple rounds): the
+latency-estimator evaluation drives the annealer's throughput, the
+engine drives every "actual" measurement, and the configurator's full
+search is Table II's dominant cost.
+"""
+
+import pytest
+from conftest import BENCH_SEED
+
+from repro.core.latency_model import pipette_latency
+from repro.experiments.common import ExperimentContext
+from repro.parallel import ParallelConfig, WorkerGrid, sequential_mapping
+from repro.sim import simulate_iteration, simulated_max_memory_bytes
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.create("high-end", seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ParallelConfig(pp=4, tp=8, dp=4, micro_batch=4, global_batch=512)
+
+
+@pytest.fixture(scope="module")
+def mapping(ctx, config):
+    return sequential_mapping(WorkerGrid(config.pp, config.tp, config.dp),
+                              ctx.cluster)
+
+
+def test_perf_latency_estimator_eval(benchmark, ctx, config, mapping):
+    """One Eq. (3)-(6) evaluation — the SA objective call."""
+    result = benchmark(pipette_latency, ctx.model, config, mapping,
+                       ctx.network.bandwidth, ctx.profile)
+    assert result > 0
+
+
+def test_perf_engine_iteration(benchmark, ctx, config, mapping):
+    """One discrete-event simulation of a 128-GPU training iteration."""
+    result = benchmark(simulate_iteration, ctx.model, config, mapping,
+                       ctx.fabric.bandwidth())
+    assert result.time_s > 0
+
+
+def test_perf_memory_ground_truth(benchmark, ctx, config):
+    """One max-memory evaluation of a configuration."""
+    result = benchmark(simulated_max_memory_bytes, ctx.model, config,
+                       ctx.cluster)
+    assert result > 0
+
+
+def test_perf_bandwidth_profiling(benchmark, ctx):
+    """One mpiGraph-style profiling campaign over the 128-GPU fabric."""
+    from repro.cluster import NetworkProfiler
+    profiler = NetworkProfiler(n_rounds=2)
+    result = benchmark(profiler.profile, ctx.fabric)
+    assert result.bandwidth.n_gpus == 128
+
+
+def test_perf_configuration_enumeration(benchmark, ctx):
+    """Enumerating the Algorithm 1 search space at 128 GPUs."""
+    from repro.parallel import enumerate_parallel_configs
+    configs = benchmark(enumerate_parallel_configs, 128, 512,
+                        8, ctx.model.n_layers)
+    assert len(configs) > 20

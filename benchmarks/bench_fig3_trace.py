@@ -1,0 +1,23 @@
+"""Fig. 3: 40-day inter-stage latency trace of the high-end fabric."""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import format_table, run_fig3
+
+
+def test_fig3_latency_trace(benchmark):
+    result = run_once(benchmark, run_fig3, n_days=40, n_orderings=64,
+                      seed=BENCH_SEED)
+    rows = result.trace.rows()
+    print("\n" + format_table(
+        rows[:5] + rows[-3:],
+        title="Fig. 3 latency quantiles over node orderings (ms), "
+              "first 5 / last 3 of 40 days"))
+    print(f"spread Q(100%)/Q(0%): {result.spread_ratio:.2f}x; "
+          f"day-0 vs day-39 rank correlation: {result.rank_stability:.3f}")
+    # Paper shape: links are persistently unequal.
+    assert result.spread_ratio > 1.1
+    assert result.rank_stability > 0.8
+    # Quantile lines never cross.
+    for row in result.trace.latencies_ms:
+        assert all(a >= b for a, b in zip(row, row[1:]))

@@ -1,0 +1,29 @@
+"""Fig. 5a: latency-estimation accuracy of Pipette vs AMP."""
+
+import pytest
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import format_table, run_fig5a
+
+
+@pytest.mark.parametrize("cluster", ["mid-range", "high-end"])
+def test_fig5a_latency_estimation(benchmark, cluster):
+    result = run_once(benchmark, run_fig5a, cluster_name=cluster,
+                      seed=BENCH_SEED)
+    rows = [{
+        "config": p.config.describe(),
+        "actual_s": p.actual_s,
+        "pipette_est_s": p.pipette_estimate_s,
+        "amp_est_s": p.amp_estimate_s,
+    } for p in result.points[:12]]
+    print("\n" + format_table(
+        rows, title=f"Fig. 5a {cluster}: estimated vs actual "
+                    f"(12 of {len(result.points)} points)"))
+    print(f"Pipette MAPE {result.pipette_mape:.2f}% (paper 5.87%), "
+          f"AMP MAPE {result.amp_mape:.2f}% (paper 23.18%)")
+    # Paper shape: Pipette is accurate; AMP errs much more and
+    # systematically underestimates.
+    assert result.pipette_mape < 10.0
+    assert result.amp_mape > 1.7 * result.pipette_mape
+    under = sum(1 for p in result.points if p.amp_estimate_s < p.actual_s)
+    assert under > len(result.points) * 0.7

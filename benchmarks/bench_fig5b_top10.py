@@ -1,0 +1,26 @@
+"""Fig. 5b: top-10 recommendation quality (OOM rates) on mid-range."""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import format_table, run_fig5b
+
+
+def test_fig5b_top10_recommendations(benchmark, mid_estimator):
+    result = run_once(benchmark, run_fig5b, cluster_name="mid-range",
+                      seed=BENCH_SEED, memory_estimator=mid_estimator)
+    for tool in ("varuna", "amp", "pipette"):
+        rows = [{
+            "rank": o.rank,
+            "config": o.config.describe(),
+            "estimated_s": o.estimated_s,
+            "actual_s": None if o.oom else o.actual_s,
+            "OOM": "OOM" if o.oom else "",
+        } for o in result.outcomes[tool]]
+        print("\n" + format_table(rows, title=f"Fig. 5b {tool} top-10"))
+        print(f"{tool}: {result.oom_count(tool)}/10 OOM")
+    # Paper shape: 8/10 of AMP and Varuna OOM including top picks;
+    # Pipette's are overwhelmingly runnable.
+    assert result.oom_count("varuna") >= 6
+    assert result.oom_count("amp") >= 4
+    assert result.outcomes["amp"][0].oom or result.outcomes["varuna"][0].oom
+    assert result.oom_count("pipette") <= 2

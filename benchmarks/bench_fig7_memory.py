@@ -1,0 +1,34 @@
+"""Fig. 7: memory-estimation accuracy of Pipette vs the analytic baseline."""
+
+import pytest
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import format_table, run_fig7
+
+
+@pytest.mark.parametrize("cluster", ["mid-range", "high-end"])
+def test_fig7_memory_estimation(benchmark, cluster, mid_estimator,
+                                high_estimator):
+    estimator = mid_estimator if cluster == "mid-range" else high_estimator
+    result = run_once(benchmark, run_fig7, cluster_name=cluster,
+                      seed=BENCH_SEED, memory_estimator=estimator)
+    rows = [{
+        "config": p.config_label,
+        "gpus": p.n_gpus,
+        "actual_GiB": p.actual_gib,
+        "pipette_GiB": p.pipette_gib,
+        "baseline_GiB": p.baseline_gib,
+    } for p in result.points[:10]]
+    print("\n" + format_table(
+        rows, title=f"Fig. 7 {cluster} (10 of {result.n_points} points)"))
+    print(f"Pipette MAPE {result.pipette_mape:.2f}% "
+          "(paper 7.39% mid / 6.42% high); "
+          f"baseline MAPE {result.baseline_mape:.2f}% "
+          "(paper 65.71% / 59.49%); baseline underestimates "
+          f"{result.baseline_underestimates}/{result.n_points}")
+    # Paper shape: the MLP is close, the analytic baseline far off and
+    # always under.
+    assert result.n_points >= 200
+    assert result.pipette_mape < 15.0
+    assert result.baseline_mape > 3 * result.pipette_mape
+    assert result.baseline_underestimates == result.n_points

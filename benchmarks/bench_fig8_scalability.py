@@ -1,0 +1,27 @@
+"""Fig. 8: cluster/model size scalability of Pipette over AMP."""
+
+import pytest
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import format_table, run_fig8
+
+
+@pytest.mark.parametrize("cluster", ["mid-range", "high-end"])
+def test_fig8_weak_scaling(benchmark, cluster, mid_estimator, high_estimator):
+    estimator = mid_estimator if cluster == "mid-range" else high_estimator
+    points = run_once(benchmark, run_fig8, cluster_name=cluster,
+                      seed=BENCH_SEED, memory_estimator=estimator)
+    rows = [{
+        "gpus": p.n_gpus,
+        "model": p.model,
+        "AMP_s": p.amp_time_s,
+        "Pipette_s": p.pipette_time_s,
+        "speedup": p.speedup,
+    } for p in points]
+    print("\n" + format_table(rows, title=f"Fig. 8 {cluster} weak scaling"))
+    # Paper shape: speedup everywhere (>= 1.02x small clusters) and
+    # largest at full scale where heterogeneity bites hardest.
+    speedups = {p.n_gpus: p.speedup for p in points}
+    assert all(s >= 0.99 for s in speedups.values())
+    assert speedups[128] >= max(speedups[32], speedups[64]) - 0.02
+    assert speedups[128] > 1.05

@@ -1,0 +1,50 @@
+"""Fig. 9: micro/minibatch size sensitivity of Pipette over AMP."""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import (
+    format_table,
+    run_fig9_microbatch,
+    run_fig9_minibatch,
+)
+
+
+def test_fig9a_microbatch_sensitivity(benchmark, high_estimator):
+    points = run_once(benchmark, run_fig9_microbatch, seed=BENCH_SEED,
+                      memory_estimator=high_estimator)
+    rows = [{
+        "microbatch": p.swept_value,
+        "AMP_s": "OOM" if p.amp_oom else p.amp_time_s,
+        "Pipette_s": p.pipette_time_s,
+        "speedup": p.speedup,
+    } for p in points]
+    print("\n" + format_table(rows, title="Fig. 9a microbatch sensitivity "
+                                          "(total batch 256, high-end)"))
+    # Pipette always returns a runnable configuration; time/iter drops
+    # as the microbatch grows (better utilization) and Pipette never
+    # loses badly.
+    times = [p.pipette_time_s for p in points]
+    assert all(t is not None for t in times)
+    assert times[-1] < times[0]
+    speedups = [p.speedup for p in points if p.speedup is not None]
+    assert speedups and max(speedups) > 1.1
+    assert all(s > 0.9 for s in speedups)
+
+
+def test_fig9b_minibatch_sensitivity(benchmark, high_estimator):
+    points = run_once(benchmark, run_fig9_minibatch, seed=BENCH_SEED,
+                      memory_estimator=high_estimator)
+    rows = [{
+        "total_batch": p.swept_value,
+        "AMP_s": "OOM" if p.amp_oom else p.amp_time_s,
+        "Pipette_s": p.pipette_time_s,
+        "speedup": p.speedup,
+    } for p in points]
+    print("\n" + format_table(rows, title="Fig. 9b minibatch sensitivity "
+                                          "(microbatch 8, high-end)"))
+    # Paper shape: AMP cannot configure the largest batch (marked OOM
+    # in the figure) while Pipette still can.
+    largest = points[-1]
+    assert largest.amp_oom
+    assert largest.pipette_time_s is not None
+    assert all(p.pipette_time_s is not None for p in points)

@@ -1,0 +1,64 @@
+"""Extension bench: worker dedication on a pod-structured fabric.
+
+Oversubscribed fat-trees give the annealer *systematic* headroom: the
+naive rank-order placement strides pipelines across pods, while
+dedication pulls each chain and the critical data-parallel group
+inside one pod.  The gain should grow with the oversubscription
+factor.
+"""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.cluster import Fabric, PoddedHeterogeneityModel
+from repro.core import SAOptions, anneal_mapping
+from repro.core.latency_model import pipette_latency
+from repro.cluster import NetworkProfiler
+from repro.experiments import format_table
+from repro.experiments.common import cluster_by_name
+from repro.model import get_model
+from repro.parallel import ParallelConfig, WorkerGrid, sequential_mapping
+from repro.profiling import profile_compute
+from repro.sim import simulate_iteration
+
+
+def test_pod_structure_dedication(benchmark):
+    def sweep():
+        cluster = cluster_by_name("mid-range")
+        model = get_model("gpt-3.1b")
+        profile = profile_compute(model, cluster, seed=BENCH_SEED)
+        config = ParallelConfig(pp=4, tp=8, dp=4, micro_batch=4,
+                                global_batch=256)
+        grid = WorkerGrid(config.pp, config.tp, config.dp)
+        rows = []
+        for oversub in (1.0, 2.0, 4.0):
+            het = PoddedHeterogeneityModel(nodes_per_pod=4,
+                                           oversubscription=oversub)
+            fabric = Fabric(cluster, heterogeneity=het, seed=BENCH_SEED)
+            network = NetworkProfiler().profile(fabric, seed=BENCH_SEED)
+            naive = sequential_mapping(grid, cluster)
+            result = anneal_mapping(
+                naive,
+                lambda m: pipette_latency(model, config, m,
+                                          network.bandwidth, profile),
+                SAOptions(max_iterations=4000, seed=BENCH_SEED),
+            )
+            truth = fabric.bandwidth()
+            t_naive = simulate_iteration(model, config, naive, truth,
+                                         seed=BENCH_SEED).time_s
+            t_tuned = simulate_iteration(model, config, result.mapping,
+                                         truth, seed=BENCH_SEED).time_s
+            rows.append({
+                "oversubscription": oversub,
+                "naive_s": t_naive,
+                "dedicated_s": t_tuned,
+                "gain_%": (t_naive / t_tuned - 1) * 100,
+            })
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_table(
+        rows, title="pod-structure ablation (mid-range, pp4-tp8-dp4-mb4)"))
+    # Dedication never hurts, and structure amplifies its value.
+    assert all(r["gain_%"] > -1.0 for r in rows)
+    assert rows[-1]["gain_%"] > rows[0]["gain_%"]
+    assert rows[-1]["gain_%"] > 3.0

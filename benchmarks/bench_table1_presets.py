@@ -1,0 +1,15 @@
+"""Table I: environment summary (sanity of the hardware presets)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table, run_table1
+
+
+def test_table1_environment(benchmark):
+    rows = run_once(benchmark, run_table1)
+    print("\n" + format_table(rows, title="Table I experimental environment"))
+    names = {r["cluster"] for r in rows}
+    assert names == {"mid-range", "high-end"}
+    for row in rows:
+        assert row["gpus"] == 128
+        assert row["nodes"] == 16

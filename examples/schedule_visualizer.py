@@ -1,0 +1,78 @@
+"""Visualize pipeline schedules and the hidden critical path (Fig. 2).
+
+Renders ASCII Gantt charts of the memory-unaware (GPipe) and
+memory-efficient (1F1B) schedules from actual engine timelines, and
+shows why the 1F1B schedule re-exposes inter-stage communication every
+``pp`` microbatches — the hidden critical path that Pipette's latency
+model captures and Eq. (1) misses.
+
+Run:  python examples/schedule_visualizer.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ParallelConfig,
+    WorkerGrid,
+    get_model,
+    make_fabric,
+    mid_range_cluster,
+    sequential_mapping,
+    simulate_iteration,
+)
+
+
+def render_gantt(timeline, pp: int, width: int = 100) -> str:
+    """ASCII Gantt: one row per stage, digits are microbatch ids."""
+    end_time = max(end for *_rest, end in timeline)
+    rows = []
+    for stage in range(pp):
+        line = [" "] * width
+        for gpu, s, kind, mb, start, end in timeline:
+            if s != stage:
+                continue
+            a = int(start / end_time * (width - 1))
+            b = max(a + 1, int(end / end_time * (width - 1)))
+            char = str(mb % 10) if kind == "F" else \
+                chr(ord("a") + mb % 10)  # backward in letters
+            for i in range(a, min(b, width)):
+                line[i] = char
+        rows.append(f"stage {stage} |{''.join(line)}|")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    cluster = mid_range_cluster(n_nodes=4)
+    fabric = make_fabric(cluster, seed=3)
+    model = get_model("gpt-small")
+    config = ParallelConfig(pp=4, tp=8, dp=1, micro_batch=2, global_batch=12)
+    mapping = sequential_mapping(WorkerGrid(4, 8, 1), cluster)
+    bw = fabric.bandwidth()
+
+    print(f"{model.name}, {config.describe()}, 6 microbatches, "
+          "digits = forward, letters = backward\n")
+    for name in ("gpipe", "1f1b"):
+        result = simulate_iteration(model, config, mapping, bw,
+                                    schedule=name, jitter_sigma=0.0,
+                                    record_timeline=True)
+        label = "memory-unaware (GPipe)" if name == "gpipe" \
+            else "memory-efficient (1F1B)"
+        print(f"--- {label}: {result.time_s:.3f} s/iter ---")
+        print(render_gantt(result.timeline, config.pp))
+        print()
+
+    # The memory side of the trade-off (Fig. 2's point).
+    from repro.sim import simulated_max_memory_bytes
+    from repro.units import GIB
+    eff = simulated_max_memory_bytes(model, config, cluster, schedule="1f1b")
+    una = simulated_max_memory_bytes(model, config, cluster, schedule="gpipe")
+    print(f"peak memory: 1F1B {eff / GIB:.2f} GiB vs GPipe {una / GIB:.2f} "
+          "GiB per GPU")
+    print("=> 1F1B trades the all-forward burst for bounded in-flight "
+          "activations;")
+    print("   its zig-zag dependency chain is the hidden critical path "
+          "of §V.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs PEP 660 wheel support that this offline
+environment lacks; ``python setup.py develop`` installs the same
+editable package through the legacy path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""Reproduction of *Pipette* (DATE 2024): an automatic fine-grained
+LLM-training configurator for real-world clusters.
+
+Quickstart::
+
+    from repro import (
+        mid_range_cluster, make_fabric, get_model, profile_compute,
+        NetworkProfiler, PipetteConfigurator,
+    )
+
+    cluster = mid_range_cluster()
+    fabric = make_fabric(cluster, seed=0)           # the "real" cluster
+    model = get_model("gpt-3.1b")
+    network = NetworkProfiler().profile(fabric)     # Algorithm 1, line 1
+    profile = profile_compute(model, cluster)
+    pipette = PipetteConfigurator(cluster, model, network.bandwidth, profile)
+    best = pipette.search(global_batch=512).best
+    print(best.config.describe(), best.estimated_latency_s)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.cluster` — hardware presets, heterogeneous fabric,
+  network profiler, 40-day traces;
+* :mod:`repro.model` — GPT architectures and resource formulas;
+* :mod:`repro.parallel` — 3D-parallel configurations, worker
+  mappings, collective cost models;
+* :mod:`repro.sim` — the execution/memory ground truth standing in
+  for the paper's physical clusters;
+* :mod:`repro.core` — Pipette itself: latency model, SA worker
+  dedication, MLP memory estimator, Algorithm 1;
+* :mod:`repro.baselines` — AMP, Varuna, manually-tuned Megatron-LM;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.cluster import (
+    ClusterSpec,
+    Fabric,
+    HeterogeneityModel,
+    NetworkProfiler,
+    high_end_cluster,
+    make_fabric,
+    mid_range_cluster,
+)
+from repro.core import (
+    MemoryEstimator,
+    PipetteConfigurator,
+    PipetteOptions,
+    SAOptions,
+    anneal_mapping,
+    build_memory_dataset,
+    pipette_l,
+    pipette_latency,
+    pipette_lf,
+    prior_art_latency,
+)
+from repro.model import MODEL_CATALOG, TransformerConfig, get_model
+from repro.parallel import (
+    Mapping,
+    ParallelConfig,
+    WorkerGrid,
+    enumerate_parallel_configs,
+    sequential_mapping,
+)
+from repro.profiling import ComputeTimeModel, profile_compute
+from repro.sim import ClusterRunner, simulate_iteration, simulated_max_memory_bytes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "Fabric",
+    "HeterogeneityModel",
+    "NetworkProfiler",
+    "high_end_cluster",
+    "make_fabric",
+    "mid_range_cluster",
+    "MemoryEstimator",
+    "PipetteConfigurator",
+    "PipetteOptions",
+    "SAOptions",
+    "anneal_mapping",
+    "build_memory_dataset",
+    "pipette_l",
+    "pipette_latency",
+    "pipette_lf",
+    "prior_art_latency",
+    "MODEL_CATALOG",
+    "TransformerConfig",
+    "get_model",
+    "Mapping",
+    "ParallelConfig",
+    "WorkerGrid",
+    "enumerate_parallel_configs",
+    "sequential_mapping",
+    "ComputeTimeModel",
+    "profile_compute",
+    "ClusterRunner",
+    "simulate_iteration",
+    "simulated_max_memory_bytes",
+    "__version__",
+]

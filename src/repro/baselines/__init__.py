@@ -1,0 +1,28 @@
+"""Baseline configurators the paper compares against (§VII-A).
+
+* :mod:`repro.baselines.amp` — AMP (Li et al., NeurIPS 2022): the
+  state-of-the-art automatic 3D-parallelism configurator; exhaustive
+  search over ways with the Eq. (1) latency model, document-specified
+  bandwidths, and no memory check.
+* :mod:`repro.baselines.varuna` — Varuna (Athlur et al., EuroSys
+  2022): pipeline+data parallelism only (``tp = 1``), with its own
+  (first-principles, overhead-blind) memory filter.
+* :mod:`repro.baselines.megatron_lm` — the manually tuned Megatron-LM
+  practice: ``tp =`` GPUs per node, remaining ways tuned by trial
+  runs on the cluster.
+* :mod:`repro.baselines.memory_analytic` — the analytic memory
+  estimator of [20] used as the Fig. 7 baseline.
+"""
+
+from repro.baselines.amp import AmpConfigurator, AmpRecommendation
+from repro.baselines.varuna import VarunaConfigurator
+from repro.baselines.megatron_lm import MegatronLmTuner
+from repro.baselines.memory_analytic import analytic_memory_estimate_bytes
+
+__all__ = [
+    "AmpConfigurator",
+    "AmpRecommendation",
+    "VarunaConfigurator",
+    "MegatronLmTuner",
+    "analytic_memory_estimate_bytes",
+]

@@ -1,0 +1,109 @@
+"""AMP-style automatic configurator (Li et al., NeurIPS 2022).
+
+As characterized by the paper (§II-B, §VI): AMP profiles the
+computation time, searches the ``(pp, tp, dp, bs_micro)`` space
+exhaustively with the first-order latency model of Eq. (1), assumes
+the document-specified ("static") interconnect bandwidth, and applies
+**no memory feasibility check** — which is why its top
+recommendations frequently OOM on real clusters (Fig. 5b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.cluster.topology import ClusterSpec
+from repro.core.latency_model import prior_art_latency
+from repro.model.transformer import TransformerConfig
+from repro.parallel.config import ParallelConfig, enumerate_parallel_configs
+from repro.parallel.mapping import Mapping, WorkerGrid, sequential_mapping
+from repro.profiling.profile_run import ComputeProfile
+
+
+@dataclass(frozen=True)
+class AmpRecommendation:
+    """One entry of AMP's ranked output."""
+
+    config: ParallelConfig
+    estimated_latency_s: float
+
+
+class AmpConfigurator:
+    """Exhaustive Eq.-(1) search over configurations, memory-blind.
+
+    Args:
+        cluster: nominal cluster description.
+        model: architecture to train.
+        nominal_bandwidth: the document-specified bandwidth matrix
+            (AMP does not profile the network).
+        profile: profiled compute times (AMP does profile computation).
+        max_micro_batch: largest microbatch swept.
+    """
+
+    def __init__(self, cluster: ClusterSpec, model: TransformerConfig,
+                 nominal_bandwidth: BandwidthMatrix, profile: ComputeProfile,
+                 max_micro_batch: int = 8) -> None:
+        self.cluster = cluster
+        self.model = model
+        self.nominal_bandwidth = nominal_bandwidth
+        self.profile = profile
+        self.max_micro_batch = max_micro_batch
+
+    def estimate_latency(self, config: ParallelConfig) -> float:
+        """AMP's latency estimate for one configuration (Eq. 1)."""
+        mapping = self._sequential(config)
+        return prior_art_latency(self.model, config, mapping,
+                                 self.nominal_bandwidth, self.profile)
+
+    def search(self, global_batch: int, top_k: int | None = None,
+               micro_batches: "list[int] | None" = None
+               ) -> list[AmpRecommendation]:
+        """Ranked recommendations, best estimated latency first.
+
+        No memory filtering happens here: the user discovers OOMs by
+        launching the recommendations one by one, as the paper had to.
+
+        Args:
+            micro_batches: restrict the swept microbatch sizes.
+        """
+        configs = enumerate_parallel_configs(
+            self.cluster.n_gpus, global_batch,
+            gpus_per_node=self.cluster.gpus_per_node,
+            n_layers=self.model.n_layers,
+            micro_batches=micro_batches,
+            max_micro_batch=self.max_micro_batch,
+        )
+        ranked = sorted(
+            (AmpRecommendation(config=c, estimated_latency_s=self.estimate_latency(c))
+             for c in configs),
+            key=lambda r: r.estimated_latency_s,
+        )
+        return ranked if top_k is None else ranked[:top_k]
+
+    def first_runnable(self, global_batch: int, is_runnable,
+                       patience: int = 10,
+                       micro_batches: "list[int] | None" = None
+                       ) -> AmpRecommendation | None:
+        """Walk the ranking, launching each entry until one runs.
+
+        This reproduces the paper's §VII-A methodology for AMP:
+        "we manually tested them one by one from the top recommendation
+        until we reached a runnable configuration" — with a patience
+        cap, since every failed launch occupies the full cluster.
+        Returns ``None`` when the patience budget is exhausted (shown
+        as "OOM" in Fig. 9b).
+        """
+        for rec in self.search(global_batch,
+                               micro_batches=micro_batches)[:patience]:
+            if is_runnable(rec.config):
+                return rec
+        return None
+
+    def default_mapping(self, config: ParallelConfig) -> Mapping:
+        """AMP leaves placement to the framework: rank order."""
+        return self._sequential(config)
+
+    def _sequential(self, config: ParallelConfig) -> Mapping:
+        grid = WorkerGrid(pp=config.pp, tp=config.tp, dp=config.dp)
+        return sequential_mapping(grid, self.cluster)

@@ -1,0 +1,82 @@
+"""The manually-tuned Megatron-LM baseline (MLM).
+
+The paper's strongest baseline is not an automatic tool but expert
+practice: fix the tensor-parallel degree to the GPUs per node
+(``tp = 8``), then find the remaining ways "through numerous trials"
+on the actual cluster (§I, §VII-A).  Because the human tries real
+runs, MLM never lands on an OOM configuration and benefits from the
+memory-efficient schedule — it just spends human time and cluster
+hours, and it never questions ``tp = 8`` or the GPU placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.config import ParallelConfig, enumerate_parallel_configs
+from repro.sim.runner import ClusterRunner, MeasuredRun
+
+
+@dataclass(frozen=True)
+class TuningTrial:
+    """One manual trial: a configuration and what the cluster reported."""
+
+    config: ParallelConfig
+    run: MeasuredRun
+
+
+class MegatronLmTuner:
+    """Reproduces the expert's trial-and-error tuning loop.
+
+    Args:
+        runner: access to the cluster (every trial is a real launch).
+        max_trials: cap on launches, mimicking a human's patience —
+            every trial occupies the *entire* cluster, so experts
+            budget a handful.  Trials are ordered the way
+            practitioners sweep (large microbatches and shallow
+            pipelines first).
+    """
+
+    def __init__(self, runner: ClusterRunner, max_trials: int = 5) -> None:
+        if max_trials < 1:
+            raise ValueError(f"max_trials must be >= 1, got {max_trials}")
+        self.runner = runner
+        self.max_trials = max_trials
+
+    def candidate_configs(self, global_batch: int) -> list[ParallelConfig]:
+        """The ``tp = gpus_per_node`` sweep in expert order."""
+        cluster = self.runner.fabric.spec
+        configs = [
+            c for c in enumerate_parallel_configs(
+                cluster.n_gpus, global_batch,
+                gpus_per_node=cluster.gpus_per_node,
+                n_layers=self.runner.model.n_layers,
+            ) if c.tp == cluster.gpus_per_node
+        ]
+        # Experts try big microbatches (throughput) and small pipelines
+        # (fewer bubbles) first.
+        configs.sort(key=lambda c: (-c.micro_batch, c.pp))
+        return configs
+
+    def tune(self, global_batch: int) -> tuple[MeasuredRun, list[TuningTrial]]:
+        """Run the manual sweep; returns the chosen run and the trial log.
+
+        Raises ``RuntimeError`` when no tried configuration fits in
+        memory — on the paper's clusters the ``tp = 8`` sweep always
+        contains runnable points.
+        """
+        trials: list[TuningTrial] = []
+        best: MeasuredRun | None = None
+        for config in self.candidate_configs(global_batch)[: self.max_trials]:
+            run = self.runner.run(config)
+            trials.append(TuningTrial(config=config, run=run))
+            if run.oom:
+                continue
+            if best is None or run.time_per_iter_s < best.time_per_iter_s:
+                best = run
+        if best is None:
+            raise RuntimeError(
+                f"no runnable tp={self.runner.fabric.spec.gpus_per_node} "
+                f"configuration found in {len(trials)} trials"
+            )
+        return best, trials

@@ -1,0 +1,50 @@
+"""The analytic memory estimator the paper uses as a baseline ([20]).
+
+"A common way to estimate the memory requirement is by dividing the
+model size by the number of stages and tensor-parallel ways and then
+approximating the activation size by considering the layer
+structures" (§VI).  Faithfully to that recipe (a single-GPU training
+memory analysis), the estimate counts:
+
+* parameter state at 16 bytes/param (fp16 weights + fp16 gradients +
+  fp32 Adam moments — it does not know Megatron accumulates
+  gradients in fp32),
+* the activations of **one** microbatch (it does not know 1F1B keeps
+  up to ``pp`` microbatches in flight on the first stage),
+
+and nothing else: no CUDA context, no NCCL buffers, no allocator
+fragmentation, no framework temporaries — the omissions [21] documents
+and Fig. 7 quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.model.memory import stage_layer_count, stage_parameter_count
+from repro.model.transformer import TransformerConfig
+from repro.parallel.config import ParallelConfig
+
+#: fp16 weights + fp16 grads + fp32 Adam moments, per the blog-post recipe.
+_BASELINE_BYTES_PER_PARAM: float = 16.0
+
+
+def analytic_memory_estimate_bytes(model: TransformerConfig,
+                                   config: ParallelConfig) -> float:
+    """[20]-style per-GPU memory estimate of a configuration, in bytes.
+
+    Uses the most-loaded stage (stage 0, which also hosts the input
+    embedding).  For recompute configurations the activation term
+    shrinks to the stage-input boundaries plus one microbatch's
+    working set — the same first-principles reasoning, equally blind
+    to framework overhead.
+    """
+    params = stage_parameter_count(model, config.pp, 0) / config.tp
+    static = _BASELINE_BYTES_PER_PARAM * params
+    layers = stage_layer_count(model.n_layers, config.pp, 0)
+    full_act = layers * model.activation_bytes_per_layer(config.micro_batch) \
+        / config.tp
+    if config.recompute:
+        boundary = model.boundary_activation_bytes(config.micro_batch)
+        activations = boundary * config.pp + full_act
+    else:
+        activations = full_act
+    return static + activations

@@ -1,0 +1,40 @@
+"""Cluster substrate: hardware specs, heterogeneous fabric, and profiling.
+
+This package models the "real-world cluster" the paper evaluates on
+(Table I).  The key property it reproduces is that nominally identical
+interconnect links attain *different* bandwidths in practice (§IV,
+Fig. 3), which is what Pipette's fine-grained worker dedication
+exploits.
+"""
+
+from repro.cluster.topology import GpuSpec, LinkSpec, NodeSpec, ClusterSpec
+from repro.cluster.heterogeneity import HeterogeneityModel
+from repro.cluster.fat_tree import PoddedHeterogeneityModel
+from repro.cluster.fabric import Fabric, BandwidthMatrix
+from repro.cluster.profiler import NetworkProfiler, ProfiledNetwork
+from repro.cluster.trace import LatencyTrace, collect_latency_trace
+from repro.cluster.presets import (
+    mid_range_cluster,
+    high_end_cluster,
+    default_heterogeneity,
+    make_fabric,
+)
+
+__all__ = [
+    "GpuSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "HeterogeneityModel",
+    "PoddedHeterogeneityModel",
+    "Fabric",
+    "BandwidthMatrix",
+    "NetworkProfiler",
+    "ProfiledNetwork",
+    "LatencyTrace",
+    "collect_latency_trace",
+    "mid_range_cluster",
+    "high_end_cluster",
+    "default_heterogeneity",
+    "make_fabric",
+]

@@ -1,0 +1,166 @@
+"""The attained fabric: per-GPU-pair bandwidths of a concrete cluster.
+
+A :class:`Fabric` binds a :class:`~repro.cluster.topology.ClusterSpec`
+to one draw of the heterogeneity model.  It is the ground truth the
+execution simulator uses; the profiler observes it with measurement
+noise, exactly as mpiGraph / NCCL-tests observe a physical fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.heterogeneity import HeterogeneityModel, InterNodeState
+from repro.cluster.topology import ClusterSpec
+from repro.units import GB
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class BandwidthMatrix:
+    """Pairwise attained bandwidth between all GPUs, in GB/s.
+
+    ``matrix[g1, g2]`` is the attained unidirectional bandwidth from
+    GPU ``g1`` to GPU ``g2``; the diagonal is infinite (no transfer).
+    ``alpha[g1, g2]`` is the per-message startup latency in seconds.
+    This is the ``BW`` object of Algorithm 1 and the ``B(g1, g2)``
+    function of Eqs. (5)-(6).
+    """
+
+    matrix: np.ndarray
+    alpha: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.matrix.ndim != 2 or self.matrix.shape[0] != self.matrix.shape[1]:
+            raise ValueError(f"bandwidth matrix must be square, got {self.matrix.shape}")
+        if self.alpha.shape != self.matrix.shape:
+            raise ValueError("alpha matrix must match bandwidth matrix shape")
+
+    @property
+    def n_gpus(self) -> int:
+        """Number of GPUs covered by the matrix."""
+        return self.matrix.shape[0]
+
+    def between(self, g1: int, g2: int) -> float:
+        """Attained bandwidth from ``g1`` to ``g2`` in GB/s."""
+        return float(self.matrix[g1, g2])
+
+    def alpha_between(self, g1: int, g2: int) -> float:
+        """Per-message startup latency from ``g1`` to ``g2`` in seconds."""
+        return float(self.alpha[g1, g2])
+
+    def transfer_time(self, message_bytes: float, g1: int, g2: int) -> float:
+        """Alpha-beta time to move ``message_bytes`` from ``g1`` to ``g2``."""
+        if g1 == g2:
+            return 0.0
+        return self.alpha_between(g1, g2) + message_bytes / (self.between(g1, g2) * GB)
+
+    def min_over_group(self, gpus) -> float:
+        """Slowest pairwise bandwidth inside a communicator group.
+
+        Ring collectives are gated by their slowest participating link,
+        which is how Eq. (6) uses the bandwidth matrix.
+        """
+        idx = np.asarray(list(gpus), dtype=np.intp)
+        if idx.size < 2:
+            return float("inf")
+        sub = self.matrix[np.ix_(idx, idx)]
+        return float(sub.min())  # diagonal is +inf, so it never wins
+
+    def max_alpha_over_group(self, gpus) -> float:
+        """Largest startup latency inside a communicator group."""
+        idx = np.asarray(list(gpus), dtype=np.intp)
+        if idx.size < 2:
+            return 0.0
+        sub = self.alpha[np.ix_(idx, idx)]
+        return float(sub.max())  # diagonal is 0, so it never wins
+
+
+class Fabric:
+    """One concrete, heterogeneous instantiation of a cluster's network.
+
+    Args:
+        spec: the nominal cluster.
+        heterogeneity: spread model; defaults to the library default.
+        seed: seed of the persistent heterogeneity draw.
+
+    The fabric is stable over its lifetime except for the slow temporal
+    drift exposed through :meth:`bandwidth_at_day`, mirroring the
+    40-day measurement campaign of Fig. 3.
+    """
+
+    def __init__(self, spec: ClusterSpec,
+                 heterogeneity: HeterogeneityModel | None = None,
+                 seed: int = 0) -> None:
+        self.spec = spec
+        self.heterogeneity = heterogeneity or HeterogeneityModel()
+        self.seed = int(seed)
+        self._inter: InterNodeState = self.heterogeneity.sample_inter_node(spec, self.seed)
+        self._intra: np.ndarray = self.heterogeneity.sample_intra_node(spec, self.seed)
+
+    @property
+    def n_gpus(self) -> int:
+        """Total GPU count of the underlying cluster."""
+        return self.spec.n_gpus
+
+    def node_efficiency_at_day(self, day: float) -> np.ndarray:
+        """Inter-node efficiency matrix observed on ``day``."""
+        return self._inter.at_day(day, derive_seed(self.seed, "drift"))
+
+    def bandwidth_at_day(self, day: float = 0.0) -> BandwidthMatrix:
+        """True attained GPU-pair bandwidth matrix on a given day."""
+        spec = self.spec
+        g = spec.n_gpus
+        k = spec.gpus_per_node
+        inter_eff = self.node_efficiency_at_day(day)
+
+        matrix = np.empty((g, g))
+        alpha = np.empty((g, g))
+        inter_bw = spec.inter_link.bandwidth_gb_s
+        intra_bw = spec.node.intra_link.bandwidth_gb_s
+
+        node_ids = np.arange(g) // k
+        local_ids = np.arange(g) % k
+        same = node_ids[:, None] == node_ids[None, :]
+
+        # Inter-node entries: nominal IB speed scaled by the node-pair
+        # efficiency (all GPU pairs across the same node pair share the
+        # NIC path, hence the same attained value).
+        matrix[:] = inter_bw * inter_eff[node_ids[:, None], node_ids[None, :]]
+        alpha[:] = spec.inter_link.alpha_s
+
+        # Intra-node entries: NVLink speed with its own (small) spread.
+        intra = self._intra[node_ids[:, None], local_ids[:, None], local_ids[None, :]]
+        matrix[same] = (intra_bw * intra)[same]
+        alpha[same] = spec.node.intra_link.alpha_s
+
+        np.fill_diagonal(matrix, np.inf)
+        np.fill_diagonal(alpha, 0.0)
+        return BandwidthMatrix(matrix=matrix, alpha=alpha)
+
+    def bandwidth(self) -> BandwidthMatrix:
+        """True attained bandwidth matrix at the reference day (day 0)."""
+        return self.bandwidth_at_day(0.0)
+
+    def nominal_bandwidth(self) -> BandwidthMatrix:
+        """Document-specified bandwidth matrix (what prior art assumes).
+
+        Every inter-node pair gets the sheet IB number and every
+        intra-node pair the sheet NVLink number.  AMP's latency model
+        is evaluated against this matrix.
+        """
+        spec = self.spec
+        g = spec.n_gpus
+        k = spec.gpus_per_node
+        node_ids = np.arange(g) // k
+        same = node_ids[:, None] == node_ids[None, :]
+
+        matrix = np.full((g, g), spec.inter_link.bandwidth_gb_s)
+        alpha = np.full((g, g), spec.inter_link.alpha_s)
+        matrix[same] = spec.node.intra_link.bandwidth_gb_s
+        alpha[same] = spec.node.intra_link.alpha_s
+        np.fill_diagonal(matrix, np.inf)
+        np.fill_diagonal(alpha, 0.0)
+        return BandwidthMatrix(matrix=matrix, alpha=alpha)

@@ -1,0 +1,189 @@
+"""Stochastic model of attained-bandwidth heterogeneity.
+
+Real clusters attain different bandwidths on nominally identical links
+(paper §IV; also PLink [9], LLNL routing studies [10], CORAL [11]).
+The paper's Fig. 3 profiles a production fabric for 40 days and finds:
+
+* a persistent per-pair spread (the quantile lines stay separated),
+* near-symmetric bidirectional bandwidth (rationale for the SA
+  *reverse* move),
+* slow drift and day-to-day jitter on top of the persistent component.
+
+:class:`HeterogeneityModel` captures exactly these effects with a
+multiplicative efficiency per ordered node pair:
+
+``eff(i, j, t) = base * out_i * in_j * pair_ij * straggler_ij * drift_ij(t)``
+
+where ``out``/``in`` are per-node endpoint factors (a slow NIC slows
+all its links), ``pair`` is a persistent log-normal per-pair factor
+made near-symmetric on purpose, ``straggler`` marks occasional badly
+routed pairs, and ``drift`` is a slow sinusoid plus daily noise.
+Intra-node (NVLink/NVSwitch) links get a much smaller spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class HeterogeneityModel:
+    """Parameters of the attained-bandwidth distribution.
+
+    Attributes:
+        base_efficiency: mean attained / nominal bandwidth for
+            inter-node links.  Production fabrics attain well under
+            the sheet number once real traffic patterns, adaptive
+            routing, and PFC interact — PLink [9] measures multi-x
+            gaps on public clouds; around half of nominal is typical
+            for busy IB fabrics.
+        node_sigma: log-std of the per-node endpoint factors.
+        pair_sigma: log-std of the persistent per-pair factor.
+        asymmetry_sigma: log-std of the forward/backward difference of
+            a pair; small, because real pairs are "almost symmetric".
+        straggler_prob: probability an ordered pair is a straggler.
+        straggler_factor: bandwidth multiplier of straggler pairs
+            (the paper's toy example uses a 2x slowdown, i.e. 0.5).
+        drift_amplitude: relative amplitude of the slow temporal drift.
+        drift_period_days: period of the sinusoidal drift component.
+        daily_noise_sigma: log-std of the per-day measurement-to-
+            measurement jitter.
+        intra_node_sigma: log-std of the (small) NVLink spread.
+        intra_base_efficiency: mean attained fraction on NVLink.
+            NCCL ring all-reduce on a DGX-1-class V100 node attains
+            roughly 130 GB/s of the 300 GB/s sheet aggregate, i.e.
+            under half — attained collective bandwidth, not the link
+            spec, is what tensor-parallel traffic experiences.
+    """
+
+    base_efficiency: float = 0.58
+    node_sigma: float = 0.08
+    pair_sigma: float = 0.14
+    asymmetry_sigma: float = 0.015
+    straggler_prob: float = 0.10
+    straggler_factor: float = 0.40
+    drift_amplitude: float = 0.02
+    drift_period_days: float = 17.0
+    daily_noise_sigma: float = 0.008
+    intra_node_sigma: float = 0.01
+    intra_base_efficiency: float = 0.45
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_efficiency <= 1.0:
+            raise ValueError(
+                f"base_efficiency must lie in (0, 1], got {self.base_efficiency}"
+            )
+        if not 0.0 < self.intra_base_efficiency <= 1.0:
+            raise ValueError(
+                "intra_base_efficiency must lie in (0, 1], "
+                f"got {self.intra_base_efficiency}"
+            )
+        check_probability(self.straggler_prob, "straggler_prob")
+        if not 0.0 < self.straggler_factor <= 1.0:
+            raise ValueError(
+                f"straggler_factor must lie in (0, 1], got {self.straggler_factor}"
+            )
+        for name in ("node_sigma", "pair_sigma", "asymmetry_sigma",
+                     "drift_amplitude", "daily_noise_sigma", "intra_node_sigma"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @staticmethod
+    def homogeneous() -> "HeterogeneityModel":
+        """A degenerate model with no spread at all.
+
+        Useful as an experimental control: with a homogeneous fabric,
+        fine-grained worker dedication cannot help, and Pipette's
+        PPT-LF should collapse onto PPT-L.
+        """
+        return HeterogeneityModel(
+            base_efficiency=0.58,
+            node_sigma=0.0,
+            pair_sigma=0.0,
+            asymmetry_sigma=0.0,
+            straggler_prob=0.0,
+            straggler_factor=1.0,
+            drift_amplitude=0.0,
+            daily_noise_sigma=0.0,
+            intra_node_sigma=0.0,
+        )
+
+    def sample_inter_node(self, spec: ClusterSpec, seed) -> "InterNodeState":
+        """Draw the persistent inter-node state for a cluster.
+
+        Returns an :class:`InterNodeState` holding, for each ordered
+        node pair, the time-invariant efficiency plus the parameters
+        of its temporal drift.
+        """
+        n = spec.n_nodes
+        rng = spawn_rng(seed, "inter-node")
+        # One factor per node, applied to both directions: a slow NIC or
+        # a badly-placed leaf switch port slows its node symmetrically.
+        node_f = np.exp(rng.normal(0.0, self.node_sigma, size=n))
+
+        sym = np.exp(rng.normal(0.0, self.pair_sigma, size=(n, n)))
+        sym = np.sqrt(sym * sym.T)  # symmetrize the persistent component
+        asym = np.exp(rng.normal(0.0, self.asymmetry_sigma, size=(n, n)))
+
+        straggler = np.ones((n, n))
+        hit = rng.random((n, n)) < self.straggler_prob
+        hit = np.triu(hit, k=1)
+        hit = hit | hit.T  # stragglers are routing artefacts: symmetric pairs
+        straggler[hit] = self.straggler_factor
+
+        eff = self.base_efficiency * np.outer(node_f, node_f) * sym * asym * straggler
+        np.fill_diagonal(eff, 1.0)
+        eff = np.clip(eff, 0.05, 1.0)
+
+        phase = rng.uniform(0.0, 2 * np.pi, size=(n, n))
+        phase = np.triu(phase, k=1)
+        phase = phase + phase.T
+        return InterNodeState(efficiency=eff, drift_phase=phase, model=self)
+
+    def sample_intra_node(self, spec: ClusterSpec, seed) -> np.ndarray:
+        """Draw per-node NVLink efficiencies, one per (node, gpu, gpu).
+
+        NVLink/NVSwitch planes are far more uniform than the IB fabric,
+        so the spread is small but non-zero.
+        """
+        k = spec.gpus_per_node
+        rng = spawn_rng(seed, "intra-node")
+        eff = self.intra_base_efficiency * np.exp(
+            rng.normal(0.0, self.intra_node_sigma, size=(spec.n_nodes, k, k))
+        )
+        eff = np.sqrt(eff * np.transpose(eff, (0, 2, 1)))
+        for node in range(spec.n_nodes):
+            np.fill_diagonal(eff[node], 1.0)
+        return np.clip(eff, 0.05, 1.0)
+
+
+@dataclass
+class InterNodeState:
+    """Persistent inter-node efficiencies plus temporal-drift state."""
+
+    efficiency: np.ndarray
+    drift_phase: np.ndarray
+    model: HeterogeneityModel
+
+    def at_day(self, day: float, seed) -> np.ndarray:
+        """Efficiency matrix observed on a given day.
+
+        The drift is a deterministic sinusoid per pair; the daily noise
+        is drawn from a day-keyed stream so re-asking for the same day
+        returns the same matrix.
+        """
+        m = self.model
+        drift = 1.0 + m.drift_amplitude * np.sin(
+            2 * np.pi * day / m.drift_period_days + self.drift_phase
+        )
+        rng = spawn_rng(seed, f"day-{day:.3f}")
+        noise = np.exp(rng.normal(0.0, m.daily_noise_sigma, size=self.efficiency.shape))
+        eff = self.efficiency * drift * noise
+        np.fill_diagonal(eff, 1.0)
+        return np.clip(eff, 0.05, 1.0)

@@ -1,0 +1,149 @@
+"""Static cluster topology: GPUs, nodes, links, and whole clusters.
+
+These classes describe the *nominal* (document-specified) hardware.
+The attained, heterogeneous link performance lives in
+:mod:`repro.cluster.fabric`; the split mirrors the paper's observation
+that nominal specs and attained bandwidth disagree on real clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import GIB
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU model.
+
+    Attributes:
+        name: marketing name, e.g. ``"V100"``.
+        memory_bytes: usable device memory in bytes.
+        peak_flops: peak mixed-precision throughput in FLOP/s.
+        achievable_fraction: fraction of peak a well-tuned transformer
+            layer reaches at large microbatch sizes.  Multiplied by a
+            microbatch-dependent utilization curve in
+            :mod:`repro.profiling.compute`.
+        hbm_gb_s: device-memory bandwidth in GB/s (sizes the optimizer
+            step, which streams all parameter state).
+    """
+
+    name: str
+    memory_bytes: float
+    peak_flops: float
+    achievable_fraction: float = 0.45
+    hbm_gb_s: float = 900.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.memory_bytes, "memory_bytes")
+        check_positive(self.peak_flops, "peak_flops")
+        if not 0.0 < self.achievable_fraction <= 1.0:
+            raise ValueError(
+                f"achievable_fraction must lie in (0, 1], got {self.achievable_fraction}"
+            )
+
+    @property
+    def memory_gib(self) -> float:
+        """Device memory in binary gibibytes."""
+        return self.memory_bytes / GIB
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A nominal interconnect link.
+
+    Attributes:
+        name: e.g. ``"NVLink"`` or ``"Infiniband HDR"``.
+        bandwidth_gb_s: document-specified unidirectional bandwidth in GB/s.
+        alpha_s: fixed per-message startup latency in seconds.
+    """
+
+    name: str
+    bandwidth_gb_s: float
+    alpha_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        check_positive(self.bandwidth_gb_s, "bandwidth_gb_s")
+        if self.alpha_s < 0:
+            raise ValueError(f"alpha_s must be non-negative, got {self.alpha_s}")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A server: several GPUs joined by a fast intra-node link."""
+
+    gpus_per_node: int
+    gpu: GpuSpec
+    intra_link: LinkSpec
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.gpus_per_node, "gpus_per_node")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous-on-paper cluster of identical nodes.
+
+    The paper's two environments (Table I) are both 16 nodes of
+    8 GPUs; :mod:`repro.cluster.presets` builds them.
+    """
+
+    name: str
+    n_nodes: int
+    node: NodeSpec
+    inter_link: LinkSpec
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_nodes, "n_nodes")
+
+    @property
+    def n_gpus(self) -> int:
+        """Total GPU count ``G``."""
+        return self.n_nodes * self.node.gpus_per_node
+
+    @property
+    def gpus_per_node(self) -> int:
+        """GPUs in each node (the natural maximum tensor-parallel degree)."""
+        return self.node.gpus_per_node
+
+    @property
+    def gpu_memory_bytes(self) -> float:
+        """Per-GPU memory limit ``M_limit`` in bytes."""
+        return self.node.gpu.memory_bytes
+
+    def node_of(self, gpu: int) -> int:
+        """Node index hosting global GPU id ``gpu``."""
+        self._check_gpu(gpu)
+        return gpu // self.node.gpus_per_node
+
+    def gpus_of_node(self, node: int) -> range:
+        """Global GPU ids hosted by ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        k = self.node.gpus_per_node
+        return range(node * k, (node + 1) * k)
+
+    def same_node(self, gpu_a: int, gpu_b: int) -> bool:
+        """Whether two GPUs share a node (and hence the intra-node link)."""
+        return self.node_of(gpu_a) == self.node_of(gpu_b)
+
+    def scaled_to(self, n_nodes: int) -> "ClusterSpec":
+        """A copy of this cluster with a different node count.
+
+        Used by the scalability study (Fig. 8), which evaluates 32, 64,
+        and 128 GPUs of the same hardware generation.
+        """
+        return ClusterSpec(
+            name=self.name,
+            n_nodes=n_nodes,
+            node=self.node,
+            inter_link=self.inter_link,
+            description=self.description,
+        )
+
+    def _check_gpu(self, gpu: int) -> None:
+        if not 0 <= gpu < self.n_gpus:
+            raise ValueError(f"gpu {gpu} out of range [0, {self.n_gpus})")

@@ -1,0 +1,117 @@
+"""Long-running latency trace: the Fig. 3 measurement campaign.
+
+The paper profiles a commercial cluster for 40 days with mpiGraph and
+plots, per day, the quantiles over *node-order combinations* of the
+inter-stage communication latency of 8 nodes.  The separation of the
+quantile lines demonstrates persistent heterogeneity: if all links were
+truly equal, every ordering would cost the same.
+
+:func:`collect_latency_trace` repeats that campaign against a
+:class:`~repro.cluster.fabric.Fabric`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.fabric import Fabric
+from repro.units import GB
+from repro.utils.rng import spawn_rng
+
+#: Quantile levels plotted in Fig. 3, in the paper's Q(p%) notation.
+FIG3_QUANTILES: tuple[float, ...] = (1.0, 0.75, 0.5, 0.25, 0.0)
+
+
+@dataclass(frozen=True)
+class LatencyTrace:
+    """Per-day quantiles of chain latency over node orderings.
+
+    Attributes:
+        days: day index of each sample (0-based).
+        quantiles: quantile levels, descending like the paper legend.
+        latencies_ms: array of shape ``(n_days, n_quantiles)`` holding
+            the chain latency in milliseconds.
+    """
+
+    days: np.ndarray
+    quantiles: tuple[float, ...]
+    latencies_ms: np.ndarray = field(repr=False)
+
+    def spread_ratio(self) -> float:
+        """Mean ratio of the slowest to the fastest ordering per day.
+
+        A homogeneous fabric yields 1.0; the paper's cluster shows a
+        clearly visible spread.
+        """
+        hi = self.latencies_ms[:, 0]
+        lo = self.latencies_ms[:, -1]
+        return float(np.mean(hi / lo))
+
+    def rows(self) -> list[dict]:
+        """The trace as one dict per day, convenient for printing."""
+        out = []
+        for i, day in enumerate(self.days):
+            row = {"day": int(day)}
+            for q, val in zip(self.quantiles, self.latencies_ms[i]):
+                row[f"Q({int(q * 100)}%)"] = float(val)
+            out.append(row)
+        return out
+
+
+def chain_latency_s(fabric_bw, node_order, message_bytes: float,
+                    gpus_per_node: int) -> float:
+    """End-to-end p2p latency of a message relayed along a node chain.
+
+    This mimics what a pipeline's inter-stage traffic experiences when
+    the stages are placed on the nodes in ``node_order``: one hop per
+    adjacent pair, each at the attained bandwidth of that pair (the
+    first GPU of each node is used as the endpoint, as all GPU pairs
+    across one node pair share the NIC path).
+    """
+    total = 0.0
+    for a, b in zip(node_order[:-1], node_order[1:]):
+        g1, g2 = a * gpus_per_node, b * gpus_per_node
+        total += fabric_bw.alpha_between(g1, g2)
+        total += message_bytes / (fabric_bw.between(g1, g2) * GB)
+    return total
+
+
+def collect_latency_trace(fabric: Fabric, n_days: int = 40,
+                          n_nodes_in_chain: int = 8,
+                          n_orderings: int = 64,
+                          message_bytes: float = 128 * 2**20,
+                          quantiles: tuple[float, ...] = FIG3_QUANTILES,
+                          seed: int = 0) -> LatencyTrace:
+    """Reproduce the Fig. 3 campaign on a synthetic fabric.
+
+    For each day, ``n_orderings`` random orderings of
+    ``n_nodes_in_chain`` nodes are measured; the same orderings are
+    reused across days (as mpiGraph would rerun the same schedule),
+    so day-to-day movement of one line reflects fabric drift, not
+    resampling.
+    """
+    if n_nodes_in_chain > fabric.spec.n_nodes:
+        raise ValueError(
+            f"chain of {n_nodes_in_chain} nodes exceeds cluster "
+            f"({fabric.spec.n_nodes} nodes)"
+        )
+    if n_orderings < 2:
+        raise ValueError("need at least two orderings to show a spread")
+
+    rng = spawn_rng(seed, "trace-orderings")
+    orders = [rng.permutation(fabric.spec.n_nodes)[:n_nodes_in_chain]
+              for _ in range(n_orderings)]
+
+    k = fabric.spec.gpus_per_node
+    days = np.arange(n_days)
+    lat_ms = np.zeros((n_days, len(quantiles)))
+    for d in days:
+        bw = fabric.bandwidth_at_day(float(d))
+        samples = np.array([
+            chain_latency_s(bw, order, message_bytes, k) for order in orders
+        ])
+        for j, q in enumerate(quantiles):
+            lat_ms[d, j] = np.quantile(samples, q) * 1e3
+    return LatencyTrace(days=days, quantiles=tuple(quantiles), latencies_ms=lat_ms)

@@ -1,0 +1,55 @@
+"""Pipette core: the paper's three contributions plus Algorithm 1.
+
+* :mod:`repro.core.latency_model` — the refined critical-path latency
+  model (Eqs. 3-6) and the prior-art model (Eq. 1) it improves on;
+* :mod:`repro.core.annealing` — simulated-annealing worker dedication
+  with the paper's migration/swap/reverse move set (§IV);
+* :mod:`repro.core.memory_estimator` — the MLP-based memory estimator
+  with its soft margin (§VI, Eq. 7);
+* :mod:`repro.core.configurator` — the end-to-end search procedure
+  (Algorithm 1) and its PPT-L / PPT-LF ablation variants.
+"""
+
+from repro.core.latency_model import (
+    LatencyModelOptions,
+    pipette_latency,
+    prior_art_latency,
+    latency_with_options,
+)
+from repro.core.annealing import (
+    SAOptions,
+    SAResult,
+    anneal_mapping,
+    anneal_mapping_with_restarts,
+)
+from repro.core.memory_dataset import MemoryDataset, build_memory_dataset
+from repro.core.memory_estimator import MemoryEstimator, memory_features
+from repro.core.configurator import (
+    PipetteOptions,
+    PipetteResult,
+    RankedConfig,
+    PipetteConfigurator,
+    pipette_l,
+    pipette_lf,
+)
+
+__all__ = [
+    "LatencyModelOptions",
+    "pipette_latency",
+    "prior_art_latency",
+    "latency_with_options",
+    "SAOptions",
+    "SAResult",
+    "anneal_mapping",
+    "anneal_mapping_with_restarts",
+    "MemoryDataset",
+    "build_memory_dataset",
+    "MemoryEstimator",
+    "memory_features",
+    "PipetteOptions",
+    "PipetteResult",
+    "RankedConfig",
+    "PipetteConfigurator",
+    "pipette_l",
+    "pipette_lf",
+]

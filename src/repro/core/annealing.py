@@ -1,0 +1,250 @@
+"""Fine-grained worker dedication via simulated annealing (§IV).
+
+The mapping problem — place ``pp x tp x dp`` logical workers on the
+GPUs so the estimated iteration latency is minimal — is analogous to
+classic NoC core mapping ([17], [18]), so the paper uses simulated
+annealing with three string moves:
+
+* **migrate**: remove one element and reinsert it elsewhere,
+* **swap**: exchange two elements,
+* **reverse**: reverse a substring — motivated by the observation
+  that bidirectional bandwidths of a node pair are almost symmetric,
+  so a reversed pipeline segment costs about the same per hop while
+  changing which links carry the boundary traffic.
+
+The annealer works on the *block* permutation (TP groups over GPU
+slots; see :mod:`repro.parallel.mapping`), uses the temperature decay
+``alpha = 0.999`` of the paper, and stops on an iteration budget or a
+wall-clock limit (the paper uses 10 s per candidate configuration).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.parallel.mapping import Mapping
+from repro.utils.rng import resolve_rng
+
+#: The paper's move set.
+DEFAULT_MOVES: tuple[str, ...] = ("migrate", "swap", "reverse")
+
+
+@dataclass(frozen=True)
+class SAOptions:
+    """Simulated-annealing hyper-parameters.
+
+    Attributes:
+        time_limit_s: wall-clock budget; ``None`` disables it.  The
+            paper uses 10 seconds.
+        max_iterations: iteration budget; ``None`` disables it.  At
+            least one of the two budgets must be set.
+        alpha: multiplicative temperature decay per iteration (0.999
+            in the paper).
+        initial_temperature: starting temperature; ``None`` derives it
+            from the spread of a few probe moves so acceptance starts
+            permissive regardless of the objective's scale.
+        moves: subset of ``{"migrate", "swap", "reverse"}`` (ablations
+            disable individual moves).
+        seed: RNG seed for the move stream.
+    """
+
+    time_limit_s: float | None = None
+    max_iterations: int | None = 4000
+    alpha: float = 0.999
+    initial_temperature: float | None = None
+    moves: tuple[str, ...] = DEFAULT_MOVES
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time_limit_s is None and self.max_iterations is None:
+            raise ValueError("set time_limit_s and/or max_iterations")
+        if self.time_limit_s is not None and self.time_limit_s <= 0:
+            raise ValueError("time_limit_s must be positive")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must lie in (0, 1), got {self.alpha}")
+        unknown = set(self.moves) - set(DEFAULT_MOVES)
+        if unknown:
+            raise ValueError(f"unknown moves: {sorted(unknown)}")
+        if not self.moves:
+            raise ValueError("at least one move kind is required")
+
+
+@dataclass
+class SAResult:
+    """Outcome of one annealing run.
+
+    Attributes:
+        mapping: best mapping found.
+        value: objective value of :attr:`mapping`.
+        initial_value: objective of the starting mapping (for gain
+            reporting: the paper's Fig. 4 "execution time reduction").
+        iterations: moves proposed.
+        accepted: moves accepted.
+        elapsed_s: wall-clock time spent.
+        history: best-so-far objective at each improvement.
+    """
+
+    mapping: Mapping
+    value: float
+    initial_value: float
+    iterations: int
+    accepted: int
+    elapsed_s: float
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Relative latency reduction achieved by the dedication."""
+        if self.initial_value == 0:
+            return 0.0
+        return 1.0 - self.value / self.initial_value
+
+
+def _propose(perm: np.ndarray, move: str, rng: np.random.Generator) -> np.ndarray:
+    """Apply one move to a copy of the permutation."""
+    n = len(perm)
+    out = perm.copy()
+    if n < 2:
+        return out
+    if move == "swap":
+        i, j = rng.choice(n, size=2, replace=False)
+        out[i], out[j] = out[j], out[i]
+    elif move == "migrate":
+        i = int(rng.integers(n))
+        j = int(rng.integers(n - 1))
+        val = out[i]
+        out = np.delete(out, i)
+        out = np.insert(out, j, val)
+    elif move == "reverse":
+        i, j = sorted(rng.choice(n + 1, size=2, replace=False))
+        if j - i >= 2:
+            out[i:j] = out[i:j][::-1]
+        else:
+            i2, j2 = rng.choice(n, size=2, replace=False)
+            out[i2], out[j2] = out[j2], out[i2]
+    else:
+        raise ValueError(f"unknown move {move!r}")
+    return out
+
+
+def _probe_temperature(initial: Mapping, objective, base: float,
+                       moves: tuple[str, ...],
+                       rng: np.random.Generator) -> float:
+    """Derive a starting temperature from the local objective landscape."""
+    deltas = []
+    for _ in range(16):
+        move = moves[int(rng.integers(len(moves)))]
+        cand = initial.with_block_permutation(
+            _propose(initial.block_to_slot, move, rng))
+        deltas.append(abs(objective(cand) - base))
+    spread = float(np.mean(deltas)) if deltas else 0.0
+    if spread <= 0.0:
+        spread = max(abs(base), 1.0) * 1e-3
+    return 2.0 * spread
+
+
+def anneal_mapping(initial: Mapping,
+                   objective: Callable[[Mapping], float],
+                   options: SAOptions | None = None) -> SAResult:
+    """Minimize ``objective`` over block permutations starting at ``initial``.
+
+    This is the ``SA_NextMap`` loop of Algorithm 1 (lines 9-15): each
+    iteration proposes one move, evaluates the latency estimator, and
+    accepts by the Metropolis criterion under a geometrically cooling
+    temperature.
+    """
+    options = options or SAOptions()
+    rng = resolve_rng(options.seed)
+    start = time.perf_counter()
+
+    current = initial.copy()
+    current_value = float(objective(current))
+    initial_value = current_value
+    best = current.copy()
+    best_value = current_value
+    history = [best_value]
+
+    temperature = options.initial_temperature
+    if temperature is None:
+        temperature = _probe_temperature(initial, objective, current_value,
+                                         options.moves, rng)
+
+    iterations = accepted = 0
+    while True:
+        if options.max_iterations is not None \
+                and iterations >= options.max_iterations:
+            break
+        if options.time_limit_s is not None \
+                and time.perf_counter() - start >= options.time_limit_s:
+            break
+        move = options.moves[int(rng.integers(len(options.moves)))]
+        candidate = current.with_block_permutation(
+            _propose(current.block_to_slot, move, rng))
+        value = float(objective(candidate))
+        delta = value - current_value
+        if delta <= 0.0 or (temperature > 0.0
+                            and rng.random() < math.exp(-delta / temperature)):
+            current, current_value = candidate, value
+            accepted += 1
+            if value < best_value:
+                best, best_value = candidate.copy(), value
+                history.append(best_value)
+        temperature *= options.alpha
+        iterations += 1
+
+    return SAResult(
+        mapping=best,
+        value=best_value,
+        initial_value=initial_value,
+        iterations=iterations,
+        accepted=accepted,
+        elapsed_s=time.perf_counter() - start,
+        history=history,
+    )
+
+
+def anneal_mapping_with_restarts(initial: Mapping,
+                                 objective: Callable[[Mapping], float],
+                                 options: SAOptions | None = None,
+                                 n_restarts: int = 3) -> SAResult:
+    """Multi-restart annealing: best of several independent runs.
+
+    Annealing on a rugged mapping landscape occasionally stalls in a
+    local minimum; restarting from random permutations with derived
+    seeds and keeping the best run is the standard remedy.  The first
+    run always starts from ``initial`` (the framework's default
+    placement), so the result can never lose to single-run annealing
+    with the same options.
+    """
+    if n_restarts < 1:
+        raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
+    options = options or SAOptions()
+    best: SAResult | None = None
+    for k in range(n_restarts):
+        run_options = SAOptions(
+            time_limit_s=options.time_limit_s,
+            max_iterations=options.max_iterations,
+            alpha=options.alpha,
+            initial_temperature=options.initial_temperature,
+            moves=options.moves,
+            seed=options.seed + 7919 * k,
+        )
+        if k == 0:
+            start_mapping = initial
+        else:
+            from repro.parallel.mapping import random_block_mapping
+            start_mapping = random_block_mapping(
+                initial.grid, initial.cluster, seed=options.seed + 104729 * k)
+        result = anneal_mapping(start_mapping, objective, run_options)
+        if best is None or result.value < best.value:
+            # Report the true improvement against the caller's start.
+            result.initial_value = float(objective(initial))
+            best = result
+    return best

@@ -1,0 +1,301 @@
+"""Algorithm 1: the end-to-end Pipette search procedure.
+
+Given the GPU count, global batch size and per-GPU memory limit,
+Pipette:
+
+1. profiles the actual bandwidth matrix (done by the caller via
+   :class:`repro.cluster.profiler.NetworkProfiler`),
+2. enumerates ``(pp, tp, dp)`` factorizations and microbatch sizes,
+3. skips configurations the memory estimator flags as OOM (line 7),
+4. for each survivor, searches worker-to-GPU mappings with simulated
+   annealing, scoring each mapping with the latency estimator
+   (lines 9-15),
+5. returns the best configuration, mapping, and estimated latency.
+
+The ablation variants of the paper's Fig. 6 are factory functions:
+:func:`pipette_l` (latency estimator only, naive mapping — "PPT-L")
+and :func:`pipette_lf` (plus fine-grained worker dedication —
+"PPT-LF").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.cluster.topology import ClusterSpec
+from repro.core.annealing import SAOptions, anneal_mapping
+from repro.core.latency_model import pipette_latency
+from repro.core.memory_estimator import MemoryEstimator
+from repro.model.transformer import TransformerConfig
+from repro.parallel.config import ParallelConfig, enumerate_parallel_configs
+from repro.parallel.mapping import Mapping, WorkerGrid, sequential_mapping
+from repro.profiling.profile_run import ComputeProfile
+
+
+@dataclass(frozen=True)
+class PipetteOptions:
+    """Behaviour switches of the search.
+
+    Attributes:
+        use_worker_dedication: run the SA mapping search (PPT-LF);
+            otherwise keep the framework's sequential mapping (PPT-L).
+        sa: annealing budget/hyper-parameters per refined candidate.
+        sa_top_k: run SA only on this many of the best candidates (by
+            naive-mapping latency).  Algorithm 1 anneals every
+            candidate; bounding the refined set is an optimization
+            that leaves results unchanged in practice because SA gains
+            a few percent and cannot rescue a configuration that
+            starts far behind.  Set to 0 to anneal every candidate.
+        max_micro_batch: largest microbatch swept (the paper uses 8).
+        seed: seed stream for the annealer.
+    """
+
+    use_worker_dedication: bool = True
+    sa: SAOptions = field(default_factory=lambda: SAOptions(max_iterations=3000))
+    sa_top_k: int = 4
+    max_micro_batch: int = 8
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class RankedConfig:
+    """One evaluated configuration in the result ranking.
+
+    Attributes:
+        config: the parallelization.
+        mapping: worker placement used for the latency estimate.
+        estimated_latency_s: latency-estimator output.
+        estimated_memory_bytes: memory-estimator output (``None`` when
+            the search ran without a memory estimator).
+        memory_ok: whether the memory check passed; ``False`` marks a
+            best-effort recommendation (the estimator believed nothing
+            fits and returned the least-memory candidates anyway).
+    """
+
+    config: ParallelConfig
+    mapping: Mapping
+    estimated_latency_s: float
+    estimated_memory_bytes: float | None
+    memory_ok: bool
+
+
+@dataclass
+class PipetteResult:
+    """Outcome of one search.
+
+    Attributes:
+        best: best feasible configuration (``None`` when nothing fits).
+        ranked: feasible configurations sorted by estimated latency.
+        rejected_oom: configurations the memory estimator filtered out.
+        memory_check_s: wall-clock spent in the memory estimator
+            (Table II row "Memory Estimation").
+        annealing_s: wall-clock spent in SA (Table II row "Simulated
+            Annealing").
+        total_s: end-to-end search time.
+    """
+
+    best: RankedConfig | None
+    ranked: list[RankedConfig]
+    rejected_oom: int
+    memory_check_s: float
+    annealing_s: float
+    total_s: float
+
+
+class PipetteConfigurator:
+    """The Pipette automatic configurator (Algorithm 1).
+
+    Args:
+        cluster: nominal cluster description.
+        model: architecture to train.
+        bandwidth: *profiled* bandwidth matrix ``BW`` (line 1).
+        profile: profiled compute times for this model on this GPU.
+        memory_estimator: fitted estimator; ``None`` disables the
+            memory check (not recommended; exists for ablations).
+        options: search behaviour.
+    """
+
+    def __init__(self, cluster: ClusterSpec, model: TransformerConfig,
+                 bandwidth: BandwidthMatrix, profile: ComputeProfile,
+                 memory_estimator: MemoryEstimator | None = None,
+                 options: PipetteOptions | None = None) -> None:
+        if bandwidth.n_gpus != cluster.n_gpus:
+            raise ValueError(
+                f"bandwidth matrix covers {bandwidth.n_gpus} GPUs but the "
+                f"cluster has {cluster.n_gpus}"
+            )
+        self.cluster = cluster
+        self.model = model
+        self.bandwidth = bandwidth
+        self.profile = profile
+        self.memory_estimator = memory_estimator
+        self.options = options or PipetteOptions()
+
+    # ------------------------------------------------------------------ api
+
+    def estimate_latency(self, config: ParallelConfig,
+                         mapping: Mapping | None = None) -> float:
+        """Latency-estimator value for one configuration/mapping."""
+        if mapping is None:
+            mapping = self._sequential(config)
+        return pipette_latency(self.model, config, mapping, self.bandwidth,
+                               self.profile)
+
+    def search(self, global_batch: int,
+               memory_limit_bytes: float | None = None,
+               micro_batches: "list[int] | None" = None) -> PipetteResult:
+        """Run Algorithm 1 and return the ranked feasible configurations.
+
+        Args:
+            global_batch: ``bs_global``.
+            memory_limit_bytes: ``M_limit``; defaults to the cluster
+                GPU's physical memory.
+            micro_batches: restrict the swept microbatch sizes (the
+                sensitivity studies of Fig. 9 pin ``bs_micro``).
+        """
+        t_start = time.perf_counter()
+        limit = memory_limit_bytes if memory_limit_bytes is not None \
+            else self.cluster.gpu_memory_bytes
+        configs = enumerate_parallel_configs(
+            self.cluster.n_gpus, global_batch,
+            gpus_per_node=self.cluster.gpus_per_node,
+            n_layers=self.model.n_layers,
+            micro_batches=micro_batches,
+            max_micro_batch=self.options.max_micro_batch,
+        )
+
+        memory_s = 0.0
+        rejected = 0
+        survivors: list[tuple[ParallelConfig, float | None]] = []
+        margin = self.memory_estimator.soft_margin \
+            if self.memory_estimator is not None else 1.0
+        while True:
+            for config in configs:
+                if self.memory_estimator is None:
+                    survivors.append((config, None))
+                    continue
+                t0 = time.perf_counter()
+                predicted = self.memory_estimator.predict_bytes(self.model,
+                                                                config)
+                ok = predicted <= margin * limit
+                memory_s += time.perf_counter() - t0
+                if ok:
+                    survivors.append((config, predicted))
+                else:
+                    rejected += 1
+            if survivors or self.memory_estimator is None or margin >= 1.0:
+                break
+            # The soft margin left nothing on the table (it can exclude
+            # a lone configuration sitting just under the limit, e.g.
+            # very large batches on a full memory envelope).  Degrade
+            # gracefully: retry against the raw physical limit.
+            margin = 1.0
+            rejected = 0
+
+        best_effort = False
+        if not survivors and self.memory_estimator is not None and configs:
+            # Even the raw limit admits nothing by the estimator's
+            # account (its error can push a lone near-limit candidate
+            # over).  A practical tool still answers: recommend the
+            # least-memory candidates, flagged as best-effort.
+            best_effort = True
+            by_memory = sorted(
+                configs,
+                key=lambda c: self.memory_estimator.predict_bytes(self.model, c),
+            )
+            survivors = [
+                (c, self.memory_estimator.predict_bytes(self.model, c))
+                for c in by_memory[:3]
+            ]
+
+        # First pass: naive-mapping latency for every survivor.
+        scored: list[RankedConfig] = []
+        for config, predicted in survivors:
+            mapping = self._sequential(config)
+            latency = self.estimate_latency(config, mapping)
+            scored.append(RankedConfig(
+                config=config, mapping=mapping, estimated_latency_s=latency,
+                estimated_memory_bytes=predicted,
+                memory_ok=not best_effort,
+            ))
+        scored.sort(key=lambda r: r.estimated_latency_s)
+
+        # Second pass: fine-grained worker dedication on the leaders.
+        annealing_s = 0.0
+        if self.options.use_worker_dedication and scored:
+            n_refine = len(scored) if self.options.sa_top_k == 0 \
+                else min(self.options.sa_top_k, len(scored))
+            refined = []
+            for rank, entry in enumerate(scored[:n_refine]):
+                sa_options = SAOptions(
+                    time_limit_s=self.options.sa.time_limit_s,
+                    max_iterations=self.options.sa.max_iterations,
+                    alpha=self.options.sa.alpha,
+                    initial_temperature=self.options.sa.initial_temperature,
+                    moves=self.options.sa.moves,
+                    seed=self.options.seed + rank,
+                )
+                result = anneal_mapping(
+                    entry.mapping,
+                    lambda m, c=entry.config: pipette_latency(
+                        self.model, c, m, self.bandwidth, self.profile),
+                    sa_options,
+                )
+                annealing_s += result.elapsed_s
+                refined.append(RankedConfig(
+                    config=entry.config, mapping=result.mapping,
+                    estimated_latency_s=result.value,
+                    estimated_memory_bytes=entry.estimated_memory_bytes,
+                    memory_ok=entry.memory_ok,
+                ))
+            scored = sorted(refined + scored[n_refine:],
+                            key=lambda r: r.estimated_latency_s)
+
+        return PipetteResult(
+            best=scored[0] if scored else None,
+            ranked=scored,
+            rejected_oom=rejected,
+            memory_check_s=memory_s,
+            annealing_s=annealing_s,
+            total_s=time.perf_counter() - t_start,
+        )
+
+    # ------------------------------------------------------------- internal
+
+    def _sequential(self, config: ParallelConfig) -> Mapping:
+        grid = WorkerGrid(pp=config.pp, tp=config.tp, dp=config.dp)
+        return sequential_mapping(grid, self.cluster)
+
+
+def pipette_l(cluster: ClusterSpec, model: TransformerConfig,
+              bandwidth: BandwidthMatrix, profile: ComputeProfile,
+              memory_estimator: MemoryEstimator,
+              options: PipetteOptions | None = None) -> PipetteConfigurator:
+    """The PPT-L ablation: latency + memory estimators, naive mapping."""
+    base = options or PipetteOptions()
+    return PipetteConfigurator(
+        cluster, model, bandwidth, profile, memory_estimator,
+        options=PipetteOptions(
+            use_worker_dedication=False,
+            sa=base.sa, sa_top_k=base.sa_top_k,
+            max_micro_batch=base.max_micro_batch, seed=base.seed,
+        ),
+    )
+
+
+def pipette_lf(cluster: ClusterSpec, model: TransformerConfig,
+               bandwidth: BandwidthMatrix, profile: ComputeProfile,
+               memory_estimator: MemoryEstimator,
+               options: PipetteOptions | None = None) -> PipetteConfigurator:
+    """The full Pipette (PPT-LF): adds fine-grained worker dedication."""
+    base = options or PipetteOptions()
+    return PipetteConfigurator(
+        cluster, model, bandwidth, profile, memory_estimator,
+        options=PipetteOptions(
+            use_worker_dedication=True,
+            sa=base.sa, sa_top_k=base.sa_top_k,
+            max_micro_batch=base.max_micro_batch, seed=base.seed,
+        ),
+    )

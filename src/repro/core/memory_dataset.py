@@ -1,0 +1,99 @@
+"""Profiled memory dataset for training the memory estimator (§VI).
+
+The paper trains its MLP on "profiled data from all possible
+configurations using up to four cluster nodes (32 GPUs)" and
+validates extrapolation up to 128 GPUs.  :func:`build_memory_dataset`
+repeats that campaign: enumerate configurations on 1-4-node
+sub-clusters, launch each (against the memory ground truth that plays
+the role of the real cluster), and record the Eq. (7) features with
+the measured peak memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec
+from repro.model.transformer import TransformerConfig
+from repro.parallel.config import ParallelConfig, enumerate_parallel_configs
+from repro.sim.memory_sim import FrameworkOverheadModel, simulated_max_memory_bytes
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class MemoryPoint:
+    """One profiled configuration: its identity and measured memory."""
+
+    model: TransformerConfig
+    config: ParallelConfig
+    n_gpus: int
+    measured_bytes: float
+
+
+@dataclass
+class MemoryDataset:
+    """A collection of profiled memory measurements."""
+
+    points: list[MemoryPoint]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def measured_bytes(self) -> np.ndarray:
+        """Targets as a vector, in bytes."""
+        return np.array([p.measured_bytes for p in self.points])
+
+
+def build_memory_dataset(cluster: ClusterSpec,
+                         models: list[TransformerConfig],
+                         global_batches: list[int],
+                         node_counts: list[int] | None = None,
+                         max_micro_batch: int = 8,
+                         max_points: int | None = None,
+                         overhead: FrameworkOverheadModel | None = None,
+                         seed: int = 0) -> MemoryDataset:
+    """Profile memory across small sub-clusters of ``cluster``.
+
+    Args:
+        cluster: the full cluster; profiling uses sub-clusters of
+            ``node_counts`` nodes (default 1, 2, 4 — "up to four
+            cluster nodes").
+        models: architectures to include; a spread of sizes helps the
+            estimator generalize across the Eq. (7) model features.
+        global_batches: global batch sizes to sweep.
+        max_points: subsample (deterministically) to at most this many
+            points to bound training cost; ``None`` keeps all.
+        overhead: the framework overhead model of the software stack
+            being profiled (the ground truth; the estimator never sees
+            its parameters, only the measurements).
+    """
+    node_counts = node_counts or [1, 2, 4]
+    if any(n > cluster.n_nodes for n in node_counts):
+        raise ValueError(
+            f"node_counts {node_counts} exceed cluster ({cluster.n_nodes} nodes)"
+        )
+    points: list[MemoryPoint] = []
+    for n_nodes in node_counts:
+        sub = cluster.scaled_to(n_nodes)
+        for model in models:
+            for gb in global_batches:
+                configs = enumerate_parallel_configs(
+                    sub.n_gpus, gb,
+                    gpus_per_node=sub.gpus_per_node,
+                    n_layers=model.n_layers,
+                    max_micro_batch=max_micro_batch,
+                )
+                for config in configs:
+                    usage = simulated_max_memory_bytes(
+                        model, config, sub, overhead=overhead, seed=seed)
+                    points.append(MemoryPoint(
+                        model=model, config=config,
+                        n_gpus=sub.n_gpus, measured_bytes=usage,
+                    ))
+    if max_points is not None and len(points) > max_points:
+        rng = spawn_rng(seed, "memory-dataset-subsample")
+        keep = rng.choice(len(points), size=max_points, replace=False)
+        points = [points[i] for i in sorted(keep)]
+    return MemoryDataset(points=points)

@@ -1,0 +1,161 @@
+"""The MLP-based memory estimator (§VI, Eq. 7).
+
+``M_max = MLP(n_gpus, n_layers, n_hidden, n_heads, tp, pp, dp,
+bs_micro, bs_mini, bs_global)``
+
+All ten inputs are strictly positive and the target spans orders of
+magnitude, so both are taken in log2 space (the MLP itself is exactly
+the paper's: five layers, 200 hidden units).  A *soft margin* keeps
+recommendations comfortably under the physical limit so estimation
+error cannot produce OOM configurations.
+
+One engineering choice beyond the paper's Eq. (7): the MLP regresses
+the log-*ratio* of measured memory to a first-principles prior
+(:func:`repro.model.memory.first_principles_max_bytes`) rather than
+the raw log-memory.  The training data stops at 32 GPUs while
+predictions are needed at 128 (§VI validates exactly this
+extrapolation); a raw-feature MLP extrapolates arbitrarily outside the
+``pp * tp * dp <= 32`` manifold, whereas the ratio — precisely the
+framework/library overhead the paper says analytic models miss — is
+bounded and smooth, so the physics prior carries the extrapolation.
+The estimator still sees only profiled measurements, never the ground
+truth's internals.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.memory_dataset import MemoryDataset
+from repro.model.memory import first_principles_max_bytes
+from repro.model.transformer import TransformerConfig
+from repro.nn.mlp import MLP
+from repro.nn.scaling import StandardScaler
+from repro.nn.train import TrainResult, train_regressor
+from repro.parallel.config import ParallelConfig
+from repro.units import GIB
+
+#: Feature order of Eq. (7).
+FEATURE_NAMES: tuple[str, ...] = (
+    "n_gpus", "n_layers", "n_hidden", "n_heads",
+    "tp", "pp", "dp", "bs_micro", "bs_mini", "bs_global",
+)
+
+
+def memory_features(model: TransformerConfig, config: ParallelConfig,
+                    n_gpus: int | None = None) -> np.ndarray:
+    """The Eq. (7) feature vector of one configuration, in log2 space."""
+    n = n_gpus if n_gpus is not None else config.n_gpus
+    raw = (
+        n, model.n_layers, model.hidden_size, model.n_heads,
+        config.tp, config.pp, config.dp,
+        config.micro_batch, config.mini_batch, config.global_batch,
+    )
+    return np.array([math.log2(v) for v in raw])
+
+
+class MemoryEstimator:
+    """Learns and predicts the max per-GPU memory of a configuration.
+
+    Args:
+        hidden_size: width of the hidden layers (200 in the paper).
+        n_hidden_layers: hidden-layer count; 4 hidden + 1 output = the
+            paper's five-layer MLP.
+        soft_margin: a configuration is deemed runnable only if its
+            predicted usage stays below ``soft_margin * limit``.
+        ensemble_size: number of independently-initialized members;
+            the prediction is their median.  A single MLP's
+            extrapolation bias beyond the profiled cluster sizes
+            varies with its initialization; the median of a few
+            members is far more stable at modest extra training cost.
+        seed: weight-init and training seed (members derive their own).
+    """
+
+    def __init__(self, hidden_size: int = 200, n_hidden_layers: int = 4,
+                 soft_margin: float = 0.95, ensemble_size: int = 3,
+                 seed: int = 0) -> None:
+        if not 0.0 < soft_margin <= 1.0:
+            raise ValueError(f"soft_margin must lie in (0, 1], got {soft_margin}")
+        if ensemble_size < 1:
+            raise ValueError(f"ensemble_size must be >= 1, got {ensemble_size}")
+        sizes = [len(FEATURE_NAMES)] + [hidden_size] * n_hidden_layers + [1]
+        self.networks = [MLP(sizes, seed=seed + 1013 * k)
+                         for k in range(ensemble_size)]
+        self.scaler = StandardScaler()
+        self.soft_margin = float(soft_margin)
+        self.seed = int(seed)
+        self._fitted = False
+        self._ratio_bounds: tuple[float, float] | None = None
+
+    @property
+    def network(self) -> MLP:
+        """The first ensemble member (kept for introspection)."""
+        return self.networks[0]
+
+    def fit(self, dataset: MemoryDataset, iterations: int = 20_000,
+            lr: float = 1e-3, batch_size: int = 64,
+            weight_decay: float = 1e-3) -> TrainResult:
+        """Train on a profiled dataset; returns the training summary.
+
+        The paper trains for 50k iterations; the default here is lower
+        because early stopping converges well before that on the
+        profiled data — pass ``iterations=50_000`` for the faithful
+        budget.  The mild decoupled weight decay is what makes
+        extrapolation beyond the profiled cluster sizes (32 -> 128
+        GPUs, §VI) behave: it suppresses spurious slopes in directions
+        the profiled data constrains weakly.
+        """
+        if len(dataset) < 10:
+            raise ValueError(
+                f"dataset has only {len(dataset)} points; profile more "
+                "configurations before fitting"
+            )
+        x = np.stack([
+            memory_features(p.model, p.config, p.n_gpus) for p in dataset.points
+        ])
+        priors = np.array([self._prior_bytes(p.model, p.config)
+                           for p in dataset.points])
+        y = np.log2(dataset.measured_bytes() / priors)
+        # The framework-overhead ratio is physically bounded; clamping
+        # predictions to the observed band (with headroom) keeps
+        # far-out-of-distribution queries sane.
+        self._ratio_bounds = (float(y.min()) - 0.5, float(y.max()) + 0.5)
+        x = self.scaler.fit_transform(x)
+        result = None
+        for k, member in enumerate(self.networks):
+            result = train_regressor(member, x, y, iterations=iterations,
+                                     lr=lr, batch_size=batch_size,
+                                     weight_decay=weight_decay,
+                                     seed=self.seed + 1013 * k)
+        self._fitted = True
+        return result
+
+    def predict_bytes(self, model: TransformerConfig, config: ParallelConfig,
+                      n_gpus: int | None = None) -> float:
+        """Predicted max per-GPU memory of a configuration, in bytes."""
+        if not self._fitted:
+            raise RuntimeError("estimator is not fitted; call fit() first")
+        feats = self.scaler.transform(memory_features(model, config,
+                                                      n_gpus)[None, :])
+        outputs = [member.forward(feats).item() for member in self.networks]
+        pred_log_ratio = float(np.median(outputs))
+        if self._ratio_bounds is not None:
+            lo, hi = self._ratio_bounds
+            pred_log_ratio = min(max(pred_log_ratio, lo), hi)
+        return float(2.0 ** pred_log_ratio * self._prior_bytes(model, config))
+
+    @staticmethod
+    def _prior_bytes(model: TransformerConfig, config: ParallelConfig) -> float:
+        return first_principles_max_bytes(
+            model, config.pp, config.tp, config.micro_batch,
+            config.n_microbatches, recompute=config.recompute)
+
+    def is_runnable(self, model: TransformerConfig, config: ParallelConfig,
+                    limit_bytes: float, n_gpus: int | None = None) -> bool:
+        """The Algorithm 1 line-7 check, with the soft margin applied."""
+        if limit_bytes <= 0:
+            raise ValueError(f"limit_bytes must be positive, got {limit_bytes}")
+        predicted = self.predict_bytes(model, config, n_gpus)
+        return predicted <= self.soft_margin * limit_bytes

@@ -1,0 +1,32 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function returning plain-data result
+objects plus a ``main()`` that prints the same rows/series the paper
+reports.  The benchmarks under ``benchmarks/`` wrap these functions;
+see EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.experiments.common import ExperimentContext, format_table
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig5 import run_fig5a, run_fig5b
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9_microbatch, run_fig9_minibatch
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "ExperimentContext",
+    "format_table",
+    "run_fig3",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9_microbatch",
+    "run_fig9_minibatch",
+    "run_table1",
+    "run_table2",
+]

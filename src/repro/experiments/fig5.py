@@ -1,0 +1,187 @@
+"""Fig. 5: latency-estimation accuracy and top-10 recommendation quality.
+
+* **Fig. 5a** scatters estimated vs actual time/iter for Pipette's
+  latency estimator and AMP's (Eq. 1, nominal bandwidth).  The paper
+  reports 5.87% vs 23.18% MAPE.
+* **Fig. 5b** runs each tool's top-10 recommendations on the cluster:
+  most of AMP's and Varuna's crash with OOM while Pipette's are
+  runnable and faster.  Conducted on the mid-range cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import MemoryEstimator
+from repro.experiments.common import (
+    ExperimentContext,
+    fit_memory_estimator,
+    format_table,
+)
+from repro.units import mape
+
+
+@dataclass
+class EstimationPoint:
+    """One Fig. 5a scatter point."""
+
+    config: "object"
+    actual_s: float
+    pipette_estimate_s: float
+    amp_estimate_s: float
+
+
+@dataclass
+class Fig5aResult:
+    """Scatter points plus the headline MAPE pair."""
+
+    points: list[EstimationPoint]
+    pipette_mape: float
+    amp_mape: float
+
+
+def run_fig5a(cluster_name: str = "mid-range", global_batch: int = 512,
+              min_points: int = 25, seed: int = 0) -> Fig5aResult:
+    """Estimated-vs-actual latency over the configurations the tools consider.
+
+    The sample walks each configurator's ranking (what the authors
+    could realistically launch on a shared cluster) until at least
+    ``min_points`` runnable configurations are collected; crashed runs
+    report no latency and are skipped.
+    """
+    ctx = ExperimentContext.create(cluster_name, seed=seed)
+    amp = ctx.amp()
+    pipette = ctx.pipette(None, worker_dedication=False)
+    varuna = ctx.varuna()
+
+    rankings = [
+        [r.config for r in amp.search(global_batch)],
+        [r.config for r in pipette.search(global_batch).ranked],
+        [r.config for r in varuna.search(global_batch)],
+    ]
+    sample: list = []
+    seen: set = set()
+    depth = 0
+    while len(sample) < min_points and depth < max(map(len, rankings)):
+        for ranking in rankings:
+            if depth < len(ranking):
+                config = ranking[depth]
+                if config not in seen:
+                    seen.add(config)
+                    if ctx.is_runnable(config):
+                        sample.append(config)
+        depth += 1
+
+    points = []
+    for config in sample:
+        run = ctx.measure(config)
+        points.append(EstimationPoint(
+            config=config,
+            actual_s=run.time_per_iter_s,
+            pipette_estimate_s=pipette.estimate_latency(config),
+            amp_estimate_s=amp.estimate_latency(config),
+        ))
+    return Fig5aResult(
+        points=points,
+        pipette_mape=mape([p.pipette_estimate_s for p in points],
+                          [p.actual_s for p in points]),
+        amp_mape=mape([p.amp_estimate_s for p in points],
+                      [p.actual_s for p in points]),
+    )
+
+
+@dataclass
+class RecommendationOutcome:
+    """One ranked recommendation and what launching it reported."""
+
+    rank: int
+    config: "object"
+    estimated_s: float
+    actual_s: float
+    oom: bool
+
+
+@dataclass
+class Fig5bResult:
+    """Top-10 outcomes per tool."""
+
+    outcomes: dict = field(default_factory=dict)
+
+    def oom_count(self, tool: str) -> int:
+        """OOM entries in a tool's top-10 (the paper's headline count)."""
+        return sum(1 for o in self.outcomes[tool] if o.oom)
+
+
+def run_fig5b(cluster_name: str = "mid-range", global_batch: int = 512,
+              top_k: int = 10, seed: int = 2,
+              memory_estimator: MemoryEstimator | None = None,
+              estimator_iterations: int = 16_000) -> Fig5bResult:
+    """Launch each tool's top-10 recommendations (Fig. 5b).
+
+    Args:
+        memory_estimator: a fitted estimator for Pipette; trained on
+            the spot when omitted (slow but faithful).
+    """
+    ctx = ExperimentContext.create(cluster_name, seed=seed)
+    if memory_estimator is None:
+        memory_estimator = fit_memory_estimator(
+            ctx.cluster, seed=seed, iterations=estimator_iterations)
+
+    outcomes: dict = {"varuna": [], "amp": [], "pipette": []}
+    for rank, rec in enumerate(ctx.varuna().search(global_batch, top_k=top_k), 1):
+        run = ctx.measure(rec.config)
+        outcomes["varuna"].append(RecommendationOutcome(
+            rank=rank, config=rec.config, estimated_s=rec.estimated_latency_s,
+            actual_s=run.time_per_iter_s, oom=run.oom))
+    for rank, rec in enumerate(ctx.amp().search(global_batch, top_k=top_k), 1):
+        run = ctx.measure(rec.config)
+        outcomes["amp"].append(RecommendationOutcome(
+            rank=rank, config=rec.config, estimated_s=rec.estimated_latency_s,
+            actual_s=run.time_per_iter_s, oom=run.oom))
+    pipette = ctx.pipette(memory_estimator, worker_dedication=False)
+    for rank, entry in enumerate(pipette.search(global_batch).ranked[:top_k], 1):
+        run = ctx.measure(entry.config)
+        outcomes["pipette"].append(RecommendationOutcome(
+            rank=rank, config=entry.config,
+            estimated_s=entry.estimated_latency_s,
+            actual_s=run.time_per_iter_s, oom=run.oom))
+    return Fig5bResult(outcomes=outcomes)
+
+
+def main() -> None:
+    """Print both panels of Fig. 5."""
+    from repro.experiments.report import ascii_scatter
+
+    a = run_fig5a()
+    rows = [{
+        "config": p.config.describe(),
+        "actual_s": p.actual_s,
+        "pipette_est_s": p.pipette_estimate_s,
+        "amp_est_s": p.amp_estimate_s,
+    } for p in a.points]
+    print(format_table(rows, title="Fig. 5a estimated vs actual time/iter"))
+    xs = [p.actual_s for p in a.points] * 2
+    ys = [p.pipette_estimate_s for p in a.points] \
+        + [p.amp_estimate_s for p in a.points]
+    marks = "P" * len(a.points) + "A" * len(a.points)
+    print("\n" + ascii_scatter(xs, ys, title="Fig. 5a (P=Pipette, A=AMP)",
+                               xlabel="actual s/iter",
+                               ylabel="estimated s/iter", marks=marks))
+    print(f"\nPipette MAPE: {a.pipette_mape:.2f}%  (paper: 5.87%)")
+    print(f"AMP MAPE:     {a.amp_mape:.2f}%  (paper: 23.18%)\n")
+
+    b = run_fig5b()
+    for tool in ("varuna", "amp", "pipette"):
+        rows = [{
+            "rank": o.rank,
+            "config": o.config.describe(),
+            "estimated_s": o.estimated_s,
+            "actual_s": None if o.oom else o.actual_s,
+            "OOM": "OOM" if o.oom else "",
+        } for o in b.outcomes[tool]]
+        print(format_table(rows, title=f"Fig. 5b {tool} top-10"))
+        print(f"{tool}: {b.oom_count(tool)}/10 OOM\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""Fig. 6: training time and speedup of Pipette vs the baselines.
+
+The paper's headline experiment: on 128 GPUs, compare iteration time
+of the configurations chosen by manually-tuned Megatron-LM (MLM),
+Varuna (VR), AMP, Pipette's latency-estimator-only ablation (PPT-L),
+and full Pipette with fine-grained worker dedication (PPT-LF).
+Speedups are normalized to MLM.  Mid-range trains GPT-3.1B, high-end
+GPT-11.1B.
+
+Methodology notes carried over from §VII: AMP's and Varuna's
+recommendations are launched one by one from the top until a runnable
+one is found (their configurators do not reliably screen memory);
+Varuna falls back to its activation-recomputation mode when nothing
+fits without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import MegatronLmTuner
+from repro.core import MemoryEstimator
+from repro.experiments.common import (
+    ExperimentContext,
+    fit_memory_estimator,
+    format_table,
+)
+
+
+@dataclass
+class MethodResult:
+    """One bar of Fig. 6."""
+
+    method: str
+    config_label: str
+    time_per_iter_s: float
+    speedup_vs_mlm: float
+
+
+@dataclass
+class Fig6Result:
+    """All bars of one cluster's panel."""
+
+    cluster: str
+    model: str
+    global_batch: int
+    methods: list[MethodResult]
+
+    def by_method(self, name: str) -> MethodResult:
+        """Look one bar up by method label."""
+        for m in self.methods:
+            if m.method == name:
+                return m
+        raise KeyError(f"no method {name!r} in results")
+
+    def speedup(self, method: str, over: str) -> float:
+        """Ratio of two methods' iteration times (e.g. PPT-LF over AMP)."""
+        return self.by_method(over).time_per_iter_s / \
+            self.by_method(method).time_per_iter_s
+
+
+def run_fig6(cluster_name: str = "mid-range", global_batch: int = 512,
+             seed: int = 2,
+             memory_estimator: MemoryEstimator | None = None,
+             estimator_iterations: int = 16_000,
+             sa_iterations: int = 4_000) -> Fig6Result:
+    """Run the Fig. 6 comparison on one cluster.
+
+    Args:
+        memory_estimator: fitted estimator for the Pipette variants;
+            trained on the spot when omitted.
+        sa_iterations: annealing budget per refined candidate.
+    """
+    ctx = ExperimentContext.create(cluster_name, seed=seed)
+    if memory_estimator is None:
+        memory_estimator = fit_memory_estimator(
+            ctx.cluster, seed=seed, iterations=estimator_iterations)
+
+    methods: list[MethodResult] = []
+
+    mlm_run, _ = MegatronLmTuner(ctx.runner).tune(global_batch)
+    base = mlm_run.time_per_iter_s
+    methods.append(MethodResult("MLM", mlm_run.config.describe(), base, 1.0))
+
+    vr_pick = ctx.varuna().search_with_fallback(global_batch, ctx.is_runnable)
+    if vr_pick is not None:
+        vr_run = ctx.measure(vr_pick.config)
+        methods.append(MethodResult("VR", vr_run.config.describe(),
+                                    vr_run.time_per_iter_s,
+                                    base / vr_run.time_per_iter_s))
+
+    amp_pick = ctx.amp().first_runnable(global_batch, ctx.is_runnable)
+    amp_run = ctx.measure(amp_pick.config) if amp_pick is not None else None
+    if amp_run is not None:
+        methods.append(MethodResult("AMP", amp_run.config.describe(),
+                                    amp_run.time_per_iter_s,
+                                    base / amp_run.time_per_iter_s))
+
+    for label, dedication in (("PPT-L", False), ("PPT-LF", True)):
+        configurator = ctx.pipette(memory_estimator,
+                                   worker_dedication=dedication,
+                                   sa_iterations=sa_iterations)
+        result = configurator.search(global_batch)
+        if result.best is None:
+            raise RuntimeError(f"{label} found no feasible configuration")
+        run = ctx.runner.run(result.best.config, result.best.mapping)
+        methods.append(MethodResult(label, run.config.describe(),
+                                    run.time_per_iter_s,
+                                    base / run.time_per_iter_s))
+
+    return Fig6Result(cluster=cluster_name, model=ctx.model.name,
+                      global_batch=global_batch, methods=methods)
+
+
+def main() -> None:
+    """Print both panels of Fig. 6."""
+    for cluster in ("mid-range", "high-end"):
+        result = run_fig6(cluster)
+        rows = [{
+            "method": m.method,
+            "config": m.config_label,
+            "time_per_iter_s": m.time_per_iter_s,
+            "speedup_vs_MLM": m.speedup_vs_mlm,
+        } for m in result.methods]
+        print(format_table(
+            rows, title=f"Fig. 6 {cluster} ({result.model}, "
+                        f"global batch {result.global_batch})"))
+        print(f"PPT-LF over AMP: {result.speedup('PPT-LF', 'AMP'):.2f}x  "
+              f"(paper: 1.12x mid-range / 1.46x high-end)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Fig. 8: cluster- and model-size scalability of Pipette over AMP.
+
+The paper weak-scales the model with the GPU count (32 -> 774M/2.2B,
+64 -> 1.1B/8.1B, 128 -> 3.1B/11.1B) and finds Pipette's speedup grows
+with cluster size — smaller clusters expose less heterogeneity —
+but stays >= 1.02x everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import MemoryEstimator
+from repro.experiments.common import (
+    ExperimentContext,
+    cluster_by_name,
+    fit_memory_estimator,
+    format_table,
+)
+
+
+@dataclass
+class ScalePoint:
+    """One (cluster size, model) bar pair of Fig. 8."""
+
+    cluster: str
+    n_gpus: int
+    model: str
+    amp_time_s: float
+    pipette_time_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Pipette's speedup over AMP at this scale."""
+        return self.amp_time_s / self.pipette_time_s
+
+
+def run_fig8(cluster_name: str = "mid-range",
+             gpu_counts: tuple[int, ...] = (32, 64, 128),
+             global_batch: int = 256, seed: int = 2,
+             memory_estimator: MemoryEstimator | None = None,
+             estimator_iterations: int = 16_000,
+             sa_iterations: int = 4_000) -> list[ScalePoint]:
+    """Weak-scaling sweep of one cluster (one Fig. 8 half).
+
+    The memory estimator is trained once on the full cluster's
+    profile and reused at every scale, exactly as the paper
+    prescribes.
+    """
+    full_cluster = cluster_by_name(cluster_name)
+    if memory_estimator is None:
+        memory_estimator = fit_memory_estimator(
+            full_cluster, seed=seed, iterations=estimator_iterations)
+
+    points: list[ScalePoint] = []
+    for n_gpus in gpu_counts:
+        n_nodes = n_gpus // full_cluster.gpus_per_node
+        ctx = ExperimentContext.create(cluster_name, n_nodes=n_nodes,
+                                       seed=seed)
+        amp_pick = ctx.amp().first_runnable(global_batch, ctx.is_runnable)
+        if amp_pick is None:
+            raise RuntimeError(
+                f"AMP found no runnable configuration at {n_gpus} GPUs")
+        amp_time = ctx.measure(amp_pick.config).time_per_iter_s
+
+        pipette = ctx.pipette(memory_estimator, worker_dedication=True,
+                              sa_iterations=sa_iterations)
+        result = pipette.search(global_batch)
+        if result.best is None:
+            raise RuntimeError(
+                f"Pipette found no feasible configuration at {n_gpus} GPUs")
+        ppt_time = ctx.runner.run(result.best.config,
+                                  result.best.mapping).time_per_iter_s
+        points.append(ScalePoint(cluster=cluster_name, n_gpus=n_gpus,
+                                 model=ctx.model.name, amp_time_s=amp_time,
+                                 pipette_time_s=ppt_time))
+    return points
+
+
+def main() -> None:
+    """Print both halves of Fig. 8."""
+    rows = []
+    for cluster in ("mid-range", "high-end"):
+        for p in run_fig8(cluster):
+            rows.append({
+                "cluster": p.cluster,
+                "gpus": p.n_gpus,
+                "model": p.model,
+                "AMP_s": p.amp_time_s,
+                "Pipette_s": p.pipette_time_s,
+                "speedup": p.speedup,
+            })
+    print(format_table(rows, title="Fig. 8 cluster/model size scalability "
+                                   "(paper: 1.02-1.17x at small scales, "
+                                   "growing with size)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Fig. 9: micro/minibatch size sensitivity of Pipette over AMP.
+
+Two sweeps with the batch dimension pinned, per §VII-E:
+
+* **Fig. 9a**: microbatch in {1, 2, 4, 8} at total batch 256;
+* **Fig. 9b**: total batch in {64 ... 1024} at microbatch 8 — at the
+  largest batch AMP's recommendations all OOM (marked in the paper's
+  figure), while Pipette still finds a runnable configuration.
+
+The paper reports a stable 1.14-1.44x speedup across the sweeps.  The
+paper does not state which cluster Fig. 9 used; this reproduction
+runs the high-end cluster, whose memory envelope supports microbatch
+8 at every swept batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import MemoryEstimator
+from repro.experiments.common import (
+    ExperimentContext,
+    fit_memory_estimator,
+    format_table,
+)
+
+
+@dataclass
+class SensitivityPoint:
+    """One x-position of a Fig. 9 panel."""
+
+    swept_value: int
+    amp_time_s: float | None
+    pipette_time_s: float | None
+    amp_oom: bool = False
+
+    @property
+    def speedup(self) -> float | None:
+        """Pipette's speedup over AMP (``None`` when AMP OOMs)."""
+        if self.amp_oom or self.amp_time_s is None \
+                or self.pipette_time_s is None:
+            return None
+        return self.amp_time_s / self.pipette_time_s
+
+
+def _sweep_point(ctx: ExperimentContext, memory_estimator: MemoryEstimator,
+                 global_batch: int, micro_batch: int,
+                 sa_iterations: int) -> SensitivityPoint:
+    """Evaluate AMP and Pipette with the microbatch pinned."""
+    micro = [micro_batch]
+    amp_pick = ctx.amp().first_runnable(global_batch, ctx.is_runnable,
+                                        micro_batches=micro)
+    amp_time = ctx.measure(amp_pick.config).time_per_iter_s \
+        if amp_pick is not None else None
+
+    pipette = ctx.pipette(memory_estimator, worker_dedication=True,
+                          sa_iterations=sa_iterations)
+    result = pipette.search(global_batch, micro_batches=micro)
+    ppt_time = None
+    if result.best is not None:
+        ppt_time = ctx.runner.run(result.best.config,
+                                  result.best.mapping).time_per_iter_s
+    return SensitivityPoint(
+        swept_value=0,  # caller overwrites
+        amp_time_s=amp_time,
+        pipette_time_s=ppt_time,
+        amp_oom=amp_pick is None,
+    )
+
+
+def run_fig9_microbatch(cluster_name: str = "high-end",
+                        global_batch: int = 256,
+                        micro_batches: tuple[int, ...] = (1, 2, 4, 8),
+                        seed: int = 2,
+                        memory_estimator: MemoryEstimator | None = None,
+                        estimator_iterations: int = 16_000,
+                        sa_iterations: int = 3_000) -> list[SensitivityPoint]:
+    """Fig. 9a: sweep the microbatch size at a fixed total batch."""
+    ctx = ExperimentContext.create(cluster_name, seed=seed)
+    if memory_estimator is None:
+        memory_estimator = fit_memory_estimator(
+            ctx.cluster, seed=seed, iterations=estimator_iterations)
+    points = []
+    for mb in micro_batches:
+        point = _sweep_point(ctx, memory_estimator, global_batch, mb,
+                             sa_iterations)
+        point.swept_value = mb
+        points.append(point)
+    return points
+
+
+def run_fig9_minibatch(cluster_name: str = "high-end",
+                       global_batches: tuple[int, ...] = (64, 128, 256, 512, 1024),
+                       micro_batch: int = 8,
+                       seed: int = 2,
+                       memory_estimator: MemoryEstimator | None = None,
+                       estimator_iterations: int = 16_000,
+                       sa_iterations: int = 3_000) -> list[SensitivityPoint]:
+    """Fig. 9b: sweep the total batch size at a fixed microbatch."""
+    ctx = ExperimentContext.create(cluster_name, seed=seed)
+    if memory_estimator is None:
+        memory_estimator = fit_memory_estimator(
+            ctx.cluster, seed=seed, iterations=estimator_iterations)
+    points = []
+    for gb in global_batches:
+        point = _sweep_point(ctx, memory_estimator, gb, micro_batch,
+                             sa_iterations)
+        point.swept_value = gb
+        points.append(point)
+    return points
+
+
+def main() -> None:
+    """Print both panels of Fig. 9."""
+    a = run_fig9_microbatch()
+    rows = [{
+        "microbatch": p.swept_value,
+        "AMP_s": "OOM" if p.amp_oom else p.amp_time_s,
+        "Pipette_s": p.pipette_time_s,
+        "speedup": p.speedup,
+    } for p in a]
+    print(format_table(rows, title="Fig. 9a microbatch sensitivity "
+                                   "(total batch 256)"))
+    b = run_fig9_minibatch()
+    rows = [{
+        "total_batch": p.swept_value,
+        "AMP_s": "OOM" if p.amp_oom else p.amp_time_s,
+        "Pipette_s": p.pipette_time_s,
+        "speedup": p.speedup,
+    } for p in b]
+    print(format_table(rows, title="Fig. 9b minibatch sensitivity "
+                                   "(microbatch 8; paper marks AMP OOM at "
+                                   "the largest batch)"))
+
+
+if __name__ == "__main__":
+    main()

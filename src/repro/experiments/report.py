@@ -1,0 +1,88 @@
+"""Terminal plotting: ASCII scatter and bar charts for the figures.
+
+The paper's figures are scatter plots (Figs. 5a, 7) and bar charts
+(Figs. 6, 8, 9).  These helpers render the same data in a terminal so
+``python -m repro.experiments.<fig>`` shows the figure, not just its
+table.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ascii_scatter(xs, ys, width: int = 56, height: int = 18,
+                  title: str = "", xlabel: str = "actual",
+                  ylabel: str = "estimated", marks: str | None = None) -> str:
+    """Scatter plot with an R=1 diagonal, like Figs. 5a and 7.
+
+    Args:
+        xs, ys: point coordinates (equal length).
+        marks: optional per-point glyphs (defaults to ``o``); later
+            points overwrite earlier ones on collisions.
+    """
+    xs = [float(v) for v in xs]
+    ys = [float(v) for v in ys]
+    if len(xs) != len(ys):
+        raise ValueError(f"{len(xs)} xs but {len(ys)} ys")
+    if not xs:
+        return f"{title}\n(no points)"
+    if marks is not None and len(marks) != len(xs):
+        raise ValueError("marks must align with the points")
+
+    lo = min(0.0, min(xs + ys))
+    hi = max(xs + ys) * 1.05
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x, y):
+        col = int((x - lo) / span * (width - 1))
+        row = height - 1 - int((y - lo) / span * (height - 1))
+        return min(max(row, 0), height - 1), min(max(col, 0), width - 1)
+
+    # R = 1 reference line.
+    for i in range(max(width, height) * 2):
+        v = lo + span * i / (max(width, height) * 2 - 1)
+        r, c = cell(v, v)
+        grid[r][c] = "."
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        r, c = cell(x, y)
+        grid[r][c] = marks[i] if marks else "o"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        label = f"{hi:8.1f} |" if r == 0 else (
+            f"{lo:8.1f} |" if r == height - 1 else "         |")
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"{ylabel} vs {xlabel}; '.' marks the R=1 line")
+    return "\n".join(lines)
+
+
+def ascii_bars(labels, values, width: int = 48, title: str = "",
+               unit: str = "") -> str:
+    """Horizontal bar chart, like the Fig. 6/8/9 panels."""
+    labels = [str(x) for x in labels]
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not values:
+        return f"{title}\n(no bars)"
+    top = max(values) or 1.0
+    pad = max(len(s) for s in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / top * width)))
+        lines.append(f"{label.rjust(pad)} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def log_ticks(lo: float, hi: float) -> list[float]:
+    """Decade tick positions covering [lo, hi] (for log-scaled axes)."""
+    if lo <= 0 or hi <= 0 or hi < lo:
+        raise ValueError("need 0 < lo <= hi")
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(hi))
+    return [10.0 ** e for e in range(first, last + 1)]

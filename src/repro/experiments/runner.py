@@ -1,0 +1,71 @@
+"""Run every paper experiment in sequence and write a report.
+
+``python -m repro.experiments.runner [--fast]`` regenerates all tables
+and figures (the same content as the benchmark harness, without the
+timing instrumentation) into one text report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+
+from repro.experiments import fig3, fig5, fig6, fig7, fig8, fig9, table1, table2
+
+#: The experiments in paper order.
+ALL_EXPERIMENTS = {
+    "table1": table1.main,
+    "fig3": fig3.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+    "table2": table2.main,
+}
+
+
+def run_all(names: list[str] | None = None, output=sys.stdout) -> dict:
+    """Run the selected experiments; returns name -> elapsed seconds."""
+    chosen = names or list(ALL_EXPERIMENTS)
+    unknown = set(chosen) - set(ALL_EXPERIMENTS)
+    if unknown:
+        raise ValueError(
+            f"unknown experiments {sorted(unknown)}; "
+            f"available: {sorted(ALL_EXPERIMENTS)}"
+        )
+    timings = {}
+    for name in chosen:
+        print(f"\n{'=' * 70}\n== {name}\n{'=' * 70}", file=output)
+        buffer = io.StringIO()
+        start = time.perf_counter()
+        with redirect_stdout(buffer):
+            ALL_EXPERIMENTS[name]()
+        timings[name] = time.perf_counter() - start
+        print(buffer.getvalue(), file=output)
+        print(f"[{name} took {timings[name]:.1f} s]", file=output)
+    return timings
+
+
+def main() -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help=f"subset to run (default: all of "
+                             f"{sorted(ALL_EXPERIMENTS)})")
+    parser.add_argument("--output", default=None,
+                        help="write the report to a file instead of stdout")
+    args = parser.parse_args()
+    if args.output:
+        with open(args.output, "w") as handle:
+            run_all(args.experiments or None, output=handle)
+    else:
+        run_all(args.experiments or None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Table I: the experimental environments."""
+
+from __future__ import annotations
+
+from repro.cluster.presets import table1_rows
+from repro.experiments.common import format_table
+
+
+def run_table1() -> list[dict]:
+    """The Table I rows (cluster hardware summary)."""
+    return table1_rows()
+
+
+def main() -> None:
+    """Print Table I."""
+    print(format_table(run_table1(), title="Table I experimental environment"))
+
+
+if __name__ == "__main__":
+    main()

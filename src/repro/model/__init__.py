@@ -1,0 +1,39 @@
+"""Model substrate: GPT transformer specs and their resource footprints.
+
+The configurator never executes a model; it reasons about parameter
+counts, FLOPs, activation sizes, and message sizes derived from the
+architecture.  The formulas follow the Megatron-LM line of work
+(Shoeybi et al. 2019 [14]; Narayanan et al. SC'21 [5]).
+"""
+
+from repro.model.transformer import TransformerConfig
+from repro.model.catalog import (
+    MODEL_CATALOG,
+    get_model,
+    mid_range_ladder,
+    high_end_ladder,
+    model_for_gpus,
+)
+from repro.model.memory import (
+    BYTES_PER_PARAM_WEIGHTS,
+    BYTES_PER_PARAM_GRADS,
+    BYTES_PER_PARAM_OPTIMIZER,
+    ModelMemoryBreakdown,
+    stage_parameter_count,
+    analytic_memory_breakdown,
+)
+
+__all__ = [
+    "TransformerConfig",
+    "MODEL_CATALOG",
+    "get_model",
+    "mid_range_ladder",
+    "high_end_ladder",
+    "model_for_gpus",
+    "BYTES_PER_PARAM_WEIGHTS",
+    "BYTES_PER_PARAM_GRADS",
+    "BYTES_PER_PARAM_OPTIMIZER",
+    "ModelMemoryBreakdown",
+    "stage_parameter_count",
+    "analytic_memory_breakdown",
+]

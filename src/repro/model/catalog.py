@@ -1,0 +1,84 @@
+"""The GPT model ladder used in the paper's experiments.
+
+The paper weak-scales the model with the cluster (Fig. 8, Table II):
+
+* mid-range (V100): 774M @ 32 GPUs, 1.1B @ 64, 3.1B @ 128;
+* high-end (A100): 2.2B @ 32 GPUs, 8.1B @ 64, 11.1B @ 128.
+
+Architectures are chosen so the Megatron parameter-count formula lands
+on the advertised sizes (within rounding; exact counts are exposed via
+:attr:`TransformerConfig.param_count`).  High-end models use sequence
+length 2048, mid-range 1024.
+"""
+
+from __future__ import annotations
+
+from repro.model.transformer import TransformerConfig
+
+#: All models from the paper plus small models for tests and examples.
+MODEL_CATALOG: dict[str, TransformerConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        # --- mid-range ladder (V100, seq 1024) -------------------------
+        TransformerConfig("gpt-774m", n_layers=36, hidden_size=1280,
+                          n_heads=20, seq_length=1024),
+        TransformerConfig("gpt-1.1b", n_layers=24, hidden_size=1920,
+                          n_heads=24, seq_length=1024),
+        TransformerConfig("gpt-3.1b", n_layers=34, hidden_size=2688,
+                          n_heads=32, seq_length=1024),
+        # --- high-end ladder (A100, seq 2048) --------------------------
+        TransformerConfig("gpt-2.2b", n_layers=32, hidden_size=2304,
+                          n_heads=24, seq_length=2048),
+        TransformerConfig("gpt-8.1b", n_layers=70, hidden_size=3072,
+                          n_heads=32, seq_length=2048),
+        TransformerConfig("gpt-11.1b", n_layers=72, hidden_size=3584,
+                          n_heads=32, seq_length=2048),
+        # --- small models for tests, docs, and examples -----------------
+        TransformerConfig("gpt-toy", n_layers=4, hidden_size=64,
+                          n_heads=4, seq_length=32, vocab_size=512),
+        TransformerConfig("gpt-small", n_layers=12, hidden_size=768,
+                          n_heads=12, seq_length=1024),
+    )
+}
+
+
+def get_model(name: str) -> TransformerConfig:
+    """Look a model up by catalog name, with a helpful error."""
+    try:
+        return MODEL_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CATALOG))
+        raise KeyError(f"unknown model {name!r}; catalog has: {known}") from None
+
+
+def mid_range_ladder() -> dict[int, TransformerConfig]:
+    """GPU-count -> model map for the V100 cluster (weak scaling)."""
+    return {
+        32: get_model("gpt-774m"),
+        64: get_model("gpt-1.1b"),
+        128: get_model("gpt-3.1b"),
+    }
+
+
+def high_end_ladder() -> dict[int, TransformerConfig]:
+    """GPU-count -> model map for the A100 cluster (weak scaling)."""
+    return {
+        32: get_model("gpt-2.2b"),
+        64: get_model("gpt-8.1b"),
+        128: get_model("gpt-11.1b"),
+    }
+
+
+def model_for_gpus(cluster_name: str, n_gpus: int) -> TransformerConfig:
+    """The paper's weak-scaled model for a cluster size.
+
+    Raises ``KeyError`` for GPU counts outside the published ladder.
+    """
+    ladder = mid_range_ladder() if cluster_name == "mid-range" else high_end_ladder()
+    if n_gpus not in ladder:
+        sizes = sorted(ladder)
+        raise KeyError(
+            f"no ladder entry for {n_gpus} GPUs on {cluster_name!r}; "
+            f"published sizes: {sizes}"
+        )
+    return ladder[n_gpus]

@@ -1,0 +1,171 @@
+"""Analytic per-GPU memory breakdown of a 3D-parallel training job.
+
+This module computes the *first-principles* components of GPU memory:
+weights, gradients, optimizer state, stored activations, and the
+output-head logits.  Two consumers build on it:
+
+* the ground-truth memory simulator (:mod:`repro.sim.memory_sim`),
+  which **adds** the framework/library overheads real runs exhibit, and
+* the analytic baseline estimator ([20] in the paper), which stops at
+  the first-principles terms — precisely why it underestimates.
+
+Mixed-precision (Megatron-style) byte costs per parameter:
+fp16 weights (2) + fp16 gradient buffer with fp32 main-gradient
+accumulation (2 + 4) + fp32 master weights + Adam moments (4 + 8)
+= 20 bytes per parameter.  (Megatron-LM v2.5, the paper's framework,
+predates the distributed optimizer, so every replica carries the full
+optimizer state of its shard.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.transformer import TransformerConfig
+from repro.utils.validation import check_positive_int
+
+#: fp16 copy of the weights used by forward/backward compute.
+BYTES_PER_PARAM_WEIGHTS: float = 2.0
+#: fp16 gradient buffer plus fp32 main-gradient accumulation.
+BYTES_PER_PARAM_GRADS: float = 6.0
+#: fp32 master weights + Adam first/second moments.
+BYTES_PER_PARAM_OPTIMIZER: float = 12.0
+
+
+def stage_layer_count(n_layers: int, pp: int, stage: int) -> int:
+    """Transformer layers hosted by pipeline ``stage`` (balanced split).
+
+    When ``pp`` does not divide ``n_layers``, the first ``n_layers %
+    pp`` stages take one extra layer, matching how practical frameworks
+    split uneven layer counts.
+    """
+    check_positive_int(n_layers, "n_layers")
+    check_positive_int(pp, "pp")
+    if not 0 <= stage < pp:
+        raise ValueError(f"stage {stage} out of range [0, {pp})")
+    if pp > n_layers:
+        raise ValueError(f"cannot split {n_layers} layers into {pp} stages")
+    base, extra = divmod(n_layers, pp)
+    return base + (1 if stage < extra else 0)
+
+
+def max_stage_layer_count(n_layers: int, pp: int) -> int:
+    """Layers of the most-loaded stage (stage 0 under the balanced split)."""
+    return stage_layer_count(n_layers, pp, 0)
+
+
+def stage_parameter_count(model: TransformerConfig, pp: int, stage: int) -> int:
+    """Parameters hosted by one pipeline stage (before tensor splitting).
+
+    The input embedding lives on the first stage and the tied output
+    head on the last (Megatron keeps a full embedding copy on both ends
+    when ``pp > 1``).
+    """
+    params = stage_layer_count(model.n_layers, pp, stage) * model.layer_params
+    if stage == 0:
+        params += model.embedding_params
+    if stage == pp - 1 and pp > 1:
+        params += model.vocab_size * model.hidden_size
+    return params
+
+
+@dataclass(frozen=True)
+class ModelMemoryBreakdown:
+    """First-principles memory components of one GPU, in bytes."""
+
+    weights_bytes: float
+    gradients_bytes: float
+    optimizer_bytes: float
+    activation_bytes: float
+    logits_bytes: float
+
+    @property
+    def static_bytes(self) -> float:
+        """Parameters-proportional memory (weights + grads + optimizer)."""
+        return self.weights_bytes + self.gradients_bytes + self.optimizer_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of all modeled components."""
+        return self.static_bytes + self.activation_bytes + self.logits_bytes
+
+
+def analytic_memory_breakdown(model: TransformerConfig, pp: int, tp: int,
+                              stage: int, micro_batch: int,
+                              in_flight: int,
+                              recompute: bool = False) -> ModelMemoryBreakdown:
+    """First-principles memory of one GPU of ``stage``.
+
+    Args:
+        model: architecture.
+        pp: pipeline-parallel ways.
+        tp: tensor-parallel ways (parameters and activations divide by it).
+        stage: pipeline stage index of this GPU.
+        micro_batch: microbatch size ``bs_micro``.
+        in_flight: number of microbatches whose activations are
+            simultaneously alive on this stage; ``min(pp - stage, n_mb)``
+            for the 1F1B schedule and ``n_mb`` for the memory-unaware
+            schedule (Fig. 2).
+        recompute: with activation recomputation only the stage-input
+            boundary tensor is retained per in-flight microbatch
+            (duplicated across tensor ranks, as in Megatron), plus one
+            microbatch's full activations as the recomputation working
+            set.
+    """
+    check_positive_int(tp, "tp")
+    check_positive_int(micro_batch, "micro_batch")
+    check_positive_int(in_flight, "in_flight")
+
+    params = stage_parameter_count(model, pp, stage) / tp
+    layers = stage_layer_count(model.n_layers, pp, stage)
+    full_act = layers * model.activation_bytes_per_layer(micro_batch) / tp
+    if recompute:
+        boundary = model.boundary_activation_bytes(micro_batch)
+        act = boundary * in_flight + full_act
+    else:
+        act = full_act * in_flight
+
+    logits = 0.0
+    if stage == pp - 1:
+        # fp16 logits + fp32 softmax statistics of one microbatch.
+        logits = 4.0 * micro_batch * model.seq_length * model.vocab_size / tp
+
+    return ModelMemoryBreakdown(
+        weights_bytes=params * BYTES_PER_PARAM_WEIGHTS,
+        gradients_bytes=params * BYTES_PER_PARAM_GRADS,
+        optimizer_bytes=params * BYTES_PER_PARAM_OPTIMIZER,
+        activation_bytes=act,
+        logits_bytes=logits,
+    )
+
+
+def first_principles_max_bytes(model: TransformerConfig, pp: int, tp: int,
+                               micro_batch: int, n_microbatches: int,
+                               recompute: bool = False) -> float:
+    """Max-over-stages first-principles memory of a configuration.
+
+    Sums the analytic components under the 1F1B in-flight counts and
+    returns the most-loaded stage.  This is the physics prior the MLP
+    memory estimator refines — it captures everything derivable from
+    the architecture while knowing nothing about framework overhead.
+    """
+    worst = 0.0
+    for stage in range(pp):
+        in_flight = one_f_one_b_in_flight(pp, stage, n_microbatches)
+        parts = analytic_memory_breakdown(model, pp, tp, stage, micro_batch,
+                                          in_flight, recompute=recompute)
+        worst = max(worst, parts.total_bytes)
+    return worst
+
+
+def one_f_one_b_in_flight(pp: int, stage: int, n_microbatches: int) -> int:
+    """In-flight microbatches on ``stage`` under the 1F1B schedule.
+
+    Stage ``s`` (0-indexed) holds at most ``pp - s`` forward activations
+    before its steady 1F1B rhythm drains one per backward; capped by
+    the total number of microbatches.
+    """
+    check_positive_int(n_microbatches, "n_microbatches")
+    if not 0 <= stage < pp:
+        raise ValueError(f"stage {stage} out of range [0, {pp})")
+    return min(pp - stage, n_microbatches)

@@ -1,0 +1,136 @@
+"""GPT-style transformer architecture description.
+
+All resource formulas the configurator relies on are methods here:
+
+* parameter counts (per layer, embeddings, total),
+* FLOPs of a microbatch forward+backward pass,
+* activation bytes stored per layer per microbatch (the dominant
+  dynamic memory term under 1F1B scheduling),
+* the activation message exchanged between pipeline stages.
+
+Formulas follow Megatron-LM conventions: a layer holds
+``12 h^2 + 13 h`` parameters, and activation memory per layer is
+``s b h (34 + 5 a s / h)`` bytes in mixed precision (Korthikanti et
+al., "Reducing Activation Recomputation", 2022).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture of a decoder-only GPT model.
+
+    Attributes:
+        name: catalog label (e.g. ``"gpt-3.1b"``).
+        n_layers: number of transformer layers.
+        hidden_size: model width ``h``.
+        n_heads: attention heads ``a``; must divide ``hidden_size``.
+        seq_length: training sequence length ``s``.
+        vocab_size: vocabulary size ``V`` (Megatron pads to a multiple
+            of 128 x tensor-parallel degree; we keep it fixed).
+    """
+
+    name: str
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    seq_length: int = 1024
+    vocab_size: int = 51200
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_layers, "n_layers")
+        check_positive_int(self.hidden_size, "hidden_size")
+        check_positive_int(self.n_heads, "n_heads")
+        check_positive_int(self.seq_length, "seq_length")
+        check_positive_int(self.vocab_size, "vocab_size")
+        if self.hidden_size % self.n_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} not divisible by "
+                f"n_heads {self.n_heads}"
+            )
+
+    # ----------------------------------------------------------------- params
+
+    @property
+    def layer_params(self) -> int:
+        """Parameters of one transformer layer.
+
+        QKV + attention output projections contribute ``4 h^2 + 4h``;
+        the two MLP projections ``8 h^2 + 5h``; the two layernorms
+        ``4 h``: about ``12 h^2 + 13 h`` in total.
+        """
+        h = self.hidden_size
+        return 12 * h * h + 13 * h
+
+    @property
+    def embedding_params(self) -> int:
+        """Token + position embedding parameters (tied output head)."""
+        return (self.vocab_size + self.seq_length) * self.hidden_size
+
+    @property
+    def param_count(self) -> int:
+        """Total trainable parameters of the full model."""
+        return self.n_layers * self.layer_params + self.embedding_params
+
+    @property
+    def billions(self) -> float:
+        """Parameter count in billions, for display."""
+        return self.param_count / 1e9
+
+    # ------------------------------------------------------------------ flops
+
+    def layer_flops_forward(self, micro_batch: int) -> float:
+        """Forward FLOPs of one layer for a ``micro_batch``-sized input.
+
+        Matmul terms: ``24 b s h^2`` for the dense projections plus
+        ``4 b s^2 h`` for attention score/value products.
+        """
+        check_positive_int(micro_batch, "micro_batch")
+        b, s, h = micro_batch, self.seq_length, self.hidden_size
+        return 24.0 * b * s * h * h + 4.0 * b * s * s * h
+
+    def embedding_flops_forward(self, micro_batch: int) -> float:
+        """Forward FLOPs of the output head (logit matmul)."""
+        check_positive_int(micro_batch, "micro_batch")
+        b, s, h, v = micro_batch, self.seq_length, self.hidden_size, self.vocab_size
+        return 2.0 * b * s * h * v
+
+    def microbatch_flops(self, micro_batch: int, n_layers: int | None = None,
+                         include_head: bool = False) -> float:
+        """Forward+backward FLOPs of a microbatch over ``n_layers`` layers.
+
+        The backward pass costs twice the forward (weight and input
+        gradients), giving the usual factor of 3.
+        """
+        layers = self.n_layers if n_layers is None else n_layers
+        fwd = layers * self.layer_flops_forward(micro_batch)
+        if include_head:
+            fwd += self.embedding_flops_forward(micro_batch)
+        return 3.0 * fwd
+
+    # ------------------------------------------------------------ activations
+
+    def activation_bytes_per_layer(self, micro_batch: int) -> float:
+        """Bytes of stored activations per layer per in-flight microbatch.
+
+        Mixed-precision formula ``s b h (34 + 5 a s / h)`` covering
+        layer inputs, attention intermediates (the ``5 a s / h`` term
+        is the attention-matrix part), and MLP intermediates.
+        """
+        check_positive_int(micro_batch, "micro_batch")
+        b, s, h, a = micro_batch, self.seq_length, self.hidden_size, self.n_heads
+        return s * b * h * (34.0 + 5.0 * a * s / h)
+
+    def boundary_activation_bytes(self, micro_batch: int) -> float:
+        """Bytes of the activation tensor crossing a pipeline-stage boundary.
+
+        One fp16 tensor of shape ``(s, b, h)``: this is ``msg_PP`` of
+        Eq. (5).
+        """
+        check_positive_int(micro_batch, "micro_batch")
+        return 2.0 * self.seq_length * micro_batch * self.hidden_size

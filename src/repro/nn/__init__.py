@@ -1,0 +1,17 @@
+"""A small NumPy neural-network library.
+
+The paper's memory estimator is "a simple ML model": a five-layer MLP
+with 200 hidden units trained on profiled memory measurements (§VI,
+Eq. 7).  PyTorch is not available in this reproduction environment,
+so this package implements the needed pieces from scratch: dense
+layers with ReLU, mean-squared-error loss, the Adam optimizer, input/
+output standardization, and a minibatch training loop with early
+stopping.
+"""
+
+from repro.nn.mlp import MLP
+from repro.nn.optim import Adam, SGD
+from repro.nn.scaling import StandardScaler
+from repro.nn.train import TrainResult, train_regressor
+
+__all__ = ["MLP", "Adam", "SGD", "StandardScaler", "TrainResult", "train_regressor"]

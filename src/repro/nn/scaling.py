@@ -1,0 +1,45 @@
+"""Feature standardization for stable MLP training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-feature zero-mean unit-variance scaling.
+
+    Constant features get unit scale so transform stays finite.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn means and scales from a ``(n, d)`` matrix."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] < 1:
+            raise ValueError("cannot fit a scaler on an empty matrix")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardize ``x`` with the fitted statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return x * self.scale_ + self.mean_

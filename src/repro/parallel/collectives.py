@@ -1,0 +1,64 @@
+"""Alpha-beta cost models of the collectives used by 3D parallelism.
+
+The formulas follow Thakur, Rabenseifner & Gropp (IJHPCA 2005), the
+reference the paper cites ([19]) for its data-parallel term (Eq. 6):
+a ring all-reduce over ``p`` peers moves ``2 (p-1)/p`` of the message
+over the slowest participating link.
+"""
+
+from __future__ import annotations
+
+from repro.units import GB
+from repro.utils.validation import check_positive_int
+
+
+def p2p_time(message_bytes: float, bandwidth_gb_s: float,
+             alpha_s: float = 0.0) -> float:
+    """Point-to-point send of ``message_bytes`` over one link."""
+    if message_bytes < 0:
+        raise ValueError(f"message size must be non-negative, got {message_bytes}")
+    if bandwidth_gb_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gb_s}")
+    return alpha_s + message_bytes / (bandwidth_gb_s * GB)
+
+
+def ring_allreduce_time(message_bytes: float, n_peers: int,
+                        bandwidth_gb_s: float, alpha_s: float = 0.0) -> float:
+    """Ring all-reduce of ``message_bytes`` over ``n_peers``.
+
+    ``2 (p-1) alpha + 2 (p-1)/p * n / B``: a reduce-scatter plus an
+    all-gather, each of ``p - 1`` steps.  Degenerates to zero for a
+    single peer.
+    """
+    check_positive_int(n_peers, "n_peers")
+    if n_peers == 1:
+        return 0.0
+    if bandwidth_gb_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gb_s}")
+    steps = n_peers - 1
+    return 2.0 * steps * alpha_s + 2.0 * (steps / n_peers) * message_bytes / (
+        bandwidth_gb_s * GB
+    )
+
+
+def hierarchical_allreduce_time(message_bytes: float,
+                                intra_peers: int, inter_peers: int,
+                                intra_bandwidth_gb_s: float,
+                                inter_bandwidth_gb_s: float,
+                                intra_alpha_s: float = 0.0,
+                                inter_alpha_s: float = 0.0) -> float:
+    """Hierarchical ring all-reduce: intra-node, inter-node, intra-node.
+
+    This is the algorithm Eq. (6) assumes: "two intra-node all-reduces
+    and a single inter-node all-reduce".  The intra phases cost
+    ``4 (k-1)/k * n / B_intra`` combined and the inter phase
+    ``2 (k'-1)/k' * n / B_inter``, each gated by the slowest link of
+    its communicator.
+    """
+    intra = 2.0 * ring_allreduce_time(message_bytes, intra_peers,
+                                      intra_bandwidth_gb_s, intra_alpha_s) \
+        if intra_peers > 1 else 0.0
+    inter = ring_allreduce_time(message_bytes, inter_peers,
+                                inter_bandwidth_gb_s, inter_alpha_s) \
+        if inter_peers > 1 else 0.0
+    return intra + inter

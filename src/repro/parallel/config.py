@@ -1,0 +1,134 @@
+"""Parallelization configurations and their enumeration.
+
+A configuration fixes the three parallel ways ``(pp, tp, dp)`` with
+``pp * tp * dp = G`` plus the microbatch size — the search space of
+Algorithm 1 (lines 3-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.utils.validation import check_positive_int, divisors
+
+
+@dataclass(frozen=True, order=True)
+class ParallelConfig:
+    """One point of the 3D-parallelism search space.
+
+    Attributes:
+        pp: pipeline-parallel ways (number of stages).
+        tp: tensor-parallel ways.
+        dp: data-parallel ways (model replicas).
+        micro_batch: samples per microbatch ``bs_micro``.
+        global_batch: samples per optimizer step ``bs_global``.
+        recompute: activation recomputation (checkpointing): stages
+            keep only boundary activations and re-run the forward pass
+            during backward.  Slashes activation memory at roughly a
+            third more compute.  Off for Megatron/AMP/Pipette runs in
+            the paper; Varuna's runtime relies on it.
+    """
+
+    pp: int
+    tp: int
+    dp: int
+    micro_batch: int
+    global_batch: int
+    recompute: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("pp", "tp", "dp", "micro_batch", "global_batch"):
+            check_positive_int(getattr(self, name), name)
+        if self.global_batch % self.dp != 0:
+            raise ValueError(
+                f"global batch {self.global_batch} not divisible by dp={self.dp}"
+            )
+        if self.mini_batch % self.micro_batch != 0:
+            raise ValueError(
+                f"minibatch {self.mini_batch} not divisible by "
+                f"micro_batch={self.micro_batch}"
+            )
+
+    @property
+    def n_gpus(self) -> int:
+        """Workers used: ``pp * tp * dp``."""
+        return self.pp * self.tp * self.dp
+
+    @property
+    def mini_batch(self) -> int:
+        """Per-replica minibatch ``bs_mini = bs_global / dp``."""
+        return self.global_batch // self.dp
+
+    @property
+    def n_microbatches(self) -> int:
+        """Microbatches per iteration ``n_mb = bs_mini / bs_micro``."""
+        return self.mini_batch // self.micro_batch
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``pp4-tp8-dp4-mb2``."""
+        tag = f"pp{self.pp}-tp{self.tp}-dp{self.dp}-mb{self.micro_batch}"
+        return tag + "-rc" if self.recompute else tag
+
+    def with_recompute(self) -> "ParallelConfig":
+        """The same configuration with activation recomputation on."""
+        return ParallelConfig(pp=self.pp, tp=self.tp, dp=self.dp,
+                              micro_batch=self.micro_batch,
+                              global_batch=self.global_batch,
+                              recompute=True)
+
+
+def _way_triples(n_gpus: int, max_tp: int, max_pp: int) -> Iterator[tuple[int, int, int]]:
+    """All ``(pp, tp, dp)`` with ``pp * tp * dp == n_gpus`` within bounds."""
+    for pp in divisors(n_gpus):
+        if pp > max_pp:
+            continue
+        rest = n_gpus // pp
+        for tp in divisors(rest):
+            if tp > max_tp:
+                continue
+            yield pp, tp, rest // tp
+
+
+def enumerate_parallel_configs(n_gpus: int, global_batch: int,
+                               gpus_per_node: int = 8,
+                               n_layers: int | None = None,
+                               micro_batches: "list[int] | None" = None,
+                               max_micro_batch: int = 8,
+                               tp_power_of_two: bool = True) -> list[ParallelConfig]:
+    """Enumerate the legal configuration space of Algorithm 1.
+
+    Constraints applied (all standard practice, see §II and §VII):
+
+    * ``pp * tp * dp = n_gpus``;
+    * ``tp <= gpus_per_node`` — tensor-parallel all-reduces are too
+      frequent to cross the inter-node fabric;
+    * ``tp`` is a power of two when ``tp_power_of_two`` (Megatron
+      kernels require it);
+    * ``pp <= n_layers`` when the model is known — a stage needs at
+      least one layer;
+    * ``dp`` divides ``global_batch`` and the microbatch divides the
+      resulting minibatch; the paper sweeps microbatch sizes 1-8.
+
+    Args:
+        micro_batches: explicit microbatch candidates; defaults to the
+            divisors of each minibatch capped at ``max_micro_batch``.
+    """
+    check_positive_int(n_gpus, "n_gpus")
+    check_positive_int(global_batch, "global_batch")
+    max_pp = n_layers if n_layers is not None else n_gpus
+    configs = []
+    for pp, tp, dp in _way_triples(n_gpus, max_tp=gpus_per_node, max_pp=max_pp):
+        if tp_power_of_two and tp & (tp - 1) != 0:
+            continue
+        if global_batch % dp != 0:
+            continue
+        mini = global_batch // dp
+        candidates = micro_batches if micro_batches is not None else divisors(mini)
+        for micro in candidates:
+            if micro > max_micro_batch or mini % micro != 0:
+                continue
+            configs.append(ParallelConfig(pp=pp, tp=tp, dp=dp,
+                                          micro_batch=micro,
+                                          global_batch=global_batch))
+    return configs

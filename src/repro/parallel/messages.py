@@ -1,0 +1,62 @@
+"""Message sizes of the three parallel dimensions.
+
+These are the ``msg_PP``, ``msg_DP`` and tensor-parallel payloads that
+enter the latency model (Eqs. 5-6) and the execution simulator.
+"""
+
+from __future__ import annotations
+
+from repro.model.memory import stage_parameter_count
+from repro.model.transformer import TransformerConfig
+from repro.parallel.collectives import ring_allreduce_time
+from repro.utils.validation import check_positive_int
+
+#: Tensor-parallel all-reduces per transformer layer per microbatch:
+#: one after attention and one after the MLP, in both forward and
+#: backward — 4 in total (Megatron-LM column/row-parallel scheme).
+TP_ALLREDUCES_PER_LAYER: int = 4
+
+
+def pp_message_bytes(model: TransformerConfig, micro_batch: int) -> float:
+    """Pipeline-parallel boundary message ``msg_PP`` (fp16 activations).
+
+    Eq. (5) doubles this to account for the forward activation and the
+    backward gradient crossing the same boundary; the doubling lives in
+    the latency model, not here.
+    """
+    return model.boundary_activation_bytes(micro_batch)
+
+
+def dp_message_bytes(model: TransformerConfig, pp: int, tp: int,
+                     stage: int = 0) -> float:
+    """Data-parallel gradient payload ``msg_DP`` of one GPU of ``stage``.
+
+    Megatron accumulates gradients in fp32, so the all-reduce moves
+    4 bytes per locally-hosted parameter.
+    """
+    check_positive_int(tp, "tp")
+    return 4.0 * stage_parameter_count(model, pp, stage) / tp
+
+
+def tp_allreduce_bytes(model: TransformerConfig, micro_batch: int) -> float:
+    """Payload of one tensor-parallel all-reduce (fp16 activations)."""
+    check_positive_int(micro_batch, "micro_batch")
+    return 2.0 * model.seq_length * micro_batch * model.hidden_size
+
+
+def tp_comm_time(model: TransformerConfig, n_layers: int, micro_batch: int,
+                 tp: int, bandwidth_gb_s: float, alpha_s: float = 0.0) -> float:
+    """Tensor-parallel communication ``T_TP_com`` of one microbatch.
+
+    ``n_layers`` is the stage's layer count; each layer performs
+    :data:`TP_ALLREDUCES_PER_LAYER` ring all-reduces over the TP group.
+    Zero when ``tp == 1``.
+    """
+    check_positive_int(tp, "tp")
+    if tp == 1:
+        return 0.0
+    if n_layers < 0:
+        raise ValueError(f"n_layers must be non-negative, got {n_layers}")
+    one = ring_allreduce_time(tp_allreduce_bytes(model, micro_batch), tp,
+                              bandwidth_gb_s, alpha_s)
+    return n_layers * TP_ALLREDUCES_PER_LAYER * one

@@ -1,0 +1,13 @@
+"""Profiling substrate: compute-time model and profiled quantities.
+
+Pipette and the baselines all *profile* the per-microbatch computation
+latency ``C`` and tensor-parallel time ``T_TP`` rather than modeling
+them from first principles (§V).  This package provides the underlying
+"hardware" compute-time behaviour that both the ground-truth simulator
+executes and the profilers observe.
+"""
+
+from repro.profiling.compute import ComputeTimeModel
+from repro.profiling.profile_run import ComputeProfile, profile_compute
+
+__all__ = ["ComputeTimeModel", "ComputeProfile", "profile_compute"]

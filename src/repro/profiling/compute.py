@@ -1,0 +1,86 @@
+"""Compute-time behaviour of a GPU running transformer microbatches.
+
+The model is a classic throughput curve: a stage's forward+backward
+time is its FLOPs divided by the GPU's *attained* throughput, where
+attained throughput is the achievable fraction of peak scaled by a
+microbatch-utilization curve (small microbatches under-utilize the
+SMs, which is why the paper sweeps ``bs_micro`` from 1 to 8 and why
+Fig. 9a shows large gains from bigger microbatches), plus a small
+per-kernel launch overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.topology import GpuSpec
+from repro.model.memory import stage_layer_count
+from repro.model.transformer import TransformerConfig
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class ComputeTimeModel:
+    """Deterministic mean compute time of transformer work on a GPU.
+
+    Attributes:
+        gpu: the GPU whose peak and achievable fraction apply.
+        utilization_half_point: microbatch size at which utilization
+            reaches half of its asymptote (saturating curve
+            ``b / (b + k)``).
+        kernel_launch_s: fixed overhead per launched kernel.
+        kernels_per_layer: kernels per transformer layer per pass.
+        tp_overhead_per_log2: relative compute slowdown per doubling of
+            the tensor-parallel degree.  Splitting every matmul ``tp``
+            ways narrows the GEMMs, so attained FLOP/s drops even
+            before communication is counted — the reason real systems
+            do not always max out ``tp`` despite its memory savings.
+    """
+
+    gpu: GpuSpec
+    utilization_half_point: float = 1.6
+    kernel_launch_s: float = 6e-6
+    kernels_per_layer: int = 25
+    tp_overhead_per_log2: float = 0.08
+
+    def __post_init__(self) -> None:
+        check_positive(self.utilization_half_point, "utilization_half_point")
+        if self.kernel_launch_s < 0:
+            raise ValueError("kernel_launch_s must be non-negative")
+        check_positive_int(self.kernels_per_layer, "kernels_per_layer")
+
+    def utilization(self, micro_batch: int) -> float:
+        """SM utilization fraction at a microbatch size, in (0, 1)."""
+        check_positive_int(micro_batch, "micro_batch")
+        k = self.utilization_half_point
+        return micro_batch / (micro_batch + k)
+
+    def attained_flops(self, micro_batch: int) -> float:
+        """Attained FLOP/s at a microbatch size."""
+        return (self.gpu.peak_flops * self.gpu.achievable_fraction
+                * self.utilization(micro_batch))
+
+    def stage_compute_time(self, model: TransformerConfig, pp: int, stage: int,
+                           tp: int, micro_batch: int) -> float:
+        """Forward+backward seconds of one microbatch on one stage GPU.
+
+        This is the ``C`` of the latency models.  The FLOPs divide by
+        ``tp`` (tensor parallelism splits every matmul); the last stage
+        additionally computes the vocabulary head.
+        """
+        check_positive_int(tp, "tp")
+        layers = stage_layer_count(model.n_layers, pp, stage)
+        flops = model.microbatch_flops(micro_batch, n_layers=layers,
+                                       include_head=(stage == pp - 1))
+        tp_slowdown = 1.0 + self.tp_overhead_per_log2 * math.log2(tp)
+        compute = flops / tp * tp_slowdown / self.attained_flops(micro_batch)
+        # Forward + backward launch roughly 3x the forward kernel count.
+        launches = 3 * layers * self.kernels_per_layer
+        return compute + launches * self.kernel_launch_s
+
+    def max_stage_compute_time(self, model: TransformerConfig, pp: int,
+                               tp: int, micro_batch: int) -> float:
+        """``C`` of the slowest stage (what a scalar latency model uses)."""
+        return max(self.stage_compute_time(model, pp, s, tp, micro_batch)
+                   for s in range(pp))

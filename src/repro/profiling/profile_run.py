@@ -1,0 +1,67 @@
+"""Profiled compute quantities, as the configurators consume them.
+
+All automatic configurators in the paper (Pipette, AMP, Varuna)
+profile the computation latency ``C`` of a microbatch on the target
+hardware and plug the measured value into their latency models.  A
+profile is a noisy observation of the true compute-time model —
+exactly like timing a few hundred microbatches on a real GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import ClusterSpec
+from repro.model.transformer import TransformerConfig
+from repro.profiling.compute import ComputeTimeModel
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class ComputeProfile:
+    """Measured per-microbatch compute times for one model on one GPU type.
+
+    Attributes:
+        model: the architecture that was profiled.
+        compute: the underlying hardware behaviour (kept to derive
+            unmeasured points; measurement noise is baked into
+            :attr:`measurements`).
+        measurements: ``(pp, stage, tp, micro) -> seconds`` cache.
+        noise_sigma: relative std of one timing measurement.
+        seed: profiling seed (fixes the noise draw).
+    """
+
+    model: TransformerConfig
+    compute: ComputeTimeModel
+    noise_sigma: float = 0.01
+    seed: int = 0
+    measurements: dict = field(default_factory=dict)
+
+    def stage_compute_time(self, pp: int, stage: int, tp: int,
+                           micro_batch: int) -> float:
+        """Profiled ``C`` for one stage shape (cached after first use)."""
+        key = (pp, stage, tp, micro_batch)
+        if key not in self.measurements:
+            true = self.compute.stage_compute_time(self.model, pp, stage, tp,
+                                                   micro_batch)
+            rng = spawn_rng(self.seed, f"profile-{self.model.name}-{key}")
+            observed = true * float(rng.lognormal(0.0, self.noise_sigma)) \
+                if self.noise_sigma > 0 else true
+            self.measurements[key] = observed
+        return self.measurements[key]
+
+    def max_stage_compute_time(self, pp: int, tp: int, micro_batch: int) -> float:
+        """Profiled ``C`` of the slowest stage."""
+        return max(self.stage_compute_time(pp, s, tp, micro_batch)
+                   for s in range(pp))
+
+
+def profile_compute(model: TransformerConfig, cluster: ClusterSpec,
+                    noise_sigma: float = 0.01, seed: int = 0) -> ComputeProfile:
+    """Profile ``model``'s compute behaviour on ``cluster``'s GPU type."""
+    return ComputeProfile(
+        model=model,
+        compute=ComputeTimeModel(gpu=cluster.node.gpu),
+        noise_sigma=noise_sigma,
+        seed=seed,
+    )

@@ -1,0 +1,43 @@
+"""Execution simulator: the stand-in for the paper's physical clusters.
+
+The paper validates its estimators against real Megatron-LM runs on
+V100/A100 clusters.  Lacking the hardware, this package provides a
+strictly finer-grained ground truth than any of the analytic models
+under study:
+
+* :mod:`repro.sim.schedule` builds the actual per-stage operation
+  sequences of the memory-efficient (1F1B) and memory-unaware (GPipe)
+  pipeline schedules of Fig. 2;
+* :mod:`repro.sim.engine` executes those sequences op-by-op as a
+  dependency DAG over the heterogeneous fabric, so straggler links,
+  the hidden critical path, and exposed data-parallel syncs emerge
+  rather than being assumed;
+* :mod:`repro.sim.memory_sim` reports the max per-GPU memory a run
+  would use, including the framework/library overheads the paper's
+  baseline estimator famously misses.
+"""
+
+from repro.sim.schedule import PipelineOp, one_f_one_b_schedule, gpipe_schedule, build_schedule
+from repro.sim.engine import IterationResult, simulate_iteration
+from repro.sim.memory_sim import (
+    FrameworkOverheadModel,
+    simulated_max_memory_bytes,
+    simulated_memory_by_stage,
+    is_oom,
+)
+from repro.sim.runner import ClusterRunner, MeasuredRun
+
+__all__ = [
+    "PipelineOp",
+    "one_f_one_b_schedule",
+    "gpipe_schedule",
+    "build_schedule",
+    "IterationResult",
+    "simulate_iteration",
+    "FrameworkOverheadModel",
+    "simulated_max_memory_bytes",
+    "simulated_memory_by_stage",
+    "is_oom",
+    "ClusterRunner",
+    "MeasuredRun",
+]

@@ -1,0 +1,293 @@
+"""Discrete-event execution of one training iteration.
+
+The engine plays the per-stage op sequences of a pipeline schedule as
+a dependency DAG:
+
+* a forward op needs the previous stage's forward of the same
+  microbatch, plus the activation transfer over the *actual* link
+  between the two mapped GPUs;
+* a backward op needs the next stage's backward (gradient transfer)
+  and its own stage's forward;
+* ops on one GPU execute in schedule order;
+* after its last backward, each stage joins its data-parallel
+  hierarchical all-reduce, whose speed is gated by the slowest
+  participating link.
+
+Nothing here assumes the analytic latency model: the hidden critical
+path of §V, straggler effects of slow links, and the exposure of the
+first stage's DP communication all *emerge* from the event ordering.
+This is the "actual time/iter" oracle of Figs. 5-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.model.transformer import TransformerConfig
+from repro.parallel.collectives import ring_allreduce_time
+from repro.parallel.config import ParallelConfig
+from repro.parallel.mapping import Mapping
+from repro.parallel.messages import dp_message_bytes, pp_message_bytes, tp_comm_time
+from repro.model.memory import stage_layer_count
+from repro.profiling.compute import ComputeTimeModel
+from repro.sim.schedule import BACKWARD, FORWARD, build_schedule
+from repro.utils.rng import spawn_rng
+
+#: Fraction of the alpha-beta ring-all-reduce model NCCL attains on the
+#: data-parallel collective (protocol overheads, chunking, stream
+#: scheduling).  The engine applies it as ground truth; Pipette's
+#: latency estimator learns the same value by profiling the collective
+#: (NCCL-tests), while the prior-art model ignores it.
+DEFAULT_DP_EFFICIENCY: float = 0.88
+
+
+@dataclass
+class IterationResult:
+    """Outcome of simulating one training iteration.
+
+    Attributes:
+        time_s: end-to-end iteration latency (the paper's time/iter).
+        compute_end_s: when the last pipeline op finished.
+        dp_end_s: when the last data-parallel all-reduce finished
+            (zero when ``dp == 1``).
+        optimizer_s: optimizer-step tail included in ``time_s``.
+        stage_dp_exposed_s: per-stage seconds of DP communication not
+            hidden behind other stages' compute — the first stage's
+            value dominates, which is the paper's §IV observation.
+        timeline: optional per-op records ``(gpu, stage, kind,
+            microbatch, start_s, end_s)`` for visualization.
+    """
+
+    time_s: float
+    compute_end_s: float
+    dp_end_s: float
+    optimizer_s: float
+    stage_dp_exposed_s: list[float] = field(default_factory=list)
+    timeline: list[tuple] | None = None
+
+
+def _chain_link_times(model: TransformerConfig, config: ParallelConfig,
+                      mapping: Mapping, bandwidth: BandwidthMatrix,
+                      z: int) -> tuple[list[float], list[float]]:
+    """Boundary-crossing times per hop of data-rank ``z``'s pipeline.
+
+    Every tensor rank sends its boundary tensor to its peer in the
+    next stage concurrently; the hop completes when the slowest rank's
+    transfer lands.  Forward (``x -> x+1``) and backward (``x+1 -> x``)
+    directions are computed separately: real links are only *almost*
+    symmetric.
+    """
+    msg = pp_message_bytes(model, config.micro_batch)
+    fwd, bwd = [], []
+    for x in range(config.pp - 1):
+        worst_f = worst_b = 0.0
+        for y in range(config.tp):
+            g1 = mapping.gpu(x, y, z)
+            g2 = mapping.gpu(x + 1, y, z)
+            worst_f = max(worst_f, bandwidth.transfer_time(msg, g1, g2))
+            worst_b = max(worst_b, bandwidth.transfer_time(msg, g2, g1))
+        fwd.append(worst_f)
+        bwd.append(worst_b)
+    return fwd, bwd
+
+
+def _stage_tp_time(model: TransformerConfig, config: ParallelConfig,
+                   mapping: Mapping, bandwidth: BandwidthMatrix,
+                   x: int, z: int) -> float:
+    """Per-microbatch tensor-parallel time of stage ``x``, data rank ``z``."""
+    if config.tp == 1:
+        return 0.0
+    group = mapping.tp_group(x, z)
+    bw = bandwidth.min_over_group(group)
+    alpha = bandwidth.max_alpha_over_group(group)
+    layers = stage_layer_count(model.n_layers, config.pp, x)
+    return tp_comm_time(model, layers, config.micro_batch, config.tp, bw, alpha)
+
+
+def _dp_allreduce_time(model: TransformerConfig, config: ParallelConfig,
+                       mapping: Mapping, bandwidth: BandwidthMatrix,
+                       stage: int, efficiency: float) -> float:
+    """Hierarchical all-reduce duration of one stage's DP group.
+
+    The lockstep TP ranks each run their own DP ring; the stage is
+    done when the slowest tensor rank's ring finishes.
+    """
+    if config.dp == 1:
+        return 0.0
+    msg = dp_message_bytes(model, config.pp, config.tp, stage)
+    cluster = mapping.cluster
+    worst = 0.0
+    for y in range(config.tp):
+        group = mapping.dp_group(stage, y)
+        by_node: dict[int, list[int]] = {}
+        for g in group:
+            by_node.setdefault(cluster.node_of(g), []).append(g)
+        intra_time = 0.0
+        for members in by_node.values():
+            if len(members) > 1:
+                bw = bandwidth.min_over_group(members)
+                alpha = bandwidth.max_alpha_over_group(members)
+                intra_time = max(
+                    intra_time,
+                    2.0 * ring_allreduce_time(msg, len(members), bw, alpha),
+                )
+        inter_time = 0.0
+        nodes = sorted(by_node)
+        if len(nodes) > 1:
+            leaders = [by_node[n][0] for n in nodes]
+            bw = bandwidth.min_over_group(leaders)
+            alpha = bandwidth.max_alpha_over_group(leaders)
+            inter_time = ring_allreduce_time(msg, len(nodes), bw, alpha)
+        worst = max(worst, intra_time + inter_time)
+    return worst / efficiency
+
+
+def simulate_iteration(model: TransformerConfig, config: ParallelConfig,
+                       mapping: Mapping, bandwidth: BandwidthMatrix,
+                       compute: ComputeTimeModel | None = None,
+                       schedule: str = "1f1b",
+                       jitter_sigma: float = 0.01,
+                       dp_efficiency: float = DEFAULT_DP_EFFICIENCY,
+                       seed: int = 0,
+                       record_timeline: bool = False) -> IterationResult:
+    """Simulate one training iteration and return its latency.
+
+    Args:
+        model: architecture being trained.
+        config: parallelization configuration (defines the schedule
+            shape through ``pp`` and ``n_microbatches``).
+        mapping: worker-to-GPU bijection under test.
+        bandwidth: *attained* bandwidth matrix of the fabric (ground
+            truth, not the profiled observation).
+        compute: compute-time model; defaults to the mapped cluster's
+            GPU with default curve parameters.
+        schedule: ``"1f1b"`` (default, memory-efficient) or ``"gpipe"``.
+        jitter_sigma: per-op log-normal compute jitter (real kernels
+            are not perfectly repeatable).
+        dp_efficiency: attained fraction of the alpha-beta model for
+            the data-parallel collective.
+        seed: jitter seed.
+        record_timeline: keep per-op records (costs memory; for the
+            visualizer example).
+    """
+    if mapping.grid.pp != config.pp or mapping.grid.tp != config.tp \
+            or mapping.grid.dp != config.dp:
+        raise ValueError(
+            f"mapping grid ({mapping.grid.pp},{mapping.grid.tp},"
+            f"{mapping.grid.dp}) does not match config {config.describe()}"
+        )
+    if compute is None:
+        compute = ComputeTimeModel(gpu=mapping.cluster.node.gpu)
+
+    rng = spawn_rng(seed, f"engine-{config.describe()}")
+    run_skew = float(rng.lognormal(0.0, 0.01)) if jitter_sigma > 0 else 1.0
+    pp, n_mb = config.pp, config.n_microbatches
+    ops_by_stage = build_schedule(schedule, pp, n_mb)
+    timeline: list[tuple] | None = [] if record_timeline else None
+
+    # Per-stage split of the profiled fwd+bwd cost: backward does the
+    # two matmul passes, forward one.
+    stage_c = [compute.stage_compute_time(model, pp, s, config.tp,
+                                          config.micro_batch)
+               for s in range(pp)]
+
+    compute_end = 0.0
+    last_backward_end = np.zeros((config.dp, pp))
+
+    for z in range(config.dp):
+        hops_fwd, hops_bwd = _chain_link_times(model, config, mapping,
+                                               bandwidth, z)
+        tp_t = [_stage_tp_time(model, config, mapping, bandwidth, x, z)
+                for x in range(pp)]
+        dur_f = [stage_c[x] / 3.0 + tp_t[x] / 2.0 for x in range(pp)]
+        if config.recompute:
+            # Backward re-runs the forward pass (compute and its TP
+            # all-reduces) before computing gradients.
+            dur_b = [stage_c[x] + tp_t[x] for x in range(pp)]
+        else:
+            dur_b = [2.0 * stage_c[x] / 3.0 + tp_t[x] / 2.0 for x in range(pp)]
+
+        fwd_end: dict[tuple[int, int], float] = {}
+        bwd_end: dict[tuple[int, int], float] = {}
+        gpu_free = [0.0] * pp
+        pos = [0] * pp
+        remaining = sum(len(ops) for ops in ops_by_stage)
+
+        while remaining > 0:
+            progressed = False
+            for s in range(pp):
+                ops = ops_by_stage[s]
+                while pos[s] < len(ops):
+                    op = ops[pos[s]]
+                    if op.kind == FORWARD:
+                        if s > 0 and (s - 1, op.microbatch) not in fwd_end:
+                            break
+                        arrival = 0.0 if s == 0 else (
+                            fwd_end[(s - 1, op.microbatch)] + hops_fwd[s - 1]
+                        )
+                        dur = dur_f[s]
+                    else:
+                        if s < pp - 1 and (s + 1, op.microbatch) not in bwd_end:
+                            break
+                        if (s, op.microbatch) not in fwd_end:
+                            break
+                        arrival = 0.0 if s == pp - 1 else (
+                            bwd_end[(s + 1, op.microbatch)] + hops_bwd[s]
+                        )
+                        arrival = max(arrival, fwd_end[(s, op.microbatch)])
+                        dur = dur_b[s]
+                    start = max(gpu_free[s], arrival)
+                    jitter = float(rng.lognormal(0.0, jitter_sigma)) \
+                        if jitter_sigma > 0 else 1.0
+                    end = start + dur * jitter * run_skew
+                    gpu_free[s] = end
+                    if op.kind == FORWARD:
+                        fwd_end[(s, op.microbatch)] = end
+                    else:
+                        bwd_end[(s, op.microbatch)] = end
+                    if timeline is not None:
+                        timeline.append((mapping.gpu(s, 0, z), s, op.kind,
+                                         op.microbatch, start, end))
+                    pos[s] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                raise RuntimeError(
+                    f"schedule deadlock at positions {pos} for {config.describe()}"
+                )
+        for s in range(pp):
+            last_backward_end[z, s] = gpu_free[s]
+            compute_end = max(compute_end, gpu_free[s])
+
+    # Data-parallel gradient synchronization: each stage starts its
+    # all-reduce once every replica finished that stage's backwards.
+    dp_end = 0.0
+    stage_dp_exposed = [0.0] * pp
+    for s in range(pp):
+        dur = _dp_allreduce_time(model, config, mapping, bandwidth, s,
+                                 dp_efficiency)
+        if dur == 0.0:
+            continue
+        start = float(np.max(last_backward_end[:, s]))
+        end = start + dur
+        dp_end = max(dp_end, end)
+        stage_dp_exposed[s] = max(0.0, end - compute_end)
+
+    # Optimizer step: streams the parameter state through HBM.
+    params_per_gpu = max(
+        dp_message_bytes(model, pp, config.tp, s) / 4.0 for s in range(pp)
+    )
+    optimizer = 3.0 * 18.0 * params_per_gpu / (compute.gpu.hbm_gb_s * 1e9)
+
+    total = max(compute_end, dp_end) + optimizer
+    return IterationResult(
+        time_s=total,
+        compute_end_s=compute_end,
+        dp_end_s=dp_end,
+        optimizer_s=optimizer,
+        stage_dp_exposed_s=stage_dp_exposed,
+        timeline=timeline,
+    )

@@ -1,0 +1,103 @@
+"""Convenience facade: "launch this configuration on the cluster".
+
+On the real system, evaluating a recommendation means submitting a
+Megatron-LM job and reading back the iteration time and the peak
+memory (or an OOM crash).  :class:`ClusterRunner` bundles the
+execution engine and the memory ground truth behind exactly that
+interface, so experiment code reads like the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.fabric import Fabric
+from repro.model.transformer import TransformerConfig
+from repro.parallel.config import ParallelConfig
+from repro.parallel.mapping import Mapping, WorkerGrid, sequential_mapping
+from repro.profiling.compute import ComputeTimeModel
+from repro.sim.engine import simulate_iteration
+from repro.sim.memory_sim import (
+    FrameworkOverheadModel,
+    simulated_max_memory_bytes,
+)
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """What launching one configuration on the cluster reports back.
+
+    Attributes:
+        config: the configuration that ran.
+        time_per_iter_s: measured iteration latency; ``inf`` if the
+            run crashed with OOM.
+        max_memory_bytes: measured peak per-GPU memory.
+        oom: whether the run exceeded the memory limit.
+    """
+
+    config: ParallelConfig
+    time_per_iter_s: float
+    max_memory_bytes: float
+    oom: bool
+
+    @property
+    def max_memory_gib(self) -> float:
+        """Peak memory in GiB, as a dashboard would display it."""
+        return self.max_memory_bytes / GIB
+
+
+class ClusterRunner:
+    """Executes configurations against one fabric draw.
+
+    Args:
+        fabric: the heterogeneous cluster instance.
+        model: architecture to train.
+        schedule: pipeline schedule every run uses (the paper's runs
+            are all memory-efficient 1F1B).
+        overhead: framework memory-overhead model of this software
+            stack.
+        seed: run-to-run measurement noise seed.
+    """
+
+    def __init__(self, fabric: Fabric, model: TransformerConfig,
+                 schedule: str = "1f1b",
+                 overhead: FrameworkOverheadModel | None = None,
+                 seed: int = 0) -> None:
+        self.fabric = fabric
+        self.model = model
+        self.schedule = schedule
+        self.overhead = overhead or FrameworkOverheadModel()
+        self.seed = int(seed)
+        self._bandwidth = fabric.bandwidth()
+        self._compute = ComputeTimeModel(gpu=fabric.spec.node.gpu)
+
+    def default_mapping(self, config: ParallelConfig) -> Mapping:
+        """The framework's rank-order placement for a configuration."""
+        grid = WorkerGrid(pp=config.pp, tp=config.tp, dp=config.dp)
+        return sequential_mapping(grid, self.fabric.spec)
+
+    def run(self, config: ParallelConfig,
+            mapping: Mapping | None = None) -> MeasuredRun:
+        """Launch a configuration; OOM runs crash (infinite latency)."""
+        if config.n_gpus != self.fabric.spec.n_gpus:
+            raise ValueError(
+                f"config uses {config.n_gpus} GPUs but cluster has "
+                f"{self.fabric.spec.n_gpus}"
+            )
+        if mapping is None:
+            mapping = self.default_mapping(config)
+        memory = simulated_max_memory_bytes(
+            self.model, config, self.fabric.spec,
+            overhead=self.overhead, schedule=self.schedule, seed=self.seed,
+        )
+        oom = memory > self.fabric.spec.gpu_memory_bytes
+        if oom:
+            return MeasuredRun(config=config, time_per_iter_s=float("inf"),
+                               max_memory_bytes=memory, oom=True)
+        result = simulate_iteration(
+            self.model, config, mapping, self._bandwidth,
+            compute=self._compute, schedule=self.schedule, seed=self.seed,
+        )
+        return MeasuredRun(config=config, time_per_iter_s=result.time_s,
+                           max_memory_bytes=memory, oom=False)

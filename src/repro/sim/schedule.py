@@ -1,0 +1,104 @@
+"""Pipeline schedules: per-stage operation sequences (Fig. 2).
+
+Two schedules are modeled:
+
+* **1F1B** (memory-efficient, Fig. 2b): after a short warmup each
+  stage alternates one forward with one backward, so at most
+  ``pp - stage`` activations are alive at once.  This is the de facto
+  standard (PipeDream-Flush / Megatron-LM) and the schedule whose
+  *hidden critical path* motivates Pipette's latency model.
+* **GPipe** (memory-unaware, Fig. 2a): all forwards, then all
+  backwards; simple but stores every microbatch's activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int
+
+#: Forward-pass op kind.
+FORWARD = "F"
+#: Backward-pass op kind.
+BACKWARD = "B"
+
+
+@dataclass(frozen=True)
+class PipelineOp:
+    """One unit of pipeline work: a microbatch pass on a stage.
+
+    Attributes:
+        stage: pipeline stage executing the op.
+        kind: :data:`FORWARD` or :data:`BACKWARD`.
+        microbatch: microbatch index in ``[0, n_mb)``.
+    """
+
+    stage: int
+    kind: str
+    microbatch: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (FORWARD, BACKWARD):
+            raise ValueError(f"kind must be 'F' or 'B', got {self.kind!r}")
+        if self.stage < 0:
+            raise ValueError(f"stage must be non-negative, got {self.stage}")
+        if self.microbatch < 0:
+            raise ValueError(f"microbatch must be non-negative, got {self.microbatch}")
+
+
+def one_f_one_b_schedule(pp: int, n_microbatches: int) -> list[list[PipelineOp]]:
+    """Per-stage op sequences of the 1F1B schedule.
+
+    Stage ``s`` performs ``min(pp - s - 1, n_mb)`` warmup forwards,
+    then alternates forward/backward in the steady state, then drains
+    the remaining backwards.
+    """
+    check_positive_int(pp, "pp")
+    check_positive_int(n_microbatches, "n_microbatches")
+    schedule = []
+    for s in range(pp):
+        ops: list[PipelineOp] = []
+        warmup = min(pp - s - 1, n_microbatches)
+        for m in range(warmup):
+            ops.append(PipelineOp(s, FORWARD, m))
+        for k in range(n_microbatches - warmup):
+            ops.append(PipelineOp(s, FORWARD, warmup + k))
+            ops.append(PipelineOp(s, BACKWARD, k))
+        for k in range(n_microbatches - warmup, n_microbatches):
+            ops.append(PipelineOp(s, BACKWARD, k))
+        schedule.append(ops)
+    return schedule
+
+
+def gpipe_schedule(pp: int, n_microbatches: int) -> list[list[PipelineOp]]:
+    """Per-stage op sequences of the memory-unaware (GPipe) schedule."""
+    check_positive_int(pp, "pp")
+    check_positive_int(n_microbatches, "n_microbatches")
+    schedule = []
+    for s in range(pp):
+        ops = [PipelineOp(s, FORWARD, m) for m in range(n_microbatches)]
+        ops += [PipelineOp(s, BACKWARD, m) for m in range(n_microbatches)]
+        schedule.append(ops)
+    return schedule
+
+
+def build_schedule(name: str, pp: int, n_microbatches: int) -> list[list[PipelineOp]]:
+    """Dispatch on schedule name: ``"1f1b"`` or ``"gpipe"``."""
+    if name == "1f1b":
+        return one_f_one_b_schedule(pp, n_microbatches)
+    if name == "gpipe":
+        return gpipe_schedule(pp, n_microbatches)
+    raise ValueError(f"unknown schedule {name!r}; expected '1f1b' or 'gpipe'")
+
+
+def max_in_flight(schedule: list[list[PipelineOp]], stage: int) -> int:
+    """Peak number of live activations on ``stage`` under a schedule.
+
+    Counts forwards minus backwards along the stage's op sequence;
+    the peak is what sizes the activation memory term.
+    """
+    live = peak = 0
+    for op in schedule[stage]:
+        live += 1 if op.kind == FORWARD else -1
+        peak = max(peak, live)
+    return peak

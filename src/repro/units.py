@@ -1,0 +1,101 @@
+"""Physical units and conversion helpers used across the library.
+
+Conventions (see DESIGN.md §6):
+
+* **bandwidth** is expressed in gigabytes per second (``GB/s``, decimal),
+* **message and memory sizes** are expressed in bytes,
+* **time** is expressed in seconds.
+
+GPU memory capacities are quoted by vendors in binary gibibytes, so the
+:data:`GIB` constant is provided alongside the decimal :data:`GB`.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte (2**10 bytes).
+KIB: int = 1024
+#: One mebibyte (2**20 bytes).
+MIB: int = 1024**2
+#: One gibibyte (2**30 bytes).
+GIB: int = 1024**3
+
+#: One decimal kilobyte (10**3 bytes).
+KB: int = 10**3
+#: One decimal megabyte (10**6 bytes).
+MB: int = 10**6
+#: One decimal gigabyte (10**9 bytes).
+GB: int = 10**9
+
+#: Seconds per microsecond.
+USEC: float = 1e-6
+#: Seconds per millisecond.
+MSEC: float = 1e-3
+
+#: Seconds in one day (used by the long-running profiling trace).
+SECONDS_PER_DAY: float = 86400.0
+
+
+def gbit_to_gbyte_per_s(gbit_per_s: float) -> float:
+    """Convert a link speed quoted in Gbit/s into GB/s.
+
+    InfiniBand speeds are marketed in Gbit/s (EDR = 100 Gbit/s,
+    HDR = 200 Gbit/s) while NVLink speeds are quoted in GB/s; the
+    library stores everything in GB/s.
+
+    >>> gbit_to_gbyte_per_s(100.0)
+    12.5
+    """
+    if gbit_per_s < 0:
+        raise ValueError(f"link speed must be non-negative, got {gbit_per_s}")
+    return gbit_per_s / 8.0
+
+
+def bytes_to_gib(n_bytes: float) -> float:
+    """Express a byte count in binary gibibytes.
+
+    >>> bytes_to_gib(GIB)
+    1.0
+    """
+    return n_bytes / GIB
+
+
+def gib_to_bytes(n_gib: float) -> float:
+    """Express a gibibyte count in bytes."""
+    return n_gib * GIB
+
+
+def transfer_time(message_bytes: float, bandwidth_gb_s: float,
+                  alpha_s: float = 0.0) -> float:
+    """Time to push ``message_bytes`` over a link, alpha-beta model.
+
+    ``alpha_s`` is the fixed per-message startup latency and the
+    bandwidth term follows the usual :math:`\\alpha + n\\beta` cost
+    model of collective-communication literature.
+
+    >>> transfer_time(GB, 10.0)
+    0.1
+    """
+    if message_bytes < 0:
+        raise ValueError(f"message size must be non-negative, got {message_bytes}")
+    if bandwidth_gb_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gb_s}")
+    return alpha_s + message_bytes / (bandwidth_gb_s * GB)
+
+
+def mape(estimates, actuals) -> float:
+    """Mean absolute percentage error, in percent.
+
+    This is the error metric the paper reports for both the latency
+    estimator (Fig. 5a) and the memory estimator (Fig. 7).
+    """
+    import numpy as np
+
+    est = np.asarray(estimates, dtype=float)
+    act = np.asarray(actuals, dtype=float)
+    if est.shape != act.shape:
+        raise ValueError(f"shape mismatch: {est.shape} vs {act.shape}")
+    if est.size == 0:
+        raise ValueError("MAPE of an empty sample is undefined")
+    if np.any(act == 0):
+        raise ValueError("actual values must be non-zero for MAPE")
+    return float(np.mean(np.abs(est - act) / np.abs(act)) * 100.0)

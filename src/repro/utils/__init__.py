@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG plumbing and validation helpers."""
+
+from repro.utils.rng import resolve_rng, spawn_rng, derive_seed
+from repro.utils.validation import (
+    check_positive_int,
+    check_positive,
+    check_probability,
+    divisors,
+)
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rng",
+    "derive_seed",
+    "check_positive_int",
+    "check_positive",
+    "check_probability",
+    "divisors",
+]

@@ -1,0 +1,52 @@
+"""Small argument-validation helpers shared by the public API surface."""
+
+from __future__ import annotations
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_positive(value, name: str) -> float:
+    """Validate that ``value`` is a positive real number and return it as float."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n`` in increasing order.
+
+    Used by the configuration search (Algorithm 1, line 5) to enumerate
+    the legal microbatch sizes of a minibatch.
+
+    >>> divisors(12)
+    [1, 2, 3, 4, 6, 12]
+    """
+    check_positive_int(n, "n")
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]

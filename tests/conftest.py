@@ -1,0 +1,72 @@
+"""Shared fixtures: a small, fast cluster/model world for unit tests.
+
+The "tiny" fixtures are deliberately small (4 nodes x 4 GPUs, a toy
+transformer) so engine simulations and searches run in milliseconds;
+the "paper" fixtures use the real Table I presets for the handful of
+integration tests that need them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Fabric, HeterogeneityModel, NetworkProfiler
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.model import get_model
+from repro.parallel import ParallelConfig, WorkerGrid, sequential_mapping
+from repro.profiling import ComputeTimeModel, profile_compute
+from repro.units import GIB
+
+
+@pytest.fixture
+def tiny_cluster() -> ClusterSpec:
+    """4 nodes x 4 GPUs with small memory, for fast OOM-boundary tests."""
+    gpu = GpuSpec(name="TestGPU", memory_bytes=4 * GIB, peak_flops=10e12,
+                  achievable_fraction=0.5, hbm_gb_s=500.0)
+    node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                    intra_link=LinkSpec("TestNVLink", 100.0, alpha_s=1e-6))
+    return ClusterSpec(name="tiny", n_nodes=4, node=node,
+                       inter_link=LinkSpec("TestIB", 10.0, alpha_s=1e-5))
+
+
+@pytest.fixture
+def tiny_fabric(tiny_cluster) -> Fabric:
+    """One deterministic heterogeneity draw over the tiny cluster."""
+    return Fabric(tiny_cluster, heterogeneity=HeterogeneityModel(), seed=42)
+
+
+@pytest.fixture
+def toy_model():
+    """The 4-layer toy transformer from the catalog."""
+    return get_model("gpt-toy")
+
+
+@pytest.fixture
+def toy_profile(toy_model, tiny_cluster):
+    """Noise-free compute profile of the toy model on the tiny cluster."""
+    return profile_compute(toy_model, tiny_cluster, noise_sigma=0.0)
+
+
+@pytest.fixture
+def toy_config() -> ParallelConfig:
+    """A 16-GPU configuration matching the tiny cluster."""
+    return ParallelConfig(pp=2, tp=4, dp=2, micro_batch=2, global_batch=16)
+
+
+@pytest.fixture
+def toy_mapping(toy_config, tiny_cluster):
+    """Sequential mapping of the toy configuration."""
+    grid = WorkerGrid(pp=toy_config.pp, tp=toy_config.tp, dp=toy_config.dp)
+    return sequential_mapping(grid, tiny_cluster)
+
+
+@pytest.fixture
+def tiny_network(tiny_fabric):
+    """Profiled bandwidth matrix of the tiny fabric."""
+    return NetworkProfiler(n_rounds=2).profile(tiny_fabric, seed=7)
+
+
+@pytest.fixture
+def tiny_compute(tiny_cluster) -> ComputeTimeModel:
+    """Compute-time model of the tiny cluster's GPU."""
+    return ComputeTimeModel(gpu=tiny_cluster.node.gpu)

@@ -1,0 +1,118 @@
+"""Fabric and bandwidth-matrix behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Fabric, HeterogeneityModel
+from repro.cluster.fabric import BandwidthMatrix
+from repro.cluster.presets import mid_range_cluster
+
+
+@pytest.fixture
+def spec():
+    return mid_range_cluster(n_nodes=4)
+
+
+@pytest.fixture
+def fabric(spec):
+    return Fabric(spec, seed=11)
+
+
+class TestBandwidthMatrixType:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            BandwidthMatrix(matrix=np.ones((2, 3)), alpha=np.ones((2, 3)))
+
+    def test_rejects_alpha_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BandwidthMatrix(matrix=np.ones((2, 2)), alpha=np.ones((3, 3)))
+
+    def test_between(self):
+        m = np.array([[np.inf, 5.0], [4.0, np.inf]])
+        bw = BandwidthMatrix(matrix=m, alpha=np.zeros((2, 2)))
+        assert bw.between(0, 1) == 5.0
+        assert bw.between(1, 0) == 4.0
+
+    def test_transfer_time_self_is_zero(self):
+        m = np.full((2, 2), 10.0)
+        bw = BandwidthMatrix(matrix=m, alpha=np.zeros((2, 2)))
+        assert bw.transfer_time(1e9, 0, 0) == 0.0
+
+    def test_transfer_time_includes_alpha(self):
+        m = np.full((2, 2), 1.0)
+        bw = BandwidthMatrix(matrix=m, alpha=np.full((2, 2), 1e-5))
+        assert bw.transfer_time(1e9, 0, 1) == pytest.approx(1.0 + 1e-5)
+
+    def test_min_over_group(self):
+        m = np.array([[np.inf, 5.0, 2.0],
+                      [5.0, np.inf, 8.0],
+                      [2.0, 8.0, np.inf]])
+        bw = BandwidthMatrix(matrix=m, alpha=np.zeros((3, 3)))
+        assert bw.min_over_group([0, 1, 2]) == 2.0
+        assert bw.min_over_group([1, 2]) == 8.0
+
+    def test_min_over_singleton_is_inf(self):
+        m = np.full((2, 2), 1.0)
+        bw = BandwidthMatrix(matrix=m, alpha=np.zeros((2, 2)))
+        assert bw.min_over_group([0]) == float("inf")
+
+    def test_max_alpha_over_group(self):
+        m = np.full((2, 2), 1.0)
+        alpha = np.array([[0.0, 2e-5], [1e-5, 0.0]])
+        bw = BandwidthMatrix(matrix=m, alpha=alpha)
+        assert bw.max_alpha_over_group([0, 1]) == 2e-5
+
+
+class TestFabric:
+    def test_matrix_shape(self, fabric, spec):
+        assert fabric.bandwidth().matrix.shape == (spec.n_gpus, spec.n_gpus)
+
+    def test_diagonal_infinite(self, fabric):
+        assert np.all(np.isinf(np.diag(fabric.bandwidth().matrix)))
+
+    def test_intra_node_faster_than_inter(self, fabric, spec):
+        bw = fabric.bandwidth()
+        intra = bw.between(0, 1)   # same node
+        inter = bw.between(0, spec.gpus_per_node)  # adjacent nodes
+        assert intra > 5 * inter
+
+    def test_attained_below_nominal(self, fabric, spec):
+        bw = fabric.bandwidth()
+        nominal_inter = spec.inter_link.bandwidth_gb_s
+        inter = bw.between(0, spec.gpus_per_node)
+        assert inter < nominal_inter
+
+    def test_deterministic_given_seed(self, spec):
+        a = Fabric(spec, seed=5).bandwidth().matrix
+        b = Fabric(spec, seed=5).bandwidth().matrix
+        assert np.array_equal(a, b)
+
+    def test_node_pair_shares_nic_path(self, fabric, spec):
+        # All GPU pairs across one node pair attain the same bandwidth.
+        bw = fabric.bandwidth()
+        k = spec.gpus_per_node
+        vals = {bw.between(i, k + j) for i in range(k) for j in range(k)}
+        assert len(vals) == 1
+
+    def test_day_changes_matrix(self, fabric):
+        a = fabric.bandwidth_at_day(0.0).matrix
+        b = fabric.bandwidth_at_day(5.0).matrix
+        assert not np.array_equal(a, b)
+
+
+class TestNominalBandwidth:
+    def test_uniform_inter(self, fabric, spec):
+        bw = fabric.nominal_bandwidth()
+        k = spec.gpus_per_node
+        assert bw.between(0, k) == spec.inter_link.bandwidth_gb_s
+        assert bw.between(0, 2 * k) == spec.inter_link.bandwidth_gb_s
+
+    def test_uniform_intra(self, fabric, spec):
+        bw = fabric.nominal_bandwidth()
+        assert bw.between(0, 1) == spec.node.intra_link.bandwidth_gb_s
+
+    def test_nominal_dominates_attained(self, fabric):
+        actual = fabric.bandwidth().matrix
+        nominal = fabric.nominal_bandwidth().matrix
+        finite = np.isfinite(actual)
+        assert np.all(nominal[finite] >= actual[finite] * 0.999)

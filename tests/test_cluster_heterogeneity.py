@@ -1,0 +1,138 @@
+"""Heterogeneity model: spread, symmetry, stragglers, drift."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.heterogeneity import HeterogeneityModel
+from repro.cluster.presets import mid_range_cluster
+
+
+@pytest.fixture
+def spec():
+    return mid_range_cluster(n_nodes=8)
+
+
+class TestModelValidation:
+    def test_defaults_valid(self):
+        HeterogeneityModel()
+
+    def test_rejects_bad_base_efficiency(self):
+        with pytest.raises(ValueError):
+            HeterogeneityModel(base_efficiency=0.0)
+        with pytest.raises(ValueError):
+            HeterogeneityModel(base_efficiency=1.2)
+
+    def test_rejects_bad_straggler_prob(self):
+        with pytest.raises(ValueError):
+            HeterogeneityModel(straggler_prob=1.5)
+
+    def test_rejects_bad_straggler_factor(self):
+        with pytest.raises(ValueError):
+            HeterogeneityModel(straggler_factor=0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            HeterogeneityModel(pair_sigma=-0.1)
+
+
+class TestInterNodeSampling:
+    def test_shape(self, spec):
+        state = HeterogeneityModel().sample_inter_node(spec, seed=0)
+        assert state.efficiency.shape == (8, 8)
+
+    def test_bounded(self, spec):
+        eff = HeterogeneityModel().sample_inter_node(spec, seed=0).efficiency
+        assert np.all(eff > 0.0)
+        assert np.all(eff <= 1.0)
+
+    def test_diagonal_is_one(self, spec):
+        eff = HeterogeneityModel().sample_inter_node(spec, seed=0).efficiency
+        assert np.allclose(np.diag(eff), 1.0)
+
+    def test_deterministic(self, spec):
+        m = HeterogeneityModel()
+        a = m.sample_inter_node(spec, seed=1).efficiency
+        b = m.sample_inter_node(spec, seed=1).efficiency
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_draw(self, spec):
+        m = HeterogeneityModel()
+        a = m.sample_inter_node(spec, seed=1).efficiency
+        b = m.sample_inter_node(spec, seed=2).efficiency
+        assert not np.array_equal(a, b)
+
+    def test_near_symmetry(self, spec):
+        # Paper §IV: bidirectional bandwidths are "almost symmetric" —
+        # the SA reverse move relies on it.
+        eff = HeterogeneityModel().sample_inter_node(spec, seed=3).efficiency
+        i, j = np.triu_indices(8, k=1)
+        ratio = eff[i, j] / eff[j, i]
+        assert np.all(np.abs(np.log(ratio)) < 0.2)
+
+    def test_heterogeneous_spread_exists(self, spec):
+        eff = HeterogeneityModel().sample_inter_node(spec, seed=0).efficiency
+        off = eff[~np.eye(8, dtype=bool)]
+        assert off.max() / off.min() > 1.2
+
+    def test_homogeneous_model_is_flat(self, spec):
+        eff = HeterogeneityModel.homogeneous().sample_inter_node(
+            spec, seed=0).efficiency
+        off = eff[~np.eye(8, dtype=bool)]
+        assert np.allclose(off, off[0])
+
+    def test_stragglers_appear_with_certainty(self, spec):
+        m = HeterogeneityModel(straggler_prob=1.0, straggler_factor=0.5,
+                               node_sigma=0.0, pair_sigma=0.0,
+                               asymmetry_sigma=0.0)
+        eff = m.sample_inter_node(spec, seed=0).efficiency
+        off = eff[~np.eye(8, dtype=bool)]
+        assert np.allclose(off, m.base_efficiency * 0.5)
+
+
+class TestIntraNodeSampling:
+    def test_shape(self, spec):
+        eff = HeterogeneityModel().sample_intra_node(spec, seed=0)
+        assert eff.shape == (8, 8, 8)
+
+    def test_diagonal_is_one(self, spec):
+        eff = HeterogeneityModel().sample_intra_node(spec, seed=0)
+        for node in range(8):
+            assert np.allclose(np.diag(eff[node]), 1.0)
+
+    def test_spread_smaller_than_inter(self, spec):
+        m = HeterogeneityModel()
+        intra = m.sample_intra_node(spec, seed=0)
+        inter = m.sample_inter_node(spec, seed=0).efficiency
+        intra_off = intra[0][~np.eye(spec.gpus_per_node, dtype=bool)]
+        inter_off = inter[~np.eye(8, dtype=bool)]
+        assert intra_off.std() / intra_off.mean() \
+            < inter_off.std() / inter_off.mean()
+
+
+class TestTemporalDrift:
+    def test_same_day_is_stable(self, spec):
+        state = HeterogeneityModel().sample_inter_node(spec, seed=0)
+        a = state.at_day(3.0, seed=0)
+        b = state.at_day(3.0, seed=0)
+        assert np.array_equal(a, b)
+
+    def test_days_differ(self, spec):
+        state = HeterogeneityModel().sample_inter_node(spec, seed=0)
+        a = state.at_day(0.0, seed=0)
+        b = state.at_day(1.0, seed=0)
+        assert not np.array_equal(a, b)
+
+    def test_drift_is_small(self, spec):
+        # Fig. 3's lines move gently, they do not jump.
+        state = HeterogeneityModel().sample_inter_node(spec, seed=0)
+        a = state.at_day(0.0, seed=0)
+        b = state.at_day(1.0, seed=0)
+        mask = ~np.eye(8, dtype=bool)
+        assert np.all(np.abs(np.log(a[mask] / b[mask])) < 0.15)
+
+    def test_persistent_ordering(self, spec):
+        # The fast pairs stay fast across the campaign (Fig. 3).
+        state = HeterogeneityModel().sample_inter_node(spec, seed=0)
+        a = state.at_day(0.0, seed=0)[~np.eye(8, dtype=bool)]
+        b = state.at_day(39.0, seed=0)[~np.eye(8, dtype=bool)]
+        assert np.corrcoef(a, b)[0, 1] > 0.9

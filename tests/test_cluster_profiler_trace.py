@@ -1,0 +1,119 @@
+"""Network profiler and the Fig. 3 latency trace."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Fabric, NetworkProfiler, collect_latency_trace
+from repro.cluster.presets import high_end_cluster, mid_range_cluster
+from repro.cluster.trace import chain_latency_s
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(mid_range_cluster(n_nodes=8), seed=3)
+
+
+class TestProfiler:
+    def test_measured_close_to_truth(self, fabric):
+        truth = fabric.bandwidth().matrix
+        measured = NetworkProfiler(n_rounds=8, noise_sigma=0.01).profile(
+            fabric, seed=0).bandwidth.matrix
+        mask = np.isfinite(truth)
+        rel = np.abs(measured[mask] - truth[mask]) / truth[mask]
+        assert rel.max() < 0.05
+
+    def test_more_rounds_reduce_noise(self, fabric):
+        truth = fabric.bandwidth().matrix
+        mask = np.isfinite(truth)
+
+        def err(rounds):
+            m = NetworkProfiler(n_rounds=rounds, noise_sigma=0.05).profile(
+                fabric, seed=1).bandwidth.matrix
+            return np.abs(m[mask] - truth[mask]).mean()
+
+        assert err(16) < err(1)
+
+    def test_deterministic(self, fabric):
+        p = NetworkProfiler()
+        a = p.profile(fabric, seed=2).bandwidth.matrix
+        b = p.profile(fabric, seed=2).bandwidth.matrix
+        assert np.array_equal(a, b)
+
+    def test_diagonal_stays_infinite(self, fabric):
+        m = NetworkProfiler().profile(fabric, seed=0).bandwidth.matrix
+        assert np.all(np.isinf(np.diag(m)))
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            NetworkProfiler(n_rounds=0)
+
+
+class TestProfilingCost:
+    def test_grows_with_nodes(self):
+        p = NetworkProfiler()
+        assert p.profiling_cost(mid_range_cluster(16)) \
+            > p.profiling_cost(mid_range_cluster(8))
+
+    def test_table2_scale_mid_range(self):
+        # Table II: ~58 s at 8 nodes, ~120 s at 16 nodes.
+        p = NetworkProfiler(n_rounds=4)
+        assert 30 < p.profiling_cost(mid_range_cluster(8)) < 90
+        assert 70 < p.profiling_cost(mid_range_cluster(16)) < 180
+
+    def test_table2_scale_high_end(self):
+        # Table II: ~114 s at 8 nodes with the finer HDR sweep.
+        p = NetworkProfiler(n_rounds=8)
+        assert 70 < p.profiling_cost(high_end_cluster(8)) < 180
+
+
+class TestChainLatency:
+    def test_positive(self, fabric):
+        bw = fabric.bandwidth()
+        t = chain_latency_s(bw, [0, 1, 2], 2**20, fabric.spec.gpus_per_node)
+        assert t > 0
+
+    def test_more_hops_cost_more(self, fabric):
+        bw = fabric.bandwidth()
+        k = fabric.spec.gpus_per_node
+        short = chain_latency_s(bw, [0, 1], 2**20, k)
+        long = chain_latency_s(bw, [0, 1, 2, 3], 2**20, k)
+        assert long > short
+
+    def test_order_matters_on_heterogeneous_fabric(self, fabric):
+        bw = fabric.bandwidth()
+        k = fabric.spec.gpus_per_node
+        orders = [[0, 1, 2, 3], [3, 1, 0, 2], [2, 0, 3, 1]]
+        times = {round(chain_latency_s(bw, o, 2**26, k), 9) for o in orders}
+        assert len(times) > 1
+
+
+class TestTrace:
+    def test_shapes(self, fabric):
+        trace = collect_latency_trace(fabric, n_days=5, n_orderings=8, seed=0)
+        assert trace.latencies_ms.shape == (5, 5)
+        assert len(trace.days) == 5
+
+    def test_quantiles_ordered(self, fabric):
+        # Legend order Q(100%) .. Q(0%): each row must be non-increasing.
+        trace = collect_latency_trace(fabric, n_days=4, n_orderings=16, seed=0)
+        diffs = np.diff(trace.latencies_ms, axis=1)
+        assert np.all(diffs <= 1e-9)
+
+    def test_spread_ratio_above_one(self, fabric):
+        trace = collect_latency_trace(fabric, n_days=4, n_orderings=16, seed=0)
+        assert trace.spread_ratio() > 1.05
+
+    def test_rows_format(self, fabric):
+        trace = collect_latency_trace(fabric, n_days=2, n_orderings=4, seed=0)
+        rows = trace.rows()
+        assert len(rows) == 2
+        assert "Q(100%)" in rows[0]
+        assert "Q(0%)" in rows[0]
+
+    def test_rejects_chain_longer_than_cluster(self, fabric):
+        with pytest.raises(ValueError):
+            collect_latency_trace(fabric, n_nodes_in_chain=99)
+
+    def test_rejects_single_ordering(self, fabric):
+        with pytest.raises(ValueError):
+            collect_latency_trace(fabric, n_orderings=1)

@@ -1,0 +1,101 @@
+"""Cluster topology: GPU/node/cluster specs and index arithmetic."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.units import GIB
+
+
+def make_cluster(n_nodes=2, gpus_per_node=4) -> ClusterSpec:
+    gpu = GpuSpec("G", memory_bytes=8 * GIB, peak_flops=1e12)
+    node = NodeSpec(gpus_per_node=gpus_per_node, gpu=gpu,
+                    intra_link=LinkSpec("L", 100.0))
+    return ClusterSpec(name="c", n_nodes=n_nodes, node=node,
+                       inter_link=LinkSpec("I", 10.0))
+
+
+class TestGpuSpec:
+    def test_memory_gib(self):
+        gpu = GpuSpec("G", memory_bytes=16 * GIB, peak_flops=1e12)
+        assert gpu.memory_gib == 16.0
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError):
+            GpuSpec("G", memory_bytes=0, peak_flops=1e12)
+
+    def test_rejects_nonpositive_flops(self):
+        with pytest.raises(ValueError):
+            GpuSpec("G", memory_bytes=GIB, peak_flops=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            GpuSpec("G", memory_bytes=GIB, peak_flops=1e12,
+                    achievable_fraction=1.5)
+
+    def test_frozen(self):
+        gpu = GpuSpec("G", memory_bytes=GIB, peak_flops=1e12)
+        with pytest.raises(AttributeError):
+            gpu.peak_flops = 2e12
+
+
+class TestLinkSpec:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkSpec("L", 0.0)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LinkSpec("L", 1.0, alpha_s=-1e-6)
+
+    def test_zero_alpha_allowed(self):
+        assert LinkSpec("L", 1.0, alpha_s=0.0).alpha_s == 0.0
+
+
+class TestClusterSpec:
+    def test_gpu_count(self):
+        assert make_cluster(3, 4).n_gpus == 12
+
+    def test_gpus_per_node(self):
+        assert make_cluster(2, 8).gpus_per_node == 8
+
+    def test_memory_limit(self):
+        assert make_cluster().gpu_memory_bytes == 8 * GIB
+
+    def test_node_of(self):
+        c = make_cluster(2, 4)
+        assert c.node_of(0) == 0
+        assert c.node_of(3) == 0
+        assert c.node_of(4) == 1
+        assert c.node_of(7) == 1
+
+    def test_node_of_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_cluster(2, 4).node_of(8)
+
+    def test_gpus_of_node(self):
+        c = make_cluster(2, 4)
+        assert list(c.gpus_of_node(1)) == [4, 5, 6, 7]
+
+    def test_gpus_of_node_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_cluster(2, 4).gpus_of_node(2)
+
+    def test_same_node(self):
+        c = make_cluster(2, 4)
+        assert c.same_node(0, 3)
+        assert not c.same_node(3, 4)
+
+    def test_scaled_to(self):
+        c = make_cluster(4, 4).scaled_to(2)
+        assert c.n_nodes == 2
+        assert c.n_gpus == 8
+        assert c.name == "c"
+
+    def test_node_partition_covers_all_gpus(self):
+        c = make_cluster(3, 4)
+        seen = [g for n in range(c.n_nodes) for g in c.gpus_of_node(n)]
+        assert seen == list(range(c.n_gpus))
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            make_cluster(0, 4)

@@ -1,0 +1,118 @@
+"""Engine edge cases: degenerate shapes, stragglers, and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.parallel import ParallelConfig, WorkerGrid, sequential_mapping
+from repro.sim import simulate_iteration
+
+
+def uniform_bw(n, gb_s=50.0):
+    m = np.full((n, n), gb_s)
+    np.fill_diagonal(m, np.inf)
+    return BandwidthMatrix(matrix=m, alpha=np.zeros((n, n)))
+
+
+class TestDegenerateShapes:
+    def test_single_gpu_equivalent(self, toy_model, tiny_cluster):
+        # pp=tp=dp scaled to one node's GPUs, one microbatch.
+        config = ParallelConfig(pp=1, tp=4, dp=1, micro_batch=1,
+                                global_batch=1)
+        sub = tiny_cluster.scaled_to(1)
+        mapping = sequential_mapping(WorkerGrid(1, 4, 1), sub)
+        res = simulate_iteration(toy_model, config, mapping, uniform_bw(4),
+                                 jitter_sigma=0.0)
+        assert res.time_s > 0
+        assert res.dp_end_s == 0.0
+
+    def test_single_microbatch_deep_pipeline(self, toy_model, tiny_cluster):
+        config = ParallelConfig(pp=4, tp=1, dp=4, micro_batch=1,
+                                global_batch=4)
+        mapping = sequential_mapping(WorkerGrid(4, 1, 4), tiny_cluster)
+        res = simulate_iteration(toy_model, config, mapping, uniform_bw(16),
+                                 jitter_sigma=0.0)
+        assert res.time_s > 0
+
+    def test_microbatches_fewer_than_stages(self, toy_model, tiny_cluster):
+        # n_mb = 2 < pp = 4: heavy bubbles but still valid.
+        config = ParallelConfig(pp=4, tp=4, dp=1, micro_batch=1,
+                                global_batch=2)
+        mapping = sequential_mapping(WorkerGrid(4, 4, 1), tiny_cluster)
+        res = simulate_iteration(toy_model, config, mapping, uniform_bw(16),
+                                 jitter_sigma=0.0)
+        assert res.time_s > 0
+
+
+class TestStragglerExposure:
+    def _one_slow_link(self, n, slow_pair, factor=0.05):
+        m = np.full((n, n), 50.0)
+        a, b = slow_pair
+        m[a, b] = m[b, a] = 50.0 * factor
+        np.fill_diagonal(m, np.inf)
+        return BandwidthMatrix(matrix=m, alpha=np.zeros((n, n)))
+
+    def test_straggler_on_pipeline_link_hurts(self, toy_model, tiny_cluster):
+        config = ParallelConfig(pp=4, tp=1, dp=1, micro_batch=8,
+                                global_batch=64)
+        sub = tiny_cluster.scaled_to(1)
+        mapping = sequential_mapping(WorkerGrid(4, 1, 1), sub)
+        clean = simulate_iteration(toy_model, config, mapping, uniform_bw(4),
+                                   jitter_sigma=0.0)
+        hurt = simulate_iteration(toy_model, config, mapping,
+                                  self._one_slow_link(4, (1, 2)),
+                                  jitter_sigma=0.0)
+        assert hurt.time_s > clean.time_s
+
+    def test_straggler_off_critical_path_is_cheap(self, toy_model,
+                                                  tiny_cluster):
+        # dp=1, pp chain on GPUs 0-3: a slow link between 0 and 3 is
+        # never used (only adjacent stages talk).
+        config = ParallelConfig(pp=4, tp=1, dp=1, micro_batch=8,
+                                global_batch=64)
+        sub = tiny_cluster.scaled_to(1)
+        mapping = sequential_mapping(WorkerGrid(4, 1, 1), sub)
+        clean = simulate_iteration(toy_model, config, mapping, uniform_bw(4),
+                                   jitter_sigma=0.0)
+        unused = simulate_iteration(toy_model, config, mapping,
+                                    self._one_slow_link(4, (0, 3)),
+                                    jitter_sigma=0.0)
+        assert unused.time_s == pytest.approx(clean.time_s, rel=1e-9)
+
+
+class TestSchedulesUnderRecompute:
+    def test_gpipe_with_recompute_runs(self, toy_model, tiny_cluster):
+        config = ParallelConfig(pp=2, tp=2, dp=4, micro_batch=1,
+                                global_batch=8, recompute=True)
+        mapping = sequential_mapping(WorkerGrid(2, 2, 4), tiny_cluster)
+        res = simulate_iteration(toy_model, config, mapping, uniform_bw(16),
+                                 schedule="gpipe", jitter_sigma=0.0)
+        assert res.time_s > 0
+
+    def test_recompute_backward_dominates_forward(self, toy_model,
+                                                  tiny_cluster):
+        config = ParallelConfig(pp=2, tp=2, dp=4, micro_batch=1,
+                                global_batch=8, recompute=True)
+        mapping = sequential_mapping(WorkerGrid(2, 2, 4), tiny_cluster)
+        res = simulate_iteration(toy_model, config, mapping, uniform_bw(16),
+                                 jitter_sigma=0.0, record_timeline=True)
+        fwd = [e - s for _, _, kind, _, s, e in res.timeline if kind == "F"]
+        bwd = [e - s for _, _, kind, _, s, e in res.timeline if kind == "B"]
+        # Backward re-runs forward: about 3x a forward op.
+        assert min(bwd) > 2.0 * max(fwd) * 0.9
+
+
+class TestOptimizerTail:
+    def test_optimizer_time_positive_and_small(self, toy_model, tiny_cluster,
+                                               toy_config, toy_mapping):
+        res = simulate_iteration(toy_model, toy_config, toy_mapping,
+                                 uniform_bw(16), jitter_sigma=0.0)
+        assert 0 < res.optimizer_s < res.time_s * 0.5
+
+    def test_total_is_max_of_phases_plus_optimizer(self, toy_model,
+                                                   tiny_cluster, toy_config,
+                                                   toy_mapping):
+        res = simulate_iteration(toy_model, toy_config, toy_mapping,
+                                 uniform_bw(16), jitter_sigma=0.0)
+        assert res.time_s == pytest.approx(
+            max(res.compute_end_s, res.dp_end_s) + res.optimizer_s)

@@ -1,0 +1,95 @@
+"""Terminal reporting helpers and the run-everything orchestrator."""
+
+import io
+
+import pytest
+
+from repro.experiments.report import ascii_bars, ascii_scatter, log_ticks
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+
+
+class TestAsciiScatter:
+    def test_renders_points_and_diagonal(self):
+        text = ascii_scatter([1, 2, 3], [1.1, 1.9, 3.2], title="T")
+        assert "T" in text
+        assert "o" in text
+        assert "." in text  # the R=1 line
+
+    def test_custom_marks(self):
+        text = ascii_scatter([1, 2], [1, 2], marks="PA")
+        assert "P" in text and "A" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1], [1, 2])
+
+    def test_mismatched_marks_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1, 2], [1, 2], marks="P")
+
+    def test_empty_is_graceful(self):
+        assert "(no points)" in ascii_scatter([], [], title="x")
+
+    def test_axis_labels_present(self):
+        text = ascii_scatter([1], [1], xlabel="act", ylabel="est")
+        assert "est vs act" in text
+
+    def test_all_points_land_in_grid(self):
+        # No exception for extreme aspect ratios / ranges.
+        ascii_scatter([0.001, 1000.0], [1000.0, 0.001], width=10, height=5)
+
+
+class TestAsciiBars:
+    def test_renders_all_bars(self):
+        text = ascii_bars(["a", "bb"], [1.0, 2.0], unit="s")
+        assert "a " in text or "a|" in text or "a |" in text
+        assert "2.00s" in text
+
+    def test_longest_bar_is_max(self):
+        text = ascii_bars(["x", "y"], [1.0, 4.0], width=20)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert rows[1].count("#") > rows[0].count("#")
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_empty_is_graceful(self):
+        assert "(no bars)" in ascii_bars([], [], title="t")
+
+    def test_zero_values_safe(self):
+        ascii_bars(["a", "b"], [0.0, 0.0])
+
+
+class TestLogTicks:
+    def test_covers_range(self):
+        ticks = log_ticks(0.5, 200.0)
+        assert ticks[0] <= 0.5
+        assert ticks[-1] >= 200.0
+
+    def test_decades(self):
+        assert log_ticks(1.0, 100.0) == [1.0, 10.0, 100.0]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            log_ticks(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_ticks(10.0, 1.0)
+
+
+class TestRunner:
+    def test_experiment_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "table2",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(["fig99"])
+
+    def test_runs_cheap_subset(self):
+        out = io.StringIO()
+        timings = run_all(["table1"], output=out)
+        assert "table1" in timings
+        assert "mid-range" in out.getvalue()

@@ -1,0 +1,97 @@
+"""Smoke tests of the experiment harness at reduced scale.
+
+The full-scale runs live under ``benchmarks/``; here each experiment
+function is exercised with small budgets to lock its interface and
+basic result shapes into the unit suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    format_table,
+    run_fig3,
+    run_table1,
+)
+from repro.experiments.common import (
+    ExperimentContext,
+    cluster_by_name,
+    fit_memory_estimator,
+)
+
+
+class TestCommonHelpers:
+    def test_cluster_by_name(self):
+        assert cluster_by_name("mid-range").name == "mid-range"
+        assert cluster_by_name("high-end", n_nodes=4).n_gpus == 32
+
+    def test_unknown_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_by_name("hyperscale")
+
+    def test_context_creation(self):
+        ctx = ExperimentContext.create("mid-range", n_nodes=2, seed=1)
+        assert ctx.cluster.n_gpus == 16
+        assert ctx.network.bandwidth.n_gpus == 16
+        # Off-ladder size falls back to the smallest ladder model.
+        assert ctx.model.name == "gpt-774m"
+
+    def test_context_ladder_model_at_full_scale(self):
+        ctx = ExperimentContext.create("mid-range", n_nodes=16, seed=1)
+        assert ctx.model.name == "gpt-3.1b"
+
+    def test_context_explicit_model(self):
+        ctx = ExperimentContext.create("mid-range", model_name="gpt-toy",
+                                       n_nodes=2, seed=1)
+        assert ctx.model.name == "gpt-toy"
+
+    def test_measure_caches_default_mapping_runs(self):
+        ctx = ExperimentContext.create("mid-range", model_name="gpt-small",
+                                       n_nodes=2, seed=1)
+        from repro.parallel import ParallelConfig
+        config = ParallelConfig(pp=2, tp=8, dp=1, micro_batch=1,
+                                global_batch=4)
+        a = ctx.measure(config)
+        b = ctx.measure(config)
+        assert a is b
+
+    def test_format_table_renders(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": None}],
+                            title="T")
+        assert "T" in text and "a" in text and "10" in text and "-" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+
+class TestFig3Smoke:
+    def test_small_campaign(self):
+        result = run_fig3(n_days=6, n_orderings=12, seed=0)
+        assert result.trace.latencies_ms.shape == (6, 5)
+        assert result.spread_ratio > 1.0
+        assert -1.0 <= result.rank_stability <= 1.0
+
+    def test_rows_printable(self):
+        result = run_fig3(n_days=3, n_orderings=8, seed=0)
+        text = format_table(result.trace.rows())
+        assert "Q(50%)" in text
+
+
+class TestTable1Smoke:
+    def test_rows(self):
+        rows = run_table1()
+        assert len(rows) == 2
+        assert {r["gpu"] for r in rows} == {"V100", "A100"}
+
+
+class TestEstimatorCache:
+    def test_cache_returns_same_object(self):
+        cluster = cluster_by_name("mid-range", n_nodes=2)
+        a = fit_memory_estimator(cluster, seed=5, iterations=300)
+        b = fit_memory_estimator(cluster, seed=5, iterations=300)
+        assert a is b
+
+    def test_different_budget_retrains(self):
+        cluster = cluster_by_name("mid-range", n_nodes=2)
+        a = fit_memory_estimator(cluster, seed=5, iterations=300)
+        b = fit_memory_estimator(cluster, seed=5, iterations=301)
+        assert a is not b

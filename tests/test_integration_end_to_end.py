@@ -1,0 +1,168 @@
+"""End-to-end integration: the full Pipette story on a small world.
+
+These tests tie every subsystem together the way the paper's
+evaluation does — profile, estimate, search, launch — on clusters
+small enough to keep the suite fast.
+"""
+
+import pytest
+
+from repro.baselines import (
+    AmpConfigurator,
+    MegatronLmTuner,
+    VarunaConfigurator,
+    analytic_memory_estimate_bytes,
+)
+from repro.cluster import Fabric, HeterogeneityModel, NetworkProfiler
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.core import (
+    MemoryEstimator,
+    PipetteConfigurator,
+    PipetteOptions,
+    SAOptions,
+    build_memory_dataset,
+)
+from repro.model import get_model
+from repro.profiling import profile_compute
+from repro.sim import ClusterRunner
+from repro.units import GIB, mape
+
+
+@pytest.fixture(scope="module")
+def world():
+    """An 8-node x 4-GPU cluster with a mid-size toy model."""
+    gpu = GpuSpec(name="IntGPU", memory_bytes=6 * GIB, peak_flops=20e12,
+                  achievable_fraction=0.4, hbm_gb_s=700.0)
+    node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                    intra_link=LinkSpec("NV", 120.0, alpha_s=2e-6))
+    cluster = ClusterSpec(name="integration", n_nodes=8, node=node,
+                          inter_link=LinkSpec("IB", 8.0, alpha_s=1.5e-5))
+    fabric = Fabric(cluster, heterogeneity=HeterogeneityModel(), seed=21)
+    model = get_model("gpt-small")
+    profile = profile_compute(model, cluster, seed=4)
+    network = NetworkProfiler(n_rounds=2).profile(fabric, seed=5)
+    runner = ClusterRunner(fabric, model, seed=6)
+    return cluster, fabric, model, profile, network, runner
+
+
+@pytest.fixture(scope="module")
+def trained_estimator(world):
+    cluster, fabric, model, profile, network, runner = world
+    dataset = build_memory_dataset(cluster, [model], [32, 64],
+                                   node_counts=[1, 2, 4], seed=1)
+    estimator = MemoryEstimator(hidden_size=64, n_hidden_layers=3, seed=1)
+    estimator.fit(dataset, iterations=4000)
+    return estimator
+
+
+class TestFullPipetteFlow:
+    def test_search_launch_roundtrip(self, world, trained_estimator):
+        cluster, fabric, model, profile, network, runner = world
+        pipette = PipetteConfigurator(
+            cluster, model, network.bandwidth, profile, trained_estimator,
+            options=PipetteOptions(
+                sa=SAOptions(max_iterations=600), sa_top_k=2, seed=3))
+        result = pipette.search(64)
+        assert result.best is not None
+        run = runner.run(result.best.config, result.best.mapping)
+        assert not run.oom
+        # The estimate should be in the ballpark of the launch.
+        rel = abs(result.best.estimated_latency_s - run.time_per_iter_s) \
+            / run.time_per_iter_s
+        assert rel < 0.25
+
+    def test_recommendation_beats_naive_placement(self, world,
+                                                  trained_estimator):
+        cluster, fabric, model, profile, network, runner = world
+        pipette = PipetteConfigurator(
+            cluster, model, network.bandwidth, profile, trained_estimator,
+            options=PipetteOptions(
+                sa=SAOptions(max_iterations=1500), sa_top_k=2, seed=3))
+        result = pipette.search(64)
+        tuned = runner.run(result.best.config, result.best.mapping)
+        naive = runner.run(result.best.config)
+        assert tuned.time_per_iter_s <= naive.time_per_iter_s * 1.01
+
+    def test_pipette_never_recommends_oom(self, world, trained_estimator):
+        cluster, fabric, model, profile, network, runner = world
+        pipette = PipetteConfigurator(
+            cluster, model, network.bandwidth, profile, trained_estimator,
+            options=PipetteOptions(use_worker_dedication=False))
+        result = pipette.search(64)
+        for entry in result.ranked[:5]:
+            assert not runner.run(entry.config).oom
+
+
+class TestBaselineComparison:
+    def test_method_ordering(self, world, trained_estimator):
+        """The paper's Fig. 6 ordering on the small world."""
+        cluster, fabric, model, profile, network, runner = world
+        nominal = fabric.nominal_bandwidth()
+
+        amp = AmpConfigurator(cluster, model, nominal, profile)
+        amp_pick = amp.first_runnable(
+            64, lambda c: not runner.run(c).oom)
+        assert amp_pick is not None
+        amp_time = runner.run(amp_pick.config).time_per_iter_s
+
+        pipette = PipetteConfigurator(
+            cluster, model, network.bandwidth, profile, trained_estimator,
+            options=PipetteOptions(
+                sa=SAOptions(max_iterations=1500), sa_top_k=3, seed=2))
+        result = pipette.search(64)
+        ppt_time = runner.run(result.best.config,
+                              result.best.mapping).time_per_iter_s
+        # Pipette must not lose to AMP's pick (ties allowed within 3%).
+        assert ppt_time <= amp_time * 1.03
+
+    def test_varuna_pipeline_only_is_slower(self, world):
+        cluster, fabric, model, profile, network, runner = world
+        varuna = VarunaConfigurator(cluster, model,
+                                    fabric.nominal_bandwidth(), profile)
+        pick = varuna.search_with_fallback(
+            64, lambda c: not runner.run(c).oom)
+        assert pick is not None
+        assert pick.config.tp == 1
+
+    def test_mlm_tuner_runs(self, world):
+        cluster, fabric, model, profile, network, runner = world
+        best, trials = MegatronLmTuner(runner).tune(64)
+        assert not best.oom
+        assert best.config.tp == cluster.gpus_per_node
+
+
+class TestEstimationQualityIntegration:
+    def test_latency_estimator_tracks_engine(self, world):
+        """Mini Fig. 5a: estimator vs engine over a config sample."""
+        cluster, fabric, model, profile, network, runner = world
+        pipette = PipetteConfigurator(
+            cluster, model, network.bandwidth, profile, None,
+            options=PipetteOptions(use_worker_dedication=False))
+        result = pipette.search(64)
+        est, act = [], []
+        for entry in result.ranked[:12]:
+            run = runner.run(entry.config)
+            if run.oom:
+                continue
+            est.append(entry.estimated_latency_s)
+            act.append(run.time_per_iter_s)
+        assert len(act) >= 5
+        assert mape(est, act) < 15.0
+
+    def test_memory_estimator_tracks_ground_truth(self, world,
+                                                  trained_estimator):
+        """Mini Fig. 7 on the integration world."""
+        cluster, fabric, model, profile, network, runner = world
+        from repro.parallel import enumerate_parallel_configs
+        from repro.sim.memory_sim import simulated_max_memory_bytes
+        configs = enumerate_parallel_configs(cluster.n_gpus, 64,
+                                             gpus_per_node=4,
+                                             n_layers=model.n_layers)[:20]
+        mlp_est, base_est, actual = [], [], []
+        for config in configs:
+            actual.append(simulated_max_memory_bytes(model, config, cluster,
+                                                     seed=99))
+            mlp_est.append(trained_estimator.predict_bytes(model, config))
+            base_est.append(analytic_memory_estimate_bytes(model, config))
+        assert mape(mlp_est, actual) < mape(base_est, actual)
+        assert all(b < a for b, a in zip(base_est, actual))

@@ -1,0 +1,149 @@
+"""Analytic memory breakdown: stage split, components, in-flight counts."""
+
+import pytest
+
+from repro.model import get_model
+from repro.model.memory import (
+    BYTES_PER_PARAM_GRADS,
+    BYTES_PER_PARAM_OPTIMIZER,
+    BYTES_PER_PARAM_WEIGHTS,
+    analytic_memory_breakdown,
+    first_principles_max_bytes,
+    max_stage_layer_count,
+    one_f_one_b_in_flight,
+    stage_layer_count,
+    stage_parameter_count,
+)
+
+
+class TestStageLayerCount:
+    def test_even_split(self):
+        assert [stage_layer_count(8, 4, s) for s in range(4)] == [2, 2, 2, 2]
+
+    def test_uneven_split_front_loaded(self):
+        assert [stage_layer_count(10, 4, s) for s in range(4)] == [3, 3, 2, 2]
+
+    def test_sums_to_total(self):
+        for layers, pp in [(34, 4), (72, 16), (7, 3)]:
+            assert sum(stage_layer_count(layers, pp, s)
+                       for s in range(pp)) == layers
+
+    def test_max_is_stage_zero(self):
+        assert max_stage_layer_count(10, 4) == stage_layer_count(10, 4, 0)
+
+    def test_rejects_more_stages_than_layers(self):
+        with pytest.raises(ValueError):
+            stage_layer_count(2, 3, 0)
+
+    def test_rejects_bad_stage(self):
+        with pytest.raises(ValueError):
+            stage_layer_count(8, 4, 4)
+
+
+class TestStageParameterCount:
+    def test_embeddings_on_first_stage(self):
+        m = get_model("gpt-toy")
+        first = stage_parameter_count(m, 2, 0)
+        second = stage_parameter_count(m, 2, 1)
+        # Both stages have 2 layers; the first adds the input
+        # embedding, the last the output head.
+        assert first - 2 * m.layer_params == m.embedding_params
+        assert second - 2 * m.layer_params == m.vocab_size * m.hidden_size
+
+    def test_single_stage_holds_everything(self):
+        m = get_model("gpt-toy")
+        assert stage_parameter_count(m, 1, 0) == m.param_count
+
+    def test_total_at_least_model(self):
+        # With pp > 1 the embedding is replicated on both ends.
+        m = get_model("gpt-toy")
+        total = sum(stage_parameter_count(m, 4, s) for s in range(4))
+        assert total >= m.param_count
+
+
+class TestInFlight:
+    def test_first_stage_holds_most(self):
+        assert one_f_one_b_in_flight(4, 0, 100) == 4
+        assert one_f_one_b_in_flight(4, 3, 100) == 1
+
+    def test_capped_by_microbatches(self):
+        assert one_f_one_b_in_flight(8, 0, 3) == 3
+
+    def test_monotone_in_stage(self):
+        vals = [one_f_one_b_in_flight(4, s, 16) for s in range(4)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_rejects_bad_stage(self):
+        with pytest.raises(ValueError):
+            one_f_one_b_in_flight(4, 4, 16)
+
+
+class TestBreakdown:
+    def test_static_bytes_per_param(self):
+        m = get_model("gpt-toy")
+        parts = analytic_memory_breakdown(m, 1, 1, 0, 1, 1)
+        per_param = parts.static_bytes / m.param_count
+        expected = (BYTES_PER_PARAM_WEIGHTS + BYTES_PER_PARAM_GRADS
+                    + BYTES_PER_PARAM_OPTIMIZER)
+        assert per_param == pytest.approx(expected)
+
+    def test_tp_divides_everything_static(self):
+        m = get_model("gpt-toy")
+        one = analytic_memory_breakdown(m, 1, 1, 0, 1, 1)
+        four = analytic_memory_breakdown(m, 1, 4, 0, 1, 1)
+        assert four.static_bytes == pytest.approx(one.static_bytes / 4)
+
+    def test_in_flight_scales_activations(self):
+        m = get_model("gpt-toy")
+        a1 = analytic_memory_breakdown(m, 2, 1, 0, 2, 1).activation_bytes
+        a2 = analytic_memory_breakdown(m, 2, 1, 0, 2, 2).activation_bytes
+        assert a2 == pytest.approx(2 * a1)
+
+    def test_logits_only_on_last_stage(self):
+        m = get_model("gpt-toy")
+        assert analytic_memory_breakdown(m, 2, 1, 0, 1, 1).logits_bytes == 0.0
+        assert analytic_memory_breakdown(m, 2, 1, 1, 1, 1).logits_bytes > 0.0
+
+    def test_total_is_component_sum(self):
+        m = get_model("gpt-toy")
+        p = analytic_memory_breakdown(m, 2, 2, 1, 2, 2)
+        assert p.total_bytes == pytest.approx(
+            p.weights_bytes + p.gradients_bytes + p.optimizer_bytes
+            + p.activation_bytes + p.logits_bytes)
+
+    def test_recompute_cuts_activations(self):
+        m = get_model("gpt-toy")
+        full = analytic_memory_breakdown(m, 4, 1, 0, 2, 4)
+        rc = analytic_memory_breakdown(m, 4, 1, 0, 2, 4, recompute=True)
+        assert rc.activation_bytes < full.activation_bytes
+
+    def test_recompute_keeps_working_set(self):
+        m = get_model("gpt-toy")
+        rc = analytic_memory_breakdown(m, 4, 1, 0, 2, 4, recompute=True)
+        layers = stage_layer_count(m.n_layers, 4, 0)
+        working = layers * m.activation_bytes_per_layer(2)
+        assert rc.activation_bytes >= working
+
+
+class TestFirstPrinciplesMax:
+    def test_positive(self):
+        m = get_model("gpt-toy")
+        assert first_principles_max_bytes(m, 2, 2, 2, 4) > 0
+
+    def test_covers_every_stage(self):
+        m = get_model("gpt-toy")
+        total = first_principles_max_bytes(m, 2, 1, 1, 8)
+        for stage in range(2):
+            in_flight = one_f_one_b_in_flight(2, stage, 8)
+            parts = analytic_memory_breakdown(m, 2, 1, stage, 1, in_flight)
+            assert total >= parts.total_bytes * 0.999
+
+    def test_more_tp_means_less_memory(self):
+        m = get_model("gpt-toy")
+        assert first_principles_max_bytes(m, 2, 4, 2, 4) \
+            < first_principles_max_bytes(m, 2, 1, 2, 4)
+
+    def test_recompute_reduces(self):
+        m = get_model("gpt-toy")
+        assert first_principles_max_bytes(m, 4, 1, 2, 8, recompute=True) \
+            < first_principles_max_bytes(m, 4, 1, 2, 8)

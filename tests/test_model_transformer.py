@@ -1,0 +1,141 @@
+"""Transformer architecture formulas: params, FLOPs, activations."""
+
+import pytest
+
+from repro.model import TransformerConfig, get_model
+from repro.model.catalog import MODEL_CATALOG
+
+
+class TestValidation:
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", n_layers=2, hidden_size=100, n_heads=3)
+
+    def test_positive_fields(self):
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", n_layers=0, hidden_size=64, n_heads=4)
+
+
+class TestParamCounts:
+    def test_layer_params_formula(self):
+        m = TransformerConfig("m", n_layers=1, hidden_size=64, n_heads=4)
+        assert m.layer_params == 12 * 64 * 64 + 13 * 64
+
+    def test_embedding_params(self):
+        m = TransformerConfig("m", n_layers=1, hidden_size=64, n_heads=4,
+                              seq_length=32, vocab_size=1000)
+        assert m.embedding_params == (1000 + 32) * 64
+
+    def test_total_is_sum(self):
+        m = get_model("gpt-toy")
+        assert m.param_count == m.n_layers * m.layer_params + m.embedding_params
+
+    @pytest.mark.parametrize("name,target_b,tol", [
+        ("gpt-774m", 0.774, 0.08),
+        ("gpt-1.1b", 1.1, 0.10),
+        ("gpt-3.1b", 3.1, 0.05),
+        ("gpt-2.2b", 2.2, 0.05),
+        ("gpt-8.1b", 8.1, 0.05),
+        ("gpt-11.1b", 11.1, 0.05),
+    ])
+    def test_catalog_sizes_match_labels(self, name, target_b, tol):
+        m = get_model(name)
+        assert abs(m.billions - target_b) / target_b < tol
+
+
+class TestFlops:
+    def test_layer_flops_scale_linearly_with_batch(self):
+        m = get_model("gpt-toy")
+        assert m.layer_flops_forward(4) == pytest.approx(
+            4 * m.layer_flops_forward(1))
+
+    def test_backward_is_twice_forward(self):
+        m = get_model("gpt-toy")
+        fwd = m.n_layers * m.layer_flops_forward(2)
+        assert m.microbatch_flops(2) == pytest.approx(3 * fwd)
+
+    def test_partial_layers(self):
+        m = get_model("gpt-toy")
+        assert m.microbatch_flops(1, n_layers=2) == pytest.approx(
+            m.microbatch_flops(1) / 2)
+
+    def test_head_adds_flops(self):
+        m = get_model("gpt-toy")
+        assert m.microbatch_flops(1, include_head=True) \
+            > m.microbatch_flops(1, include_head=False)
+
+    def test_head_flops_formula(self):
+        m = get_model("gpt-toy")
+        expected = 2.0 * 1 * m.seq_length * m.hidden_size * m.vocab_size
+        assert m.embedding_flops_forward(1) == pytest.approx(expected)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            get_model("gpt-toy").layer_flops_forward(0)
+
+
+class TestActivations:
+    def test_formula(self):
+        m = TransformerConfig("m", n_layers=1, hidden_size=64, n_heads=4,
+                              seq_length=32)
+        b = 2
+        expected = 32 * b * 64 * (34.0 + 5.0 * 4 * 32 / 64)
+        assert m.activation_bytes_per_layer(b) == pytest.approx(expected)
+
+    def test_linear_in_microbatch(self):
+        m = get_model("gpt-toy")
+        assert m.activation_bytes_per_layer(8) == pytest.approx(
+            8 * m.activation_bytes_per_layer(1))
+
+    def test_boundary_is_fp16_tensor(self):
+        m = get_model("gpt-toy")
+        assert m.boundary_activation_bytes(3) == pytest.approx(
+            2.0 * m.seq_length * 3 * m.hidden_size)
+
+    def test_boundary_smaller_than_full_layer(self):
+        m = get_model("gpt-toy")
+        assert m.boundary_activation_bytes(4) < m.activation_bytes_per_layer(4)
+
+
+class TestCatalog:
+    def test_lookup(self):
+        assert get_model("gpt-3.1b").name == "gpt-3.1b"
+
+    def test_unknown_name_lists_catalog(self):
+        with pytest.raises(KeyError, match="gpt-3.1b"):
+            get_model("gpt-nonexistent")
+
+    def test_all_entries_valid(self):
+        for name, m in MODEL_CATALOG.items():
+            assert m.name == name
+            assert m.hidden_size % m.n_heads == 0
+
+    def test_high_end_models_use_longer_sequences(self):
+        assert get_model("gpt-11.1b").seq_length == 2048
+        assert get_model("gpt-3.1b").seq_length == 1024
+
+
+class TestLadder:
+    def test_mid_range_ladder(self):
+        from repro.model import model_for_gpus
+        assert model_for_gpus("mid-range", 32).name == "gpt-774m"
+        assert model_for_gpus("mid-range", 64).name == "gpt-1.1b"
+        assert model_for_gpus("mid-range", 128).name == "gpt-3.1b"
+
+    def test_high_end_ladder(self):
+        from repro.model import model_for_gpus
+        assert model_for_gpus("high-end", 32).name == "gpt-2.2b"
+        assert model_for_gpus("high-end", 64).name == "gpt-8.1b"
+        assert model_for_gpus("high-end", 128).name == "gpt-11.1b"
+
+    def test_ladder_is_weakly_scaling(self):
+        from repro.model import model_for_gpus
+        for cluster in ("mid-range", "high-end"):
+            sizes = [model_for_gpus(cluster, n).param_count
+                     for n in (32, 64, 128)]
+            assert sizes == sorted(sizes)
+
+    def test_unknown_size_rejected(self):
+        from repro.model import model_for_gpus
+        with pytest.raises(KeyError):
+            model_for_gpus("mid-range", 48)

@@ -1,0 +1,124 @@
+"""Collective cost models (Thakur et al. formulas) and message sizes."""
+
+import pytest
+
+from repro.model import get_model
+from repro.parallel import (
+    TP_ALLREDUCES_PER_LAYER,
+    dp_message_bytes,
+    hierarchical_allreduce_time,
+    p2p_time,
+    pp_message_bytes,
+    ring_allreduce_time,
+    tp_allreduce_bytes,
+    tp_comm_time,
+)
+from repro.units import GB
+
+
+class TestP2P:
+    def test_bandwidth_term(self):
+        assert p2p_time(GB, 1.0) == pytest.approx(1.0)
+
+    def test_alpha_added(self):
+        assert p2p_time(0, 1.0, alpha_s=1e-5) == pytest.approx(1e-5)
+
+    def test_rejects_negative_message(self):
+        with pytest.raises(ValueError):
+            p2p_time(-1, 1.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            p2p_time(1, 0.0)
+
+
+class TestRingAllreduce:
+    def test_single_peer_free(self):
+        assert ring_allreduce_time(GB, 1, 1.0) == 0.0
+
+    def test_two_peer_formula(self):
+        # 2(p-1)/p * n/B with p=2: exactly n/B.
+        assert ring_allreduce_time(GB, 2, 1.0) == pytest.approx(1.0)
+
+    def test_asymptote(self):
+        # As p grows the cost approaches 2 n/B.
+        t = ring_allreduce_time(GB, 1000, 1.0)
+        assert 1.99 < t < 2.0
+
+    def test_monotone_in_peers(self):
+        times = [ring_allreduce_time(GB, p, 1.0) for p in (2, 4, 8, 16)]
+        assert times == sorted(times)
+
+    def test_alpha_scales_with_steps(self):
+        t = ring_allreduce_time(0, 5, 1.0, alpha_s=1e-6)
+        assert t == pytest.approx(2 * 4 * 1e-6)
+
+    def test_rejects_bad_peer_count(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_time(GB, 0, 1.0)
+
+
+class TestHierarchicalAllreduce:
+    def test_pure_intra(self):
+        t = hierarchical_allreduce_time(GB, intra_peers=4, inter_peers=1,
+                                        intra_bandwidth_gb_s=10.0,
+                                        inter_bandwidth_gb_s=1.0)
+        assert t == pytest.approx(2 * ring_allreduce_time(GB, 4, 10.0))
+
+    def test_pure_inter(self):
+        t = hierarchical_allreduce_time(GB, intra_peers=1, inter_peers=4,
+                                        intra_bandwidth_gb_s=10.0,
+                                        inter_bandwidth_gb_s=1.0)
+        assert t == pytest.approx(ring_allreduce_time(GB, 4, 1.0))
+
+    def test_combined_is_sum(self):
+        t = hierarchical_allreduce_time(GB, 4, 2, 10.0, 1.0)
+        expected = 2 * ring_allreduce_time(GB, 4, 10.0) \
+            + ring_allreduce_time(GB, 2, 1.0)
+        assert t == pytest.approx(expected)
+
+    def test_degenerate_is_free(self):
+        assert hierarchical_allreduce_time(GB, 1, 1, 10.0, 1.0) == 0.0
+
+
+class TestMessageSizes:
+    def test_pp_message_matches_boundary(self):
+        m = get_model("gpt-toy")
+        assert pp_message_bytes(m, 2) == m.boundary_activation_bytes(2)
+
+    def test_dp_message_fp32_grads(self):
+        m = get_model("gpt-toy")
+        from repro.model.memory import stage_parameter_count
+        expected = 4.0 * stage_parameter_count(m, 2, 0) / 2
+        assert dp_message_bytes(m, 2, 2, stage=0) == pytest.approx(expected)
+
+    def test_dp_message_shrinks_with_tp(self):
+        m = get_model("gpt-toy")
+        assert dp_message_bytes(m, 1, 4) == pytest.approx(
+            dp_message_bytes(m, 1, 1) / 4)
+
+    def test_tp_allreduce_payload(self):
+        m = get_model("gpt-toy")
+        assert tp_allreduce_bytes(m, 3) == pytest.approx(
+            2.0 * m.seq_length * 3 * m.hidden_size)
+
+
+class TestTpCommTime:
+    def test_zero_for_tp1(self):
+        m = get_model("gpt-toy")
+        assert tp_comm_time(m, 4, 2, 1, 100.0) == 0.0
+
+    def test_counts_allreduces_per_layer(self):
+        m = get_model("gpt-toy")
+        one_layer = tp_comm_time(m, 1, 2, 4, 100.0)
+        one_ar = ring_allreduce_time(tp_allreduce_bytes(m, 2), 4, 100.0)
+        assert one_layer == pytest.approx(TP_ALLREDUCES_PER_LAYER * one_ar)
+
+    def test_linear_in_layers(self):
+        m = get_model("gpt-toy")
+        assert tp_comm_time(m, 4, 2, 4, 100.0) == pytest.approx(
+            4 * tp_comm_time(m, 1, 2, 4, 100.0))
+
+    def test_zero_layers_free(self):
+        m = get_model("gpt-toy")
+        assert tp_comm_time(m, 0, 2, 4, 100.0) == 0.0

@@ -1,0 +1,109 @@
+"""ParallelConfig invariants and configuration-space enumeration."""
+
+import pytest
+
+from repro.parallel import ParallelConfig, enumerate_parallel_configs
+
+
+class TestParallelConfig:
+    def test_derived_quantities(self):
+        c = ParallelConfig(pp=4, tp=2, dp=8, micro_batch=2, global_batch=128)
+        assert c.n_gpus == 64
+        assert c.mini_batch == 16
+        assert c.n_microbatches == 8
+
+    def test_rejects_dp_not_dividing_global(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(pp=1, tp=1, dp=3, micro_batch=1, global_batch=128)
+
+    def test_rejects_micro_not_dividing_mini(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(pp=1, tp=1, dp=4, micro_batch=3, global_batch=128)
+
+    def test_rejects_nonpositive_ways(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(pp=0, tp=1, dp=1, micro_batch=1, global_batch=8)
+
+    def test_describe(self):
+        c = ParallelConfig(pp=4, tp=8, dp=4, micro_batch=2, global_batch=512)
+        assert c.describe() == "pp4-tp8-dp4-mb2"
+
+    def test_describe_recompute(self):
+        c = ParallelConfig(pp=4, tp=1, dp=4, micro_batch=2, global_batch=512,
+                           recompute=True)
+        assert c.describe().endswith("-rc")
+
+    def test_with_recompute(self):
+        c = ParallelConfig(pp=2, tp=2, dp=2, micro_batch=1, global_batch=8)
+        rc = c.with_recompute()
+        assert rc.recompute and not c.recompute
+        assert (rc.pp, rc.tp, rc.dp) == (c.pp, c.tp, c.dp)
+
+    def test_hashable_for_caching(self):
+        a = ParallelConfig(pp=2, tp=2, dp=2, micro_batch=1, global_batch=8)
+        b = ParallelConfig(pp=2, tp=2, dp=2, micro_batch=1, global_batch=8)
+        assert len({a, b}) == 1
+
+    def test_ordering_defined(self):
+        a = ParallelConfig(pp=1, tp=2, dp=4, micro_batch=1, global_batch=8)
+        b = ParallelConfig(pp=2, tp=2, dp=2, micro_batch=1, global_batch=8)
+        assert a < b
+
+
+class TestEnumeration:
+    def test_products_match_gpus(self):
+        for c in enumerate_parallel_configs(16, 64):
+            assert c.pp * c.tp * c.dp == 16
+
+    def test_tp_bounded_by_node(self):
+        for c in enumerate_parallel_configs(64, 64, gpus_per_node=8):
+            assert c.tp <= 8
+
+    def test_tp_power_of_two(self):
+        for c in enumerate_parallel_configs(24, 48, gpus_per_node=8):
+            assert c.tp in (1, 2, 4, 8)
+
+    def test_tp_any_when_disabled(self):
+        tps = {c.tp for c in enumerate_parallel_configs(
+            24, 48, gpus_per_node=8, tp_power_of_two=False)}
+        assert 3 in tps or 6 in tps
+
+    def test_pp_bounded_by_layers(self):
+        for c in enumerate_parallel_configs(64, 64, n_layers=4):
+            assert c.pp <= 4
+
+    def test_micro_divides_mini(self):
+        for c in enumerate_parallel_configs(16, 48):
+            assert c.mini_batch % c.micro_batch == 0
+
+    def test_micro_cap_respected(self):
+        for c in enumerate_parallel_configs(16, 256, max_micro_batch=4):
+            assert c.micro_batch <= 4
+
+    def test_explicit_micro_batches(self):
+        configs = enumerate_parallel_configs(16, 64, micro_batches=[2])
+        assert configs
+        assert all(c.micro_batch == 2 for c in configs)
+
+    def test_no_duplicates(self):
+        configs = enumerate_parallel_configs(32, 128)
+        assert len(configs) == len(set(configs))
+
+    def test_dp_divides_global_batch(self):
+        for c in enumerate_parallel_configs(16, 24):
+            assert 24 % c.dp == 0
+
+    def test_known_small_case(self):
+        # 4 GPUs, global batch 4, micro fixed 1: pp*tp*dp = 4 with
+        # tp in {1,2,4}, dp | 4.
+        configs = enumerate_parallel_configs(4, 4, gpus_per_node=4,
+                                             micro_batches=[1])
+        triples = {(c.pp, c.tp, c.dp) for c in configs}
+        expected = {(1, 1, 4), (1, 2, 2), (1, 4, 1), (2, 1, 2), (2, 2, 1),
+                    (4, 1, 1)}
+        assert triples == expected
+
+    def test_empty_when_nothing_fits(self):
+        # dp must divide the global batch; with batch 1 only dp=1 works.
+        configs = enumerate_parallel_configs(8, 1, gpus_per_node=8)
+        assert all(c.dp == 1 for c in configs)

@@ -1,0 +1,102 @@
+"""Compute-time model and profiled quantities."""
+
+import pytest
+
+from repro.model import get_model
+from repro.profiling import ComputeTimeModel, profile_compute
+from repro.cluster.presets import high_end_cluster, mid_range_cluster
+
+
+@pytest.fixture
+def v100(tiny_cluster):
+    return ComputeTimeModel(gpu=mid_range_cluster().node.gpu)
+
+
+class TestUtilizationCurve:
+    def test_monotone_in_microbatch(self, v100):
+        utils = [v100.utilization(b) for b in (1, 2, 4, 8, 16)]
+        assert utils == sorted(utils)
+
+    def test_bounded(self, v100):
+        assert 0.0 < v100.utilization(1) < v100.utilization(64) < 1.0
+
+    def test_half_point_semantics(self):
+        model = ComputeTimeModel(gpu=mid_range_cluster().node.gpu,
+                                 utilization_half_point=2.0)
+        assert model.utilization(2) == pytest.approx(0.5)
+
+    def test_rejects_bad_microbatch(self, v100):
+        with pytest.raises(ValueError):
+            v100.utilization(0)
+
+
+class TestStageComputeTime:
+    def test_scales_inverse_with_tp_up_to_penalty(self, v100):
+        m = get_model("gpt-3.1b")
+        t1 = v100.stage_compute_time(m, 2, 0, 1, 4)
+        t8 = v100.stage_compute_time(m, 2, 0, 8, 4)
+        # tp=8 divides work by 8 but pays the narrow-GEMM penalty.
+        assert t1 / 8 < t8 < t1 / 8 * 1.5
+
+    def test_tp_penalty_grows_with_tp(self):
+        model = ComputeTimeModel(gpu=mid_range_cluster().node.gpu,
+                                 tp_overhead_per_log2=0.1,
+                                 kernel_launch_s=0.0)
+        m = get_model("gpt-3.1b")
+        # Normalized per-GPU efficiency: t(tp) * tp should grow with tp.
+        ts = [model.stage_compute_time(m, 2, 0, tp, 4) * tp
+              for tp in (1, 2, 4, 8)]
+        assert ts == sorted(ts)
+
+    def test_last_stage_heavier_with_head(self, v100):
+        m = get_model("gpt-3.1b")
+        assert v100.stage_compute_time(m, 4, 3, 8, 4) \
+            > v100.stage_compute_time(m, 4, 2, 8, 4)
+
+    def test_max_stage_is_max(self, v100):
+        m = get_model("gpt-3.1b")
+        per_stage = [v100.stage_compute_time(m, 4, s, 8, 4)
+                     for s in range(4)]
+        assert v100.max_stage_compute_time(m, 4, 8, 4) == max(per_stage)
+
+    def test_a100_faster_than_v100(self):
+        m = get_model("gpt-3.1b")
+        v = ComputeTimeModel(gpu=mid_range_cluster().node.gpu)
+        a = ComputeTimeModel(gpu=high_end_cluster().node.gpu)
+        assert a.stage_compute_time(m, 2, 0, 8, 4) \
+            < v.stage_compute_time(m, 2, 0, 8, 4)
+
+    def test_bigger_microbatch_more_efficient_per_sample(self, v100):
+        m = get_model("gpt-3.1b")
+        t1 = v100.stage_compute_time(m, 2, 0, 8, 1)
+        t8 = v100.stage_compute_time(m, 2, 0, 8, 8)
+        assert t8 / 8 < t1  # per-sample time drops
+
+
+class TestComputeProfile:
+    def test_noise_free_profile_matches_model(self, tiny_cluster, toy_model):
+        profile = profile_compute(toy_model, tiny_cluster, noise_sigma=0.0)
+        direct = profile.compute.stage_compute_time(toy_model, 2, 0, 2, 1)
+        assert profile.stage_compute_time(2, 0, 2, 1) == direct
+
+    def test_noisy_profile_close_to_truth(self, tiny_cluster, toy_model):
+        profile = profile_compute(toy_model, tiny_cluster, noise_sigma=0.02,
+                                  seed=1)
+        direct = profile.compute.stage_compute_time(toy_model, 2, 0, 2, 1)
+        observed = profile.stage_compute_time(2, 0, 2, 1)
+        assert observed != direct
+        assert abs(observed - direct) / direct < 0.15
+
+    def test_measurements_cached(self, tiny_cluster, toy_model):
+        profile = profile_compute(toy_model, tiny_cluster, seed=1)
+        a = profile.stage_compute_time(2, 0, 2, 1)
+        b = profile.stage_compute_time(2, 0, 2, 1)
+        assert a == b
+        assert (2, 0, 2, 1) in profile.measurements
+
+    def test_profiles_deterministic_across_instances(self, tiny_cluster,
+                                                     toy_model):
+        a = profile_compute(toy_model, tiny_cluster, seed=9)
+        b = profile_compute(toy_model, tiny_cluster, seed=9)
+        assert a.stage_compute_time(4, 1, 2, 2) \
+            == b.stage_compute_time(4, 1, 2, 2)

@@ -1,0 +1,122 @@
+"""Property tests for mappings and latency-model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.model import get_model
+from repro.parallel import Mapping, ParallelConfig, WorkerGrid
+from repro.profiling import profile_compute
+from repro.core.latency_model import pipette_latency
+from repro.units import GIB
+
+
+def cluster_for(n_nodes, gpus_per_node):
+    gpu = GpuSpec("G", memory_bytes=4 * GIB, peak_flops=10e12)
+    node = NodeSpec(gpus_per_node=gpus_per_node, gpu=gpu,
+                    intra_link=LinkSpec("L", 100.0))
+    return ClusterSpec(name="prop", n_nodes=n_nodes, node=node,
+                       inter_link=LinkSpec("I", 10.0))
+
+
+@st.composite
+def grids(draw):
+    """Random valid (grid, cluster) pairs with tp | gpus_per_node.
+
+    Built constructively: pick the node shape and count, then factor
+    the resulting block count into (pp, dp) so the worker total always
+    matches the GPU total.
+    """
+    from repro.utils.validation import divisors
+
+    gpus_per_node = draw(st.sampled_from([2, 4]))
+    tp = draw(st.sampled_from([t for t in (1, 2, 4) if t <= gpus_per_node]))
+    n_nodes = draw(st.integers(min_value=1, max_value=4))
+    total_blocks = n_nodes * (gpus_per_node // tp)
+    pp = draw(st.sampled_from(divisors(total_blocks)))
+    dp = total_blocks // pp
+    cluster = cluster_for(n_nodes, gpus_per_node)
+    return WorkerGrid(pp=pp, tp=tp, dp=dp), cluster
+
+
+class TestMappingBijection:
+    @given(grids(), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_random_mapping_is_bijective(self, grid_cluster, seed):
+        grid, cluster = grid_cluster
+        from repro.parallel import random_block_mapping
+        m = random_block_mapping(grid, cluster, seed=seed)
+        gpus = sorted(
+            m.gpu(x, y, z)
+            for x in range(grid.pp)
+            for y in range(grid.tp)
+            for z in range(grid.dp)
+        )
+        assert gpus == list(range(cluster.n_gpus))
+
+    @given(grids(), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_consistency(self, grid_cluster, seed):
+        grid, cluster = grid_cluster
+        from repro.parallel import random_block_mapping
+        m = random_block_mapping(grid, cluster, seed=seed)
+        for x in range(grid.pp):
+            for z in range(grid.dp):
+                for y in range(grid.tp):
+                    assert m.worker_of_gpu(m.gpu(x, y, z)) == (x, y, z)
+
+    @given(grids(), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_tp_groups_never_straddle_nodes(self, grid_cluster, seed):
+        grid, cluster = grid_cluster
+        from repro.parallel import random_block_mapping
+        m = random_block_mapping(grid, cluster, seed=seed)
+        for x in range(grid.pp):
+            for z in range(grid.dp):
+                nodes = {cluster.node_of(g) for g in m.tp_group(x, z)}
+                assert len(nodes) == 1
+
+
+class TestLatencyModelProperties:
+    @given(st.integers(min_value=0, max_value=50),
+           st.floats(min_value=0.3, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_slower_network_never_helps(self, seed, scale):
+        # Scaling every link down by a constant must not reduce the
+        # latency estimate (monotonicity in bandwidth).
+        cluster = cluster_for(4, 4)
+        model = get_model("gpt-toy")
+        profile = profile_compute(model, cluster, noise_sigma=0.0)
+        config = ParallelConfig(pp=4, tp=1, dp=4, micro_batch=2,
+                                global_batch=32)
+        from repro.parallel import random_block_mapping
+        mapping = random_block_mapping(WorkerGrid(4, 1, 4), cluster,
+                                       seed=seed)
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(5.0, 50.0, size=(16, 16))
+        np.fill_diagonal(base, np.inf)
+        alpha = np.zeros((16, 16))
+        fast = BandwidthMatrix(matrix=base, alpha=alpha)
+        slow = BandwidthMatrix(matrix=base * scale, alpha=alpha)
+        t_fast = pipette_latency(model, config, mapping, fast, profile)
+        t_slow = pipette_latency(model, config, mapping, slow, profile)
+        assert t_slow >= t_fast - 1e-12
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_scales_with_microbatch_count(self, k):
+        cluster = cluster_for(4, 4)
+        model = get_model("gpt-toy")
+        profile = profile_compute(model, cluster, noise_sigma=0.0)
+        from repro.parallel import sequential_mapping
+        mapping = sequential_mapping(WorkerGrid(2, 4, 2), cluster)
+        bw = BandwidthMatrix(matrix=np.full((16, 16), 20.0),
+                             alpha=np.zeros((16, 16)))
+        t1 = pipette_latency(
+            model, ParallelConfig(2, 4, 2, 1, 2 * k), mapping, bw, profile)
+        t2 = pipette_latency(
+            model, ParallelConfig(2, 4, 2, 1, 4 * k), mapping, bw, profile)
+        assert t2 > t1

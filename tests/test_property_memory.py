@@ -1,0 +1,134 @@
+"""Property tests on the memory models' physical laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import analytic_memory_estimate_bytes
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.model import get_model
+from repro.model.memory import first_principles_max_bytes
+from repro.parallel import ParallelConfig
+from repro.sim.memory_sim import (
+    FrameworkOverheadModel,
+    simulated_max_memory_bytes,
+)
+from repro.units import GIB
+
+
+def cluster_of(n_nodes=4, gpus_per_node=4):
+    gpu = GpuSpec("G", memory_bytes=8 * GIB, peak_flops=1e13)
+    node = NodeSpec(gpus_per_node=gpus_per_node, gpu=gpu,
+                    intra_link=LinkSpec("L", 100.0))
+    return ClusterSpec(name="prop-mem", n_nodes=n_nodes, node=node,
+                       inter_link=LinkSpec("I", 10.0))
+
+
+@st.composite
+def configs(draw):
+    """Valid 16-GPU configurations of the toy model."""
+    tp = draw(st.sampled_from([1, 2, 4]))
+    pp = draw(st.sampled_from([1, 2, 4]))
+    dp = 16 // (tp * pp)
+    micro = draw(st.sampled_from([1, 2, 4]))
+    per_replica = draw(st.sampled_from([4, 8, 16]))
+    return ParallelConfig(pp=pp, tp=tp, dp=dp, micro_batch=micro,
+                          global_batch=per_replica * dp)
+
+
+NOISELESS = FrameworkOverheadModel(noise_sigma=0.0)
+
+
+class TestGroundTruthLaws:
+    @given(configs())
+    @settings(max_examples=40, deadline=None)
+    def test_ground_truth_exceeds_first_principles(self, config):
+        model = get_model("gpt-toy")
+        cluster = cluster_of()
+        actual = simulated_max_memory_bytes(model, config, cluster,
+                                            overhead=NOISELESS)
+        prior = first_principles_max_bytes(model, config.pp, config.tp,
+                                           config.micro_batch,
+                                           config.n_microbatches)
+        assert actual > prior
+
+    @given(configs())
+    @settings(max_examples=40, deadline=None)
+    def test_ground_truth_exceeds_analytic_baseline(self, config):
+        # The Fig. 7 claim must hold for every configuration, not just
+        # the sampled validation set.
+        model = get_model("gpt-toy")
+        cluster = cluster_of()
+        actual = simulated_max_memory_bytes(model, config, cluster,
+                                            overhead=NOISELESS)
+        assert analytic_memory_estimate_bytes(model, config) < actual
+
+    @given(configs())
+    @settings(max_examples=40, deadline=None)
+    def test_1f1b_never_beats_gpipe_memory(self, config):
+        model = get_model("gpt-toy")
+        cluster = cluster_of()
+        eff = simulated_max_memory_bytes(model, config, cluster,
+                                         overhead=NOISELESS,
+                                         schedule="1f1b")
+        una = simulated_max_memory_bytes(model, config, cluster,
+                                         overhead=NOISELESS,
+                                         schedule="gpipe")
+        assert eff <= una * (1 + 1e-9)
+
+    @given(configs())
+    @settings(max_examples=40, deadline=None)
+    def test_recompute_memory_law(self, config):
+        model = get_model("gpt-toy")
+        cluster = cluster_of()
+        plain = simulated_max_memory_bytes(model, config, cluster,
+                                           overhead=NOISELESS)
+        rc = simulated_max_memory_bytes(model, config.with_recompute(),
+                                        cluster, overhead=NOISELESS)
+        # Stage-granularity recompute keeps one microbatch's working
+        # set plus boundary checkpoints; it can exceed the plain
+        # schedule only by those checkpoints (the pp=1 degenerate case,
+        # where a stage is the whole model and nothing is saved).
+        checkpoints = model.boundary_activation_bytes(config.micro_batch) \
+            * min(config.pp, config.n_microbatches)
+        # Checkpoints are dynamic memory, so the allocator
+        # fragmentation factor (< 1.25) applies to them too.
+        assert rc <= plain + 1.25 * checkpoints + 1.0
+
+    @given(configs(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_measurement_noise_is_bounded(self, config, seed):
+        model = get_model("gpt-toy")
+        cluster = cluster_of()
+        clean = simulated_max_memory_bytes(model, config, cluster,
+                                           overhead=NOISELESS)
+        noisy = simulated_max_memory_bytes(model, config, cluster, seed=seed)
+        assert abs(noisy - clean) / clean < 0.10
+
+
+class TestPriorLaws:
+    @given(st.sampled_from([1, 2, 4]), st.sampled_from([1, 2, 4]),
+           st.sampled_from([1, 2, 4, 8]), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=50, deadline=None)
+    def test_prior_monotone_in_tp(self, pp, tp, micro, n_mb):
+        model = get_model("gpt-toy")
+        if tp == 4:
+            return
+        a = first_principles_max_bytes(model, pp, tp, micro, n_mb)
+        b = first_principles_max_bytes(model, pp, tp * 2, micro, n_mb)
+        assert b < a
+
+    @given(st.sampled_from([1, 2, 4]), st.sampled_from([1, 2]),
+           st.sampled_from([1, 2, 4]), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=50, deadline=None)
+    def test_prior_monotone_in_microbatch(self, pp, tp, micro, n_mb):
+        model = get_model("gpt-toy")
+        a = first_principles_max_bytes(model, pp, tp, micro, n_mb)
+        b = first_principles_max_bytes(model, pp, tp, micro * 2, n_mb)
+        assert b > a
+
+    @given(st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_prior_positive(self, micro):
+        model = get_model("gpt-toy")
+        assert first_principles_max_bytes(model, 2, 2, micro, 8) > 0

@@ -1,0 +1,119 @@
+"""Result-object APIs: experiment dataclasses, presets, small paths."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import default_heterogeneity, table1_rows
+from repro.experiments.fig6 import Fig6Result, MethodResult
+from repro.experiments.fig8 import ScalePoint
+from repro.experiments.fig9 import SensitivityPoint
+from repro.nn import MLP, train_regressor
+
+
+class TestFig6Result:
+    @pytest.fixture
+    def result(self):
+        return Fig6Result(cluster="mid-range", model="gpt-3.1b",
+                          global_batch=512, methods=[
+                              MethodResult("MLM", "pp4", 4.0, 1.0),
+                              MethodResult("AMP", "pp2", 5.0, 0.8),
+                              MethodResult("PPT-LF", "pp4", 3.8, 1.05),
+                          ])
+
+    def test_by_method(self, result):
+        assert result.by_method("AMP").time_per_iter_s == 5.0
+
+    def test_by_method_unknown(self, result):
+        with pytest.raises(KeyError):
+            result.by_method("nope")
+
+    def test_speedup(self, result):
+        assert result.speedup("PPT-LF", "AMP") == pytest.approx(5.0 / 3.8)
+
+
+class TestScaleAndSensitivityPoints:
+    def test_scale_point_speedup(self):
+        p = ScalePoint(cluster="c", n_gpus=32, model="m",
+                       amp_time_s=2.0, pipette_time_s=1.6)
+        assert p.speedup == pytest.approx(1.25)
+
+    def test_sensitivity_speedup(self):
+        p = SensitivityPoint(swept_value=8, amp_time_s=4.0,
+                             pipette_time_s=2.0)
+        assert p.speedup == pytest.approx(2.0)
+
+    def test_sensitivity_speedup_none_on_oom(self):
+        p = SensitivityPoint(swept_value=8, amp_time_s=None,
+                             pipette_time_s=2.0, amp_oom=True)
+        assert p.speedup is None
+
+    def test_sensitivity_speedup_none_without_pipette(self):
+        p = SensitivityPoint(swept_value=8, amp_time_s=4.0,
+                             pipette_time_s=None)
+        assert p.speedup is None
+
+
+class TestPresetDetails:
+    def test_table1_rows_fields(self):
+        rows = table1_rows()
+        for row in rows:
+            assert set(row) == {"cluster", "nodes", "gpus", "gpu",
+                                "gpu_memory_gib", "intra_node", "inter_node"}
+
+    def test_default_heterogeneity_per_cluster(self):
+        mid = default_heterogeneity("mid-range")
+        high = default_heterogeneity("high-end")
+        assert high.pair_sigma >= mid.pair_sigma
+
+    def test_default_heterogeneity_unknown(self):
+        with pytest.raises(ValueError):
+            default_heterogeneity("imaginary")
+
+    def test_make_fabric_custom_cluster_falls_back(self, tiny_cluster):
+        from repro.cluster.presets import make_fabric
+        fabric = make_fabric(tiny_cluster, seed=0)
+        assert fabric.spec is tiny_cluster
+
+    def test_high_end_memory_larger(self):
+        rows = {r["cluster"]: r for r in table1_rows()}
+        assert rows["high-end"]["gpu_memory_gib"] \
+            > rows["mid-range"]["gpu_memory_gib"]
+
+
+class TestTrainWithoutValidation:
+    def test_validation_fraction_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 2))
+        y = x.sum(axis=1)
+        net = MLP([2, 8, 1], seed=0)
+        result = train_regressor(net, x, y, iterations=300,
+                                 validation_fraction=0.0, seed=0)
+        assert result.iterations_run == 300
+        assert result.history == []
+        assert result.best_validation_loss >= 0.0
+
+    def test_invalid_validation_fraction(self):
+        net = MLP([2, 4, 1])
+        with pytest.raises(ValueError):
+            train_regressor(net, np.zeros((10, 2)), np.zeros(10),
+                            validation_fraction=1.0)
+
+
+class TestRunnerDefaults:
+    def test_default_mapping_is_sequential(self, tiny_fabric, toy_model,
+                                           toy_config):
+        from repro.parallel import WorkerGrid, sequential_mapping
+        from repro.sim import ClusterRunner
+        runner = ClusterRunner(tiny_fabric, toy_model)
+        expected = sequential_mapping(
+            WorkerGrid(toy_config.pp, toy_config.tp, toy_config.dp),
+            tiny_fabric.spec)
+        assert runner.default_mapping(toy_config) == expected
+
+    def test_measured_run_gib_property(self, tiny_fabric, toy_model,
+                                       toy_config):
+        from repro.sim import ClusterRunner
+        from repro.units import GIB
+        run = ClusterRunner(tiny_fabric, toy_model).run(toy_config)
+        assert run.max_memory_gib == pytest.approx(
+            run.max_memory_bytes / GIB)

@@ -1,0 +1,152 @@
+"""Memory ground truth: overhead model, OOM oracle, runner facade."""
+
+import pytest
+
+from repro.model import get_model
+from repro.parallel import ParallelConfig, WorkerGrid, sequential_mapping
+from repro.sim import (
+    ClusterRunner,
+    FrameworkOverheadModel,
+    is_oom,
+    simulated_max_memory_bytes,
+    simulated_memory_by_stage,
+)
+from repro.model.memory import analytic_memory_breakdown, one_f_one_b_in_flight
+
+
+@pytest.fixture
+def cfg():
+    return ParallelConfig(pp=2, tp=4, dp=2, micro_batch=2, global_batch=16)
+
+
+class TestMemorySim:
+    def test_stage_count(self, toy_model, tiny_cluster, cfg):
+        usages = simulated_memory_by_stage(toy_model, cfg, tiny_cluster)
+        assert len(usages) == cfg.pp
+
+    def test_max_is_max_of_stages(self, toy_model, tiny_cluster, cfg):
+        usages = simulated_memory_by_stage(toy_model, cfg, tiny_cluster)
+        assert simulated_max_memory_bytes(toy_model, cfg, tiny_cluster) \
+            == max(usages)
+
+    def test_exceeds_first_principles(self, toy_model, tiny_cluster, cfg):
+        # The whole point of §VI: real usage > analytic components.
+        in_flight = one_f_one_b_in_flight(cfg.pp, 0, cfg.n_microbatches)
+        analytic = analytic_memory_breakdown(
+            toy_model, cfg.pp, cfg.tp, 0, cfg.micro_batch, in_flight)
+        actual = simulated_memory_by_stage(toy_model, cfg, tiny_cluster)[0]
+        assert actual > analytic.total_bytes
+
+    def test_deterministic(self, toy_model, tiny_cluster, cfg):
+        a = simulated_max_memory_bytes(toy_model, cfg, tiny_cluster, seed=1)
+        b = simulated_max_memory_bytes(toy_model, cfg, tiny_cluster, seed=1)
+        assert a == b
+
+    def test_seed_jitters_measurement(self, toy_model, tiny_cluster, cfg):
+        a = simulated_max_memory_bytes(toy_model, cfg, tiny_cluster, seed=1)
+        b = simulated_max_memory_bytes(toy_model, cfg, tiny_cluster, seed=2)
+        assert a != b
+        assert abs(a - b) / a < 0.2
+
+    def test_gpipe_uses_more_than_1f1b(self, toy_model, tiny_cluster):
+        cfg = ParallelConfig(pp=4, tp=1, dp=4, micro_batch=1, global_batch=32)
+        eff = simulated_max_memory_bytes(toy_model, cfg, tiny_cluster,
+                                         schedule="1f1b")
+        una = simulated_max_memory_bytes(toy_model, cfg, tiny_cluster,
+                                         schedule="gpipe")
+        assert una > eff
+
+    def test_recompute_uses_less(self, toy_model, tiny_cluster):
+        cfg = ParallelConfig(pp=4, tp=1, dp=4, micro_batch=2, global_batch=64)
+        plain = simulated_max_memory_bytes(toy_model, cfg, tiny_cluster)
+        rc = simulated_max_memory_bytes(toy_model, cfg.with_recompute(),
+                                        tiny_cluster)
+        assert rc < plain
+
+    def test_unknown_schedule_rejected(self, toy_model, tiny_cluster, cfg):
+        with pytest.raises(ValueError):
+            simulated_memory_by_stage(toy_model, cfg, tiny_cluster,
+                                      schedule="magic")
+
+    def test_bigger_microbatch_uses_more(self, toy_model, tiny_cluster):
+        small = ParallelConfig(pp=2, tp=4, dp=2, micro_batch=1, global_batch=16)
+        big = ParallelConfig(pp=2, tp=4, dp=2, micro_batch=8, global_batch=16)
+        assert simulated_max_memory_bytes(toy_model, big, tiny_cluster) \
+            > simulated_max_memory_bytes(toy_model, small, tiny_cluster)
+
+
+class TestOverheadModel:
+    def test_fragmentation_grows_with_microbatches(self):
+        m = FrameworkOverheadModel()
+        a = ParallelConfig(pp=1, tp=1, dp=1, micro_batch=1, global_batch=2)
+        b = ParallelConfig(pp=1, tp=1, dp=1, micro_batch=1, global_batch=64)
+        assert m.fragmentation(b) > m.fragmentation(a)
+
+    def test_overhead_positive(self, toy_model, tiny_cluster, cfg):
+        m = FrameworkOverheadModel()
+        extra = m.overhead_bytes(toy_model, cfg, tiny_cluster, 0,
+                                 static_bytes=1e9, dynamic_bytes=1e9)
+        assert extra > m.context_bytes
+
+    def test_communicator_terms_require_parallelism(self, toy_model,
+                                                    tiny_cluster):
+        m = FrameworkOverheadModel(noise_sigma=0.0)
+        serial = ParallelConfig(pp=1, tp=1, dp=1, micro_batch=1,
+                                global_batch=1)
+        parallel = ParallelConfig(pp=2, tp=2, dp=4, micro_batch=1,
+                                  global_batch=4)
+        a = m.overhead_bytes(toy_model, serial, tiny_cluster, 0, 1e9, 1e9)
+        b = m.overhead_bytes(toy_model, parallel, tiny_cluster, 0, 1e9, 1e9)
+        assert b > a
+
+
+class TestOomOracle:
+    def test_toy_fits(self, toy_model, tiny_cluster, cfg):
+        assert not is_oom(toy_model, cfg, tiny_cluster)
+
+    def test_big_model_on_tiny_gpu_ooms(self, tiny_cluster):
+        model = get_model("gpt-small")  # 0.13B params on a 4 GiB GPU
+        cfg = ParallelConfig(pp=1, tp=1, dp=16, micro_batch=1,
+                             global_batch=16)
+        assert is_oom(model, cfg, tiny_cluster)
+
+    def test_parallelism_rescues(self, tiny_cluster):
+        model = get_model("gpt-small")
+        packed = ParallelConfig(pp=1, tp=1, dp=16, micro_batch=1,
+                                global_batch=16)
+        spread = ParallelConfig(pp=4, tp=4, dp=1, micro_batch=1,
+                                global_batch=16)
+        assert is_oom(model, packed, tiny_cluster)
+        assert not is_oom(model, spread, tiny_cluster)
+
+
+class TestRunner:
+    def test_oom_run_reports_infinite_time(self, tiny_fabric):
+        model = get_model("gpt-small")
+        runner = ClusterRunner(tiny_fabric, model)
+        run = runner.run(ParallelConfig(pp=1, tp=1, dp=16, micro_batch=1,
+                                        global_batch=16))
+        assert run.oom
+        assert run.time_per_iter_s == float("inf")
+
+    def test_runnable_reports_finite_time(self, tiny_fabric, toy_model, cfg):
+        runner = ClusterRunner(tiny_fabric, toy_model)
+        run = runner.run(cfg)
+        assert not run.oom
+        assert 0 < run.time_per_iter_s < float("inf")
+        assert run.max_memory_gib > 0
+
+    def test_rejects_wrong_gpu_count(self, tiny_fabric, toy_model):
+        runner = ClusterRunner(tiny_fabric, toy_model)
+        with pytest.raises(ValueError):
+            runner.run(ParallelConfig(pp=1, tp=1, dp=1, micro_batch=1,
+                                      global_batch=1))
+
+    def test_custom_mapping_changes_time(self, tiny_fabric, toy_model, cfg):
+        from repro.parallel import random_block_mapping
+        runner = ClusterRunner(tiny_fabric, toy_model)
+        grid = WorkerGrid(cfg.pp, cfg.tp, cfg.dp)
+        seq = runner.run(cfg, sequential_mapping(grid, tiny_fabric.spec))
+        rnd = runner.run(cfg, random_block_mapping(grid, tiny_fabric.spec,
+                                                   seed=5))
+        assert seq.time_per_iter_s != rnd.time_per_iter_s

@@ -1,0 +1,112 @@
+"""Pipeline schedules: 1F1B and GPipe op sequences."""
+
+import pytest
+
+from repro.sim.schedule import (
+    BACKWARD,
+    FORWARD,
+    PipelineOp,
+    build_schedule,
+    gpipe_schedule,
+    max_in_flight,
+    one_f_one_b_schedule,
+)
+
+
+def op_counts(ops):
+    fwd = sum(1 for o in ops if o.kind == FORWARD)
+    bwd = sum(1 for o in ops if o.kind == BACKWARD)
+    return fwd, bwd
+
+
+class TestPipelineOp:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            PipelineOp(0, "X", 0)
+
+    def test_rejects_negative_stage(self):
+        with pytest.raises(ValueError):
+            PipelineOp(-1, FORWARD, 0)
+
+
+class TestOneFOneB:
+    @pytest.mark.parametrize("pp,n_mb", [(1, 1), (2, 4), (4, 8), (4, 2), (8, 3)])
+    def test_each_stage_runs_every_microbatch(self, pp, n_mb):
+        sched = one_f_one_b_schedule(pp, n_mb)
+        assert len(sched) == pp
+        for ops in sched:
+            assert op_counts(ops) == (n_mb, n_mb)
+
+    def test_warmup_depth(self):
+        sched = one_f_one_b_schedule(4, 8)
+        # Stage 0 warms up with pp-1 forwards, then enters the steady
+        # 1F1B rhythm: one more forward, then its first backward.
+        kinds = [o.kind for o in sched[0][:5]]
+        assert kinds == [FORWARD, FORWARD, FORWARD, FORWARD, BACKWARD]
+
+    def test_last_stage_alternates_immediately(self):
+        sched = one_f_one_b_schedule(4, 4)
+        kinds = [o.kind for o in sched[3][:4]]
+        assert kinds == [FORWARD, BACKWARD, FORWARD, BACKWARD]
+
+    def test_backward_follows_own_forward(self):
+        # On every stage, B(m) must appear after F(m).
+        for pp, n_mb in [(2, 4), (4, 8), (3, 5)]:
+            sched = one_f_one_b_schedule(pp, n_mb)
+            for ops in sched:
+                f_pos = {o.microbatch: i for i, o in enumerate(ops)
+                         if o.kind == FORWARD}
+                for i, o in enumerate(ops):
+                    if o.kind == BACKWARD:
+                        assert f_pos[o.microbatch] < i
+
+    def test_microbatch_order_is_fifo(self):
+        sched = one_f_one_b_schedule(4, 8)
+        for ops in sched:
+            fwd = [o.microbatch for o in ops if o.kind == FORWARD]
+            bwd = [o.microbatch for o in ops if o.kind == BACKWARD]
+            assert fwd == sorted(fwd)
+            assert bwd == sorted(bwd)
+
+    def test_in_flight_bounded_by_pp_minus_stage(self):
+        # The memory-efficient property (Fig. 2b): stage s never holds
+        # more than pp - s live activations.
+        pp, n_mb = 4, 16
+        sched = one_f_one_b_schedule(pp, n_mb)
+        for s in range(pp):
+            assert max_in_flight(sched, s) == min(pp - s, n_mb)
+
+    def test_fewer_microbatches_than_stages(self):
+        sched = one_f_one_b_schedule(8, 2)
+        for ops in sched:
+            assert op_counts(ops) == (2, 2)
+
+
+class TestGpipe:
+    def test_all_forwards_first(self):
+        sched = gpipe_schedule(2, 4)
+        for ops in sched:
+            kinds = [o.kind for o in ops]
+            assert kinds == [FORWARD] * 4 + [BACKWARD] * 4
+
+    def test_in_flight_is_all_microbatches(self):
+        # The memory-unaware property (Fig. 2a).
+        sched = gpipe_schedule(4, 6)
+        for s in range(4):
+            assert max_in_flight(sched, s) == 6
+
+
+class TestBuildSchedule:
+    def test_dispatch(self):
+        assert build_schedule("1f1b", 2, 2) == one_f_one_b_schedule(2, 2)
+        assert build_schedule("gpipe", 2, 2) == gpipe_schedule(2, 2)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_schedule("interleaved", 2, 2)
+
+    def test_gpipe_holds_more_than_1f1b(self):
+        pp, n_mb = 4, 8
+        eff = one_f_one_b_schedule(pp, n_mb)
+        una = gpipe_schedule(pp, n_mb)
+        assert max_in_flight(una, 0) > max_in_flight(eff, 1)

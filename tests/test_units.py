@@ -1,0 +1,92 @@
+"""Unit conversions and the MAPE metric."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_prefixes(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024**2
+        assert units.GIB == 1024**3
+
+    def test_decimal_prefixes(self):
+        assert units.KB == 1000
+        assert units.MB == 10**6
+        assert units.GB == 10**9
+
+    def test_seconds_per_day(self):
+        assert units.SECONDS_PER_DAY == 86400.0
+
+
+class TestGbitConversion:
+    def test_edr_speed(self):
+        # InfiniBand EDR: 100 Gbit/s = 12.5 GB/s.
+        assert units.gbit_to_gbyte_per_s(100.0) == 12.5
+
+    def test_hdr_speed(self):
+        assert units.gbit_to_gbyte_per_s(200.0) == 25.0
+
+    def test_zero_allowed(self):
+        assert units.gbit_to_gbyte_per_s(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.gbit_to_gbyte_per_s(-1.0)
+
+
+class TestByteGibRoundtrip:
+    def test_one_gib(self):
+        assert units.bytes_to_gib(units.GIB) == 1.0
+
+    def test_roundtrip(self):
+        assert units.gib_to_bytes(units.bytes_to_gib(12345678.0)) == pytest.approx(12345678.0)
+
+
+class TestTransferTime:
+    def test_bandwidth_term(self):
+        assert units.transfer_time(units.GB, 10.0) == pytest.approx(0.1)
+
+    def test_alpha_term_added(self):
+        t = units.transfer_time(0.0, 10.0, alpha_s=5e-6)
+        assert t == pytest.approx(5e-6)
+
+    def test_negative_message_rejected(self):
+        with pytest.raises(ValueError):
+            units.transfer_time(-1.0, 10.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.transfer_time(1.0, 0.0)
+
+
+class TestMape:
+    def test_exact_is_zero(self):
+        assert units.mape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_uniform_underestimate(self):
+        # Estimating half of the actual everywhere is 50% MAPE.
+        assert units.mape([0.5, 1.0], [1.0, 2.0]) == pytest.approx(50.0)
+
+    def test_percent_scale(self):
+        assert units.mape([1.1], [1.0]) == pytest.approx(10.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            units.mape([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            units.mape([], [])
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            units.mape([1.0], [0.0])
+
+    def test_symmetric_over_points(self):
+        # MAPE is a mean over points, order must not matter.
+        a = units.mape([1.0, 3.0], [2.0, 2.0])
+        b = units.mape([3.0, 1.0], [2.0, 2.0])
+        assert a == pytest.approx(b)

@@ -1,0 +1,162 @@
+"""RNG plumbing and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    check_positive,
+    check_positive_int,
+    check_probability,
+    derive_seed,
+    divisors,
+    resolve_rng,
+    spawn_rng,
+)
+
+
+class TestResolveRng:
+    def test_none_is_deterministic(self):
+        a = resolve_rng(None).random()
+        b = resolve_rng(None).random()
+        assert a == b
+
+    def test_int_seed_reproducible(self):
+        assert resolve_rng(5).random() == resolve_rng(5).random()
+
+    def test_different_seeds_differ(self):
+        assert resolve_rng(1).random() != resolve_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(gen) is gen
+
+    def test_seedsequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(resolve_rng(seq), np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_rng("not-a-seed")
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, "abc") == derive_seed(3, "abc")
+
+    def test_key_sensitivity(self):
+        assert derive_seed(3, "abc") != derive_seed(3, "abd")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(3, "abc") != derive_seed(4, "abc")
+
+    def test_result_in_range(self):
+        s = derive_seed(2**40, "key")
+        assert 0 <= s < 2**63
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            derive_seed("x", "key")
+
+
+class TestSpawnRng:
+    def test_sibling_streams_differ(self):
+        a = spawn_rng(0, "one").random()
+        b = spawn_rng(0, "two").random()
+        assert a != b
+
+    def test_reproducible(self):
+        assert spawn_rng(9, "k").random() == spawn_rng(9, "k").random()
+
+    def test_order_independent_for_int_seed(self):
+        # Deriving "b" first must not change "a"'s stream.
+        a1 = spawn_rng(1, "a").random()
+        _ = spawn_rng(1, "b").random()
+        a2 = spawn_rng(1, "a").random()
+        assert a1 == a2
+
+    def test_generator_spawn(self):
+        gen = np.random.default_rng(0)
+        child = spawn_rng(gen, "unused")
+        assert isinstance(child, np.random.Generator)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(1.5, "x")
+
+    def test_rejects_bool(self):
+        # bools are ints in Python but not valid counts.
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValueError, match="widgets"):
+            check_positive_int(0, "widgets")
+
+
+class TestCheckPositive:
+    def test_accepts_float(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_accepts_int(self):
+        assert check_positive(2, "x") == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_positive(None, "x")
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
+
+
+class TestDivisors:
+    def test_twelve(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_perfect_square(self):
+        assert divisors(16) == [1, 2, 4, 8, 16]
+
+    def test_sorted_ascending(self):
+        d = divisors(360)
+        assert d == sorted(d)
+
+    def test_all_divide(self):
+        n = 240
+        assert all(n % d == 0 for d in divisors(n))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            divisors(0)
