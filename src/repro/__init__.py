@@ -62,6 +62,13 @@ from repro.parallel import (
     sequential_mapping,
 )
 from repro.profiling import ComputeTimeModel, profile_compute
+from repro.service import (
+    CandidateExecutor,
+    ClusterEvent,
+    PlanCache,
+    PlanRequest,
+    PlanningService,
+)
 from repro.sim import ClusterRunner, simulate_iteration, simulated_max_memory_bytes
 
 __version__ = "1.0.0"
@@ -94,6 +101,11 @@ __all__ = [
     "sequential_mapping",
     "ComputeTimeModel",
     "profile_compute",
+    "CandidateExecutor",
+    "ClusterEvent",
+    "PlanCache",
+    "PlanRequest",
+    "PlanningService",
     "ClusterRunner",
     "simulate_iteration",
     "simulated_max_memory_bytes",

@@ -8,6 +8,7 @@ noise, exactly as mpiGraph / NCCL-tests observe a physical fabric.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -76,6 +77,42 @@ class BandwidthMatrix:
             return 0.0
         sub = self.alpha[np.ix_(idx, idx)]
         return float(sub.max())  # diagonal is 0, so it never wins
+
+    def fingerprint(self, decimals: int = 3) -> str:
+        """Stable content hash of the matrix, for plan-cache keys.
+
+        The plan cache (:mod:`repro.service.cache`) keys invalidation
+        on this value: two profiling campaigns of an unchanged fabric
+        hash identically once quantized to ``decimals`` decimal GB/s,
+        while a node swap, link degradation, or real drift produces a
+        different fingerprint and retires the cached plans.
+        """
+        quant = np.round(np.where(np.isfinite(self.matrix), self.matrix, -1.0),
+                         decimals)
+        digest = hashlib.sha256()
+        digest.update(np.asarray(quant.shape, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(quant).tobytes())
+        digest.update(np.ascontiguousarray(
+            np.round(np.where(np.isfinite(self.alpha), self.alpha, -1.0),
+                     9)).tobytes())
+        return digest.hexdigest()[:16]
+
+    def restrict(self, gpus) -> "BandwidthMatrix":
+        """The sub-matrix covering only ``gpus``, renumbered compactly.
+
+        Elastic re-planning uses this after a node failure: the
+        surviving GPUs keep their measured pairwise bandwidths but are
+        re-indexed ``0..len(gpus)-1`` to match the shrunken
+        :class:`~repro.cluster.topology.ClusterSpec`.
+        """
+        idx = np.asarray(list(gpus), dtype=np.intp)
+        if idx.size == 0:
+            raise ValueError("cannot restrict to an empty GPU set")
+        if len(set(idx.tolist())) != idx.size:
+            raise ValueError("GPU ids must be unique")
+        sub = np.ix_(idx, idx)
+        return BandwidthMatrix(matrix=self.matrix[sub].copy(),
+                               alpha=self.alpha[sub].copy())
 
 
 class Fabric:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -74,6 +74,17 @@ class SAOptions:
             raise ValueError(f"unknown moves: {sorted(unknown)}")
         if not self.moves:
             raise ValueError("at least one move kind is required")
+
+    def with_seed(self, seed: int) -> "SAOptions":
+        """These options with a different move-stream seed.
+
+        Callers that anneal many candidates (the configurator's
+        refinement pass, the restart wrapper below) thread one explicit
+        seed per candidate through this helper, so the outcome is a
+        pure function of (options, seed) no matter which worker — or
+        which process of a pool — runs the candidate.
+        """
+        return replace(self, seed=int(seed))
 
 
 @dataclass
@@ -228,14 +239,7 @@ def anneal_mapping_with_restarts(initial: Mapping,
     options = options or SAOptions()
     best: SAResult | None = None
     for k in range(n_restarts):
-        run_options = SAOptions(
-            time_limit_s=options.time_limit_s,
-            max_iterations=options.max_iterations,
-            alpha=options.alpha,
-            initial_temperature=options.initial_temperature,
-            moves=options.moves,
-            seed=options.seed + 7919 * k,
-        )
+        run_options = options.with_seed(options.seed + 7919 * k)
         if k == 0:
             start_mapping = initial
         else:

@@ -12,6 +12,14 @@ Pipette:
    (lines 9-15),
 5. returns the best configuration, mapping, and estimated latency.
 
+The per-candidate work of steps 3-4 is factored into *pure, picklable
+work units* (:func:`memory_check_unit`, :func:`score_unit`,
+:func:`refine_unit`) operating on a :class:`SearchContext`.  The serial
+path simply calls them inline; :mod:`repro.service.executor` fans the
+same units out over a ``concurrent.futures`` pool.  Each refinement
+unit carries an explicit per-candidate seed, so parallel and serial
+searches produce identical results.
+
 The ablation variants of the paper's Fig. 6 are factory functions:
 :func:`pipette_l` (latency estimator only, naive mapping — "PPT-L")
 and :func:`pipette_lf` (plus fine-grained worker dedication —
@@ -21,7 +29,7 @@ and :func:`pipette_lf` (plus fine-grained worker dedication —
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cluster.fabric import BandwidthMatrix
 from repro.cluster.topology import ClusterSpec
@@ -80,6 +88,17 @@ class RankedConfig:
     estimated_memory_bytes: float | None
     memory_ok: bool
 
+    @property
+    def sort_key(self) -> tuple:
+        """Deterministic ranking key: latency, then configuration shape.
+
+        Symmetric clusters produce exact latency ties; breaking them on
+        ``(pp, tp, dp, micro_batch)`` keeps rankings stable across runs
+        and across serial/parallel worker pools.
+        """
+        return (self.estimated_latency_s, self.config.pp, self.config.tp,
+                self.config.dp, self.config.micro_batch)
+
 
 @dataclass
 class PipetteResult:
@@ -92,7 +111,8 @@ class PipetteResult:
         memory_check_s: wall-clock spent in the memory estimator
             (Table II row "Memory Estimation").
         annealing_s: wall-clock spent in SA (Table II row "Simulated
-            Annealing").
+            Annealing"); under a parallel executor this is the *sum*
+            of per-candidate annealing times, i.e. CPU time.
         total_s: end-to-end search time.
     """
 
@@ -102,6 +122,127 @@ class PipetteResult:
     memory_check_s: float
     annealing_s: float
     total_s: float
+
+
+# ---------------------------------------------------------------- work units
+
+
+@dataclass(frozen=True)
+class SearchContext:
+    """Everything a per-candidate work unit needs, in picklable form.
+
+    Work units receive the context plus a chunk of candidates, so one
+    search can fan its candidate set over thread or process pools; the
+    context crosses the process boundary once per chunk.
+    """
+
+    cluster: ClusterSpec
+    model: TransformerConfig
+    bandwidth: BandwidthMatrix
+    profile: ComputeProfile
+    memory_estimator: MemoryEstimator | None
+    sa: SAOptions
+
+
+def naive_mapping(ctx: SearchContext, config: ParallelConfig) -> Mapping:
+    """The framework-default sequential placement for ``config``."""
+    grid = WorkerGrid(pp=config.pp, tp=config.tp, dp=config.dp)
+    return sequential_mapping(grid, ctx.cluster)
+
+
+def candidate_latency(ctx: SearchContext, config: ParallelConfig,
+                      mapping: Mapping) -> float:
+    """Latency-estimator value of one (configuration, mapping) pair."""
+    return pipette_latency(ctx.model, config, mapping, ctx.bandwidth,
+                           ctx.profile)
+
+
+def memory_check_unit(payload: "tuple[SearchContext, tuple[ParallelConfig, ...]]"
+                      ) -> list[float]:
+    """Work unit: predicted per-GPU memory for a chunk of configurations."""
+    ctx, configs = payload
+    return [ctx.memory_estimator.predict_bytes(ctx.model, config)
+            for config in configs]
+
+
+def score_unit(payload: "tuple[SearchContext, tuple]") -> list[RankedConfig]:
+    """Work unit: naive-mapping latency for a chunk of survivors.
+
+    Each item is ``(config, predicted_bytes | None, memory_ok)``.
+    """
+    ctx, items = payload
+    out = []
+    for config, predicted, memory_ok in items:
+        mapping = naive_mapping(ctx, config)
+        out.append(RankedConfig(
+            config=config, mapping=mapping,
+            estimated_latency_s=candidate_latency(ctx, config, mapping),
+            estimated_memory_bytes=predicted,
+            memory_ok=memory_ok,
+        ))
+    return out
+
+
+def refine_unit(payload: "tuple[SearchContext, tuple]"
+                ) -> "list[tuple[RankedConfig, float]]":
+    """Work unit: SA worker dedication for a chunk of leaders.
+
+    Each item is ``(entry, seed)``; the explicit seed (assigned from
+    the entry's rank in the deterministically sorted leaderboard) makes
+    the result independent of which pool worker runs the unit.
+    Returns ``(refined entry, annealing seconds)`` pairs.
+    """
+    ctx, items = payload
+    out = []
+    for entry, seed in items:
+        result = anneal_mapping(
+            entry.mapping,
+            lambda m, c=entry.config: candidate_latency(ctx, c, m),
+            ctx.sa.with_seed(seed),
+        )
+        out.append((RankedConfig(
+            config=entry.config, mapping=result.mapping,
+            estimated_latency_s=result.value,
+            estimated_memory_bytes=entry.estimated_memory_bytes,
+            memory_ok=entry.memory_ok,
+        ), result.elapsed_s))
+    return out
+
+
+def even_chunks(items: "list", n_chunks: int) -> "list[tuple]":
+    """Split ``items`` into at most ``n_chunks`` contiguous tuples."""
+    n_chunks = max(1, min(int(n_chunks), len(items)))
+    size, extra = divmod(len(items), n_chunks)
+    chunks, start = [], 0
+    for i in range(n_chunks):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(tuple(items[start:end]))
+        start = end
+    return chunks
+
+
+def run_units(fn, ctx: SearchContext, items: "list", executor=None) -> list:
+    """Map a work unit over ``items``, inline or via an executor.
+
+    ``executor`` is anything exposing ``map(fn, payloads)`` plus an
+    ``n_workers`` attribute (see
+    :class:`repro.service.executor.CandidateExecutor`); ``None`` runs
+    the unit inline.  Results are flattened back into item order, so
+    the two paths are interchangeable.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if executor is None:
+        return list(fn((ctx, tuple(items))))
+    chunks = even_chunks(items, getattr(executor, "n_workers", 1))
+    out: list = []
+    for chunk_result in executor.map(fn, [(ctx, chunk) for chunk in chunks]):
+        out.extend(chunk_result)
+    return out
+
+
+# -------------------------------------------------------------- configurator
 
 
 class PipetteConfigurator:
@@ -135,6 +276,14 @@ class PipetteConfigurator:
 
     # ------------------------------------------------------------------ api
 
+    def context(self) -> SearchContext:
+        """The picklable work-unit context of this configurator."""
+        return SearchContext(
+            cluster=self.cluster, model=self.model, bandwidth=self.bandwidth,
+            profile=self.profile, memory_estimator=self.memory_estimator,
+            sa=self.options.sa,
+        )
+
     def estimate_latency(self, config: ParallelConfig,
                          mapping: Mapping | None = None) -> float:
         """Latency-estimator value for one configuration/mapping."""
@@ -145,7 +294,8 @@ class PipetteConfigurator:
 
     def search(self, global_batch: int,
                memory_limit_bytes: float | None = None,
-               micro_batches: "list[int] | None" = None) -> PipetteResult:
+               micro_batches: "list[int] | None" = None,
+               executor=None) -> PipetteResult:
         """Run Algorithm 1 and return the ranked feasible configurations.
 
         Args:
@@ -154,6 +304,10 @@ class PipetteConfigurator:
                 GPU's physical memory.
             micro_batches: restrict the swept microbatch sizes (the
                 sensitivity studies of Fig. 9 pin ``bs_micro``).
+            executor: optional candidate executor (see
+                :func:`run_units`); fans the memory check, naive
+                scoring and SA refinement over a worker pool.  Results
+                are identical to the serial search.
         """
         t_start = time.perf_counter()
         limit = memory_limit_bytes if memory_limit_bytes is not None \
@@ -165,93 +319,58 @@ class PipetteConfigurator:
             micro_batches=micro_batches,
             max_micro_batch=self.options.max_micro_batch,
         )
+        ctx = self.context()
 
+        # Memory pass (line 7): predict every candidate exactly once —
+        # the margin relaxation and the best-effort fallback below
+        # reuse the same predictions instead of re-running the MLP.
         memory_s = 0.0
         rejected = 0
-        survivors: list[tuple[ParallelConfig, float | None]] = []
-        margin = self.memory_estimator.soft_margin \
-            if self.memory_estimator is not None else 1.0
-        while True:
-            for config in configs:
-                if self.memory_estimator is None:
-                    survivors.append((config, None))
-                    continue
-                t0 = time.perf_counter()
-                predicted = self.memory_estimator.predict_bytes(self.model,
-                                                                config)
-                ok = predicted <= margin * limit
-                memory_s += time.perf_counter() - t0
-                if ok:
-                    survivors.append((config, predicted))
-                else:
-                    rejected += 1
-            if survivors or self.memory_estimator is None or margin >= 1.0:
-                break
-            # The soft margin left nothing on the table (it can exclude
-            # a lone configuration sitting just under the limit, e.g.
-            # very large batches on a full memory envelope).  Degrade
-            # gracefully: retry against the raw physical limit.
-            margin = 1.0
-            rejected = 0
-
-        best_effort = False
-        if not survivors and self.memory_estimator is not None and configs:
-            # Even the raw limit admits nothing by the estimator's
-            # account (its error can push a lone near-limit candidate
-            # over).  A practical tool still answers: recommend the
-            # least-memory candidates, flagged as best-effort.
-            best_effort = True
-            by_memory = sorted(
-                configs,
-                key=lambda c: self.memory_estimator.predict_bytes(self.model, c),
-            )
-            survivors = [
-                (c, self.memory_estimator.predict_bytes(self.model, c))
-                for c in by_memory[:3]
-            ]
+        survivors: "list[tuple[ParallelConfig, float | None, bool]]"
+        if self.memory_estimator is None:
+            survivors = [(config, None, True) for config in configs]
+        else:
+            t0 = time.perf_counter()
+            predicted = run_units(memory_check_unit, ctx, configs, executor)
+            memory_s = time.perf_counter() - t0
+            margin = self.memory_estimator.soft_margin
+            survivors = [(c, p, True) for c, p in zip(configs, predicted)
+                         if p <= margin * limit]
+            if not survivors and margin < 1.0:
+                # The soft margin left nothing on the table (it can
+                # exclude a lone configuration sitting just under the
+                # limit, e.g. very large batches on a full memory
+                # envelope).  Degrade gracefully: retry against the
+                # raw physical limit.
+                survivors = [(c, p, True) for c, p in zip(configs, predicted)
+                             if p <= limit]
+            rejected = len(configs) - len(survivors)
+            if not survivors and configs:
+                # Even the raw limit admits nothing by the estimator's
+                # account (its error can push a lone near-limit
+                # candidate over).  A practical tool still answers:
+                # recommend the least-memory candidates, flagged as
+                # best-effort (``memory_ok=False``).
+                by_memory = sorted(zip(configs, predicted),
+                                   key=lambda cp: cp[1])
+                survivors = [(c, p, False) for c, p in by_memory[:3]]
 
         # First pass: naive-mapping latency for every survivor.
-        scored: list[RankedConfig] = []
-        for config, predicted in survivors:
-            mapping = self._sequential(config)
-            latency = self.estimate_latency(config, mapping)
-            scored.append(RankedConfig(
-                config=config, mapping=mapping, estimated_latency_s=latency,
-                estimated_memory_bytes=predicted,
-                memory_ok=not best_effort,
-            ))
-        scored.sort(key=lambda r: r.estimated_latency_s)
+        scored = run_units(score_unit, ctx, survivors, executor)
+        scored.sort(key=lambda r: r.sort_key)
 
         # Second pass: fine-grained worker dedication on the leaders.
         annealing_s = 0.0
         if self.options.use_worker_dedication and scored:
             n_refine = len(scored) if self.options.sa_top_k == 0 \
                 else min(self.options.sa_top_k, len(scored))
-            refined = []
-            for rank, entry in enumerate(scored[:n_refine]):
-                sa_options = SAOptions(
-                    time_limit_s=self.options.sa.time_limit_s,
-                    max_iterations=self.options.sa.max_iterations,
-                    alpha=self.options.sa.alpha,
-                    initial_temperature=self.options.sa.initial_temperature,
-                    moves=self.options.sa.moves,
-                    seed=self.options.seed + rank,
-                )
-                result = anneal_mapping(
-                    entry.mapping,
-                    lambda m, c=entry.config: pipette_latency(
-                        self.model, c, m, self.bandwidth, self.profile),
-                    sa_options,
-                )
-                annealing_s += result.elapsed_s
-                refined.append(RankedConfig(
-                    config=entry.config, mapping=result.mapping,
-                    estimated_latency_s=result.value,
-                    estimated_memory_bytes=entry.estimated_memory_bytes,
-                    memory_ok=entry.memory_ok,
-                ))
+            entries = [(entry, self.options.seed + rank)
+                       for rank, entry in enumerate(scored[:n_refine])]
+            refined_pairs = run_units(refine_unit, ctx, entries, executor)
+            annealing_s = sum(elapsed for _, elapsed in refined_pairs)
+            refined = [entry for entry, _ in refined_pairs]
             scored = sorted(refined + scored[n_refine:],
-                            key=lambda r: r.estimated_latency_s)
+                            key=lambda r: r.sort_key)
 
         return PipetteResult(
             best=scored[0] if scored else None,
@@ -277,11 +396,7 @@ def pipette_l(cluster: ClusterSpec, model: TransformerConfig,
     base = options or PipetteOptions()
     return PipetteConfigurator(
         cluster, model, bandwidth, profile, memory_estimator,
-        options=PipetteOptions(
-            use_worker_dedication=False,
-            sa=base.sa, sa_top_k=base.sa_top_k,
-            max_micro_batch=base.max_micro_batch, seed=base.seed,
-        ),
+        options=replace(base, use_worker_dedication=False),
     )
 
 
@@ -293,9 +408,5 @@ def pipette_lf(cluster: ClusterSpec, model: TransformerConfig,
     base = options or PipetteOptions()
     return PipetteConfigurator(
         cluster, model, bandwidth, profile, memory_estimator,
-        options=PipetteOptions(
-            use_worker_dedication=True,
-            sa=base.sa, sa_top_k=base.sa_top_k,
-            max_micro_batch=base.max_micro_batch, seed=base.seed,
-        ),
+        options=replace(base, use_worker_dedication=True),
     )

@@ -6,6 +6,7 @@ from repro.parallel.mapping import (
     Mapping,
     sequential_mapping,
     random_block_mapping,
+    compact_mapping_after_failure,
 )
 from repro.parallel.collectives import (
     p2p_time,
@@ -27,6 +28,7 @@ __all__ = [
     "Mapping",
     "sequential_mapping",
     "random_block_mapping",
+    "compact_mapping_after_failure",
     "p2p_time",
     "ring_allreduce_time",
     "hierarchical_allreduce_time",

@@ -175,3 +175,60 @@ def random_block_mapping(grid: WorkerGrid, cluster: ClusterSpec,
     """A uniformly random block permutation (used by SA restarts and tests)."""
     rng = resolve_rng(seed)
     return Mapping(grid, cluster, rng.permutation(grid.n_blocks))
+
+
+def compact_mapping_after_failure(mapping: Mapping, failed_nodes,
+                                  new_cluster: ClusterSpec,
+                                  new_grid: WorkerGrid) -> Mapping:
+    """Mapping surgery: project a learned placement onto surviving nodes.
+
+    After ``failed_nodes`` drop out of ``mapping.cluster``, the
+    survivors are renumbered compactly into ``new_cluster`` (same node
+    hardware, fewer nodes) and the worker grid shrinks to ``new_grid``.
+    This keeps what simulated annealing learned: surviving TP-group
+    blocks retain their relative placement (each old slot is renumbered
+    to its compact position), and blocks that lived on failed nodes
+    are re-dealt onto the slots freed by the shrink, in logical order.
+    The result seeds a warm-start anneal that converges far faster than
+    a cold search (:mod:`repro.service.replan`).
+
+    Args:
+        mapping: the previously optimized placement.
+        failed_nodes: node indices of ``mapping.cluster`` that died.
+        new_cluster: the shrunken cluster (``n_nodes`` reduced by the
+            failure count; GPU ids compact).
+        new_grid: the re-chosen worker grid; its ``tp`` must equal the
+            old grid's so slot geometry carries over.
+    """
+    old_grid, old_cluster = mapping.grid, mapping.cluster
+    if new_grid.tp != old_grid.tp:
+        raise ValueError(
+            f"warm-start surgery requires matching tp (old {old_grid.tp}, "
+            f"new {new_grid.tp}); start from a sequential mapping instead"
+        )
+    if new_grid.n_workers != new_cluster.n_gpus:
+        raise ValueError(
+            f"new grid has {new_grid.n_workers} workers but the shrunken "
+            f"cluster has {new_cluster.n_gpus} GPUs"
+        )
+    failed = {int(n) for n in failed_nodes}
+    for node in failed:
+        if not 0 <= node < old_cluster.n_nodes:
+            raise ValueError(f"failed node {node} outside the old cluster")
+    slots_per_node = old_cluster.gpus_per_node // old_grid.tp
+    surviving_slots = [s for s in range(old_grid.n_blocks)
+                       if (s // slots_per_node) not in failed]
+    compact = {old_slot: i for i, old_slot in enumerate(surviving_slots)}
+
+    # Surviving blocks, in logical block order, keep their (compacted)
+    # slots; displaced and excess blocks fill the remaining slots in
+    # increasing order.  When new_cluster is exactly the survivor set
+    # (the replan path) the preference list already is the permutation;
+    # the truncate/fill below covers callers that shrink further (or
+    # less) than the failure alone dictates.
+    preferred = [compact[s] for s in mapping.block_to_slot.tolist()
+                 if s in compact]
+    perm = [p for p in preferred if p < new_grid.n_blocks][:new_grid.n_blocks]
+    leftover = sorted(set(range(new_grid.n_blocks)) - set(perm))
+    perm.extend(leftover)
+    return Mapping(new_grid, new_cluster, np.array(perm, dtype=np.int64))

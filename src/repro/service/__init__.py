@@ -1,0 +1,68 @@
+"""The planning service: Pipette as a persistent system service.
+
+The offline configurator answers one ``search()`` at a time; this
+package makes it production-shaped, the way Piper exposes planning as
+a programmable service and PipeTune amortizes tuning across jobs:
+
+* :mod:`repro.service.cache` — canonical request fingerprints and an
+  LRU plan store invalidated by bandwidth-matrix epoch;
+* :mod:`repro.service.executor` — fans the configurator's pure
+  per-candidate work units over ``concurrent.futures`` pools;
+* :mod:`repro.service.replan` — elastic re-planning after node
+  failures and bandwidth drift, warm-starting SA from the prior plan;
+* :mod:`repro.service.planner` — the front door: request batching,
+  in-flight dedup, cache, and event handling;
+* ``python -m repro.service`` — a small CLI over all of the above.
+"""
+
+from repro.service.cache import (
+    CacheStats,
+    PlanCache,
+    PlanRequest,
+    canonical_value,
+)
+from repro.service.executor import (
+    CandidateExecutor,
+    ExecutorStats,
+    available_workers,
+)
+from repro.service.replan import (
+    DEFAULT_DRIFT_THRESHOLD,
+    ClusterEvent,
+    ReplanReport,
+    bandwidth_drift_ratio,
+    default_warm_sa,
+    drift_exceeds,
+    fabric_drift_ratio,
+    replan,
+    shrink_cluster,
+    surviving_gpus,
+)
+from repro.service.planner import (
+    PlanningService,
+    PlanResponse,
+    PlanTicket,
+)
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "PlanRequest",
+    "canonical_value",
+    "CandidateExecutor",
+    "ExecutorStats",
+    "available_workers",
+    "DEFAULT_DRIFT_THRESHOLD",
+    "ClusterEvent",
+    "ReplanReport",
+    "bandwidth_drift_ratio",
+    "default_warm_sa",
+    "drift_exceeds",
+    "fabric_drift_ratio",
+    "replan",
+    "shrink_cluster",
+    "surviving_gpus",
+    "PlanningService",
+    "PlanResponse",
+    "PlanTicket",
+]

@@ -1,0 +1,196 @@
+"""Command-line front door of the planning service.
+
+Three subcommands, each a small end-to-end story on a simulated
+cluster (swap the simulated fabric for a real profiling campaign to
+use them against physical machines):
+
+* ``plan``   — answer one planning request and print the ranking;
+* ``demo``   — serve a queued workload with duplicates, showing
+  caching, in-flight dedup, and (optionally) parallel search;
+* ``replan`` — fail a node and compare warm-started re-planning with
+  the cold search.
+
+Run ``python -m repro.service <subcommand> --help`` for knobs, or use
+the ``pipette-plan`` console script installed by the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import NetworkProfiler, make_fabric
+from repro.cluster.presets import high_end_cluster, mid_range_cluster
+from repro.core import PipetteOptions, SAOptions
+from repro.model import MODEL_CATALOG, get_model
+from repro.service.cache import PlanRequest
+from repro.service.executor import CandidateExecutor, available_workers
+from repro.service.planner import PlanningService
+from repro.service.replan import ClusterEvent
+from repro.units import GIB
+
+
+def _build_service(args) -> PlanningService:
+    presets = {"mid-range": mid_range_cluster, "high-end": high_end_cluster}
+    cluster = presets[args.cluster](n_nodes=args.nodes)
+    fabric = make_fabric(cluster, seed=args.seed)
+    network = NetworkProfiler().profile(fabric, seed=args.seed)
+    executor = None
+    if args.workers != 0:
+        executor = CandidateExecutor(
+            max_workers=args.workers if args.workers > 0 else None)
+    print(f"cluster: {cluster.description or cluster.name} "
+          f"({cluster.n_nodes} nodes x {cluster.gpus_per_node} GPUs)")
+    if executor is not None:
+        print(f"executor: {executor.kind} pool, {executor.n_workers} workers")
+    return PlanningService(cluster, network.bandwidth, executor=executor,
+                           profile_seed=args.seed)
+
+
+def _options(args) -> PipetteOptions:
+    return PipetteOptions(
+        use_worker_dedication=not args.no_dedication,
+        sa=SAOptions(max_iterations=args.sa_iterations),
+        seed=args.seed,
+    )
+
+
+def _print_plan(response) -> None:
+    result = response.result
+    print(f"[{response.status}] {len(result.ranked)} feasible, "
+          f"{result.rejected_oom} rejected OOM, "
+          f"{response.elapsed_s * 1e3:.1f} ms")
+    for rank, entry in enumerate(result.ranked[:5]):
+        mem = "" if entry.estimated_memory_bytes is None else \
+            f", {entry.estimated_memory_bytes / GIB:5.1f} GiB/GPU"
+        print(f"  #{rank + 1} {entry.config.describe():<24} "
+              f"{entry.estimated_latency_s:7.3f} s/iter{mem}")
+
+
+def cmd_plan(args) -> int:
+    service = _build_service(args)
+    model = get_model(args.model)
+    print(f"model:   {model.name}, global batch {args.global_batch}\n")
+    response = service.plan(service.request(
+        model, args.global_batch, options=_options(args)))
+    _print_plan(response)
+    return 0 if response.best is not None else 1
+
+
+def cmd_demo(args) -> int:
+    service = _build_service(args)
+    options = _options(args)
+    models = [get_model(name) for name in args.models]
+    print(f"workload: {args.repeats} rounds over "
+          f"{[m.name for m in models]}, batch {args.global_batch}\n")
+
+    # Queue the whole workload: each round re-asks every model, so
+    # round one pays the searches and the rest ride the cache; queuing
+    # a round twice shows in-flight dedup.
+    for _ in range(args.repeats):
+        for model in models:
+            service.submit(service.request(model, args.global_batch,
+                                           options=options))
+            service.submit(service.request(model, args.global_batch,
+                                           options=options))
+        for response in service.drain():
+            best = response.best
+            print(f"  [{response.status:<7}] {best.config.describe():<24} "
+                  f"{best.estimated_latency_s:7.3f} s/iter  "
+                  f"({response.elapsed_s * 1e3:8.2f} ms)")
+    print("\nservice stats:")
+    for key, value in service.stats.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_replan(args) -> int:
+    service = _build_service(args)
+    model = get_model(args.model)
+    print(f"model:   {model.name}, global batch {args.global_batch}\n")
+    request = service.request(model, args.global_batch,
+                              options=_options(args))
+    report = service.replan(request, ClusterEvent.node_failure(args.fail_node))
+    prev = report.previous
+    print(f"before failure: {prev.config.describe():<24} "
+          f"{prev.estimated_latency_s:7.3f} s/iter")
+    print(f"node {args.fail_node} failed -> "
+          f"{report.cluster.n_nodes} nodes remain\n")
+    print(f"warm re-plan:   {report.warm.config.describe():<24} "
+          f"{report.warm.estimated_latency_s:7.3f} s/iter "
+          f"in {report.warm_search_s:6.2f} s "
+          f"(warm start was {report.warm_start_latency_s:.3f})")
+    print(f"cold search:    {report.cold.config.describe():<24} "
+          f"{report.cold.estimated_latency_s:7.3f} s/iter "
+          f"in {report.cold_search_s:6.2f} s")
+    print(f"\nwarm vs cold latency: {report.latency_gap * 100:+.2f}%   "
+          f"search speedup: {report.search_speedup:.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pipette-plan",
+        description="Pipette planning service: cached, parallel, elastic "
+                    "LLM-training configuration.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cluster", choices=("mid-range", "high-end"),
+                       default="mid-range", help="hardware preset (Table I)")
+        p.add_argument("--nodes", type=int, default=4,
+                       help="node count (default 4)")
+        p.add_argument("--global-batch", type=int, default=64,
+                       help="bs_global (default 64)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="fabric/profiling/search seed")
+        p.add_argument("--sa-iterations", type=int, default=1500,
+                       help="annealing budget per refined candidate")
+        p.add_argument("--no-dedication", action="store_true",
+                       help="skip SA worker dedication (PPT-L mode)")
+        p.add_argument("--workers", type=int, default=0,
+                       help="candidate-executor width; 0 = serial "
+                            "(default), -1 = all usable CPUs "
+                            f"(this host: {available_workers()})")
+
+    plan = sub.add_parser("plan", help="answer one planning request")
+    common(plan)
+    plan.add_argument("--model", default="gpt-1.1b",
+                      choices=sorted(MODEL_CATALOG),
+                      help="architecture to plan for")
+    plan.set_defaults(fn=cmd_plan)
+
+    demo = sub.add_parser("demo", help="serve a queued workload "
+                                       "(cache + dedup showcase)")
+    common(demo)
+    demo.add_argument("--models", nargs="+", default=["gpt-1.1b", "gpt-2.2b"],
+                      help="architectures in the workload mix")
+    demo.add_argument("--repeats", type=int, default=2,
+                      help="how many times the workload re-asks")
+    demo.set_defaults(fn=cmd_demo)
+
+    rep = sub.add_parser("replan", help="fail a node, compare warm vs cold")
+    common(rep)
+    rep.add_argument("--model", default="gpt-1.1b",
+                     choices=sorted(MODEL_CATALOG),
+                     help="architecture to plan for")
+    rep.add_argument("--fail-node", type=int, default=1,
+                     help="node index that fails")
+    rep.set_defaults(fn=cmd_replan)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ValueError, RuntimeError, KeyError) as exc:
+        # Bad operands (unknown model, out-of-range node, infeasible
+        # batch) are user errors, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

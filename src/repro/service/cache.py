@@ -1,0 +1,197 @@
+"""Canonical request fingerprinting and the LRU plan cache.
+
+A production planner answers the same question many times: the same
+model on the same cluster at the same batch size, asked by every job
+of a training campaign.  Re-running Algorithm 1 for each request wastes
+minutes of search; the service instead keys each request by a *stable
+content hash* of everything that determines the answer and serves
+repeats from an LRU store.
+
+Cached plans are only as fresh as the bandwidth matrix they were
+searched against, so every entry records the matrix fingerprint
+(:meth:`repro.cluster.fabric.BandwidthMatrix.fingerprint`) of its
+epoch.  A re-profiled fabric that drifted (Fig. 3) or lost a node gets
+a new fingerprint, and lookups against the new epoch retire the stale
+entries instead of returning them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields, is_dataclass
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.configurator import PipetteOptions, PipetteResult
+from repro.model.transformer import TransformerConfig
+
+
+def canonical_value(obj):
+    """Recursively reduce ``obj`` to JSON-serializable primitives.
+
+    Dataclasses become ``{class name, field values}`` mappings (fields
+    excluded from comparison, like :attr:`ClusterSpec.description`,
+    are skipped — cosmetic text must not split cache keys); tuples and
+    lists become lists.  The reduction is deliberately type-tagged so
+    two different dataclasses with equal field values never collide.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        payload = {"__class__": type(obj).__name__}
+        for f in fields(obj):
+            if not f.compare:
+                continue
+            payload[f.name] = canonical_value(getattr(obj, f.name))
+        return payload
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for hashing")
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planning question, in canonical, hashable form.
+
+    Attributes:
+        cluster: the nominal cluster to plan for.
+        model: architecture to train.
+        global_batch: ``bs_global``.
+        memory_limit_bytes: ``M_limit``; ``None`` uses the cluster
+            GPU's physical memory.
+        micro_batches: optional restriction of the swept microbatch
+            sizes; normalized to a sorted, deduplicated tuple so
+            ``[4, 2, 2]`` and ``(2, 4)`` produce one cache entry (and
+            one enumeration of each configuration).
+        options: search behaviour (annealing budget, top-k, seed, ...).
+    """
+
+    cluster: ClusterSpec
+    model: TransformerConfig
+    global_batch: int
+    memory_limit_bytes: float | None = None
+    micro_batches: "tuple[int, ...] | None" = None
+    options: PipetteOptions = field(default_factory=PipetteOptions)
+
+    def __post_init__(self) -> None:
+        if self.global_batch < 1:
+            raise ValueError(f"global_batch must be >= 1, got {self.global_batch}")
+        if self.micro_batches is not None:
+            normalized = tuple(sorted({int(m) for m in self.micro_batches}))
+            object.__setattr__(self, "micro_batches", normalized)
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this request.
+
+        Two requests with equal search-relevant content hash equally on
+        every platform and process (the JSON rendering is key-sorted);
+        the bandwidth epoch is deliberately *not* part of the hash —
+        the cache tracks it per entry so a drifted fabric invalidates
+        rather than silently forks the key space.
+        """
+        payload = json.dumps(canonical_value(self), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`PlanCache`.
+
+    Attributes:
+        hits: lookups served from the store.
+        misses: lookups that found nothing (including never-seen keys).
+        stale_drops: entries retired because their bandwidth epoch no
+            longer matched the lookup's.
+        evictions: entries displaced by the LRU capacity bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stale_drops: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups answered."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Entry:
+    bandwidth_fp: str
+    result: PipetteResult
+
+
+class PlanCache:
+    """LRU store of finished plans, keyed by request fingerprint.
+
+    Args:
+        max_entries: capacity bound; least-recently-used plans are
+            evicted beyond it.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._store: "OrderedDict[str, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def get(self, key: str, bandwidth_fp: str) -> PipetteResult | None:
+        """The cached plan for ``key`` in the current bandwidth epoch.
+
+        A key whose entry was searched against a *different* bandwidth
+        fingerprint is stale: the entry is dropped, the miss recorded,
+        and the caller re-plans against the fresh matrix.
+        """
+        entry = self._store.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.bandwidth_fp != bandwidth_fp:
+            del self._store[key]
+            self.stats.stale_drops += 1
+            self.stats.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.stats.hits += 1
+        return entry.result
+
+    def put(self, key: str, bandwidth_fp: str, result: PipetteResult) -> None:
+        """Store a finished plan under ``key`` for one bandwidth epoch."""
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = _Entry(bandwidth_fp=bandwidth_fp, result=result)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate_epoch(self, bandwidth_fp: str) -> int:
+        """Drop every entry not belonging to ``bandwidth_fp``.
+
+        Called when the service adopts a re-profiled matrix whose drift
+        exceeded the re-plan threshold; returns the number of retired
+        plans.
+        """
+        stale = [k for k, e in self._store.items()
+                 if e.bandwidth_fp != bandwidth_fp]
+        for key in stale:
+            del self._store[key]
+        self.stats.stale_drops += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (stats are kept)."""
+        self._store.clear()

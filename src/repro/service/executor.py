@@ -1,0 +1,119 @@
+"""Parallel candidate evaluation over ``concurrent.futures`` pools.
+
+Algorithm 1's cost is dominated by embarrassingly parallel
+per-candidate work: one memory-estimator forward pass per enumerated
+configuration, one latency evaluation per survivor, and one simulated
+annealing run per leader.  The configurator factors that work into
+pure, picklable units (:mod:`repro.core.configurator`); this module
+supplies the pool that fans the units out.
+
+Determinism is preserved by construction — every unit's outcome is a
+pure function of ``(context, chunk)`` with per-candidate seeds baked
+into the chunk — so a search run through a
+:class:`CandidateExecutor` returns *identical* results to the serial
+search, just faster on a multi-core planner host.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+
+def available_workers() -> int:
+    """Usable CPU count of this host (affinity-aware when possible)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ExecutorStats:
+    """Work accounting of one :class:`CandidateExecutor`.
+
+    Attributes:
+        batches: ``map`` calls served.
+        tasks: work-unit payloads dispatched across all batches.
+    """
+
+    batches: int = 0
+    tasks: int = 0
+
+
+class CandidateExecutor:
+    """A reusable pool that maps work units over candidate chunks.
+
+    Args:
+        max_workers: pool width; defaults to the usable CPU count.
+        kind: ``"process"`` (true parallelism; work units and contexts
+            cross the process boundary pickled), ``"thread"`` (no
+            pickling; parallel only insofar as numpy releases the GIL),
+            or ``"serial"`` (inline execution — useful to A/B the pool
+            itself).  ``"auto"`` picks processes when more than one CPU
+            is usable, threads otherwise.
+
+    The underlying pool is created lazily on first use and reused
+    across searches — a planning service keeps one executor for its
+    lifetime, so candidate evaluation pays pool start-up once, not per
+    request.  Use as a context manager or call :meth:`close` to
+    release the workers.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 kind: str = "auto") -> None:
+        if kind not in ("auto", "process", "thread", "serial"):
+            raise ValueError(f"unknown executor kind {kind!r}")
+        if kind == "auto":
+            kind = "process" if available_workers() > 1 else "thread"
+        self.kind = kind
+        self.n_workers = int(max_workers) if max_workers is not None \
+            else available_workers()
+        if self.n_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.stats = ExecutorStats()
+        self._pool: Executor | None = None
+
+    # ----------------------------------------------------------- pool plumbing
+
+    def _ensure_pool(self) -> Executor | None:
+        if self.kind == "serial":
+            return None
+        if self._pool is None:
+            if self.kind == "process":
+                self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def map(self, fn, payloads) -> list:
+        """Run ``fn`` over ``payloads``, preserving order.
+
+        The work-unit contract of :func:`repro.core.configurator.run_units`:
+        ``fn`` is a module-level pure function and each payload is one
+        picklable ``(context, chunk)`` tuple.
+        """
+        payloads = list(payloads)
+        self.stats.batches += 1
+        self.stats.tasks += len(payloads)
+        pool = self._ensure_pool()
+        if pool is None:
+            return [fn(p) for p in payloads]
+        return list(pool.map(fn, payloads))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CandidateExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"CandidateExecutor(kind={self.kind!r}, "
+                f"n_workers={self.n_workers})")

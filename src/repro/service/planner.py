@@ -1,0 +1,337 @@
+"""The planning service: Pipette behind a request/response front door.
+
+One :class:`PlanningService` owns everything that is expensive to
+acquire and slow to change for a cluster — the profiled bandwidth
+matrix, the per-model compute profiles, the fitted memory estimator,
+a worker pool — and answers :class:`~repro.service.cache.PlanRequest`\\ s
+against that state:
+
+* identical requests are answered from the LRU plan cache
+  (:mod:`repro.service.cache`);
+* requests queued together are *deduplicated in flight* — one search
+  serves every ticket with the same fingerprint;
+* cache misses run Algorithm 1, optionally fanned over the service's
+  :class:`~repro.service.executor.CandidateExecutor`;
+* a re-profiled matrix that drifted beyond the threshold, or a node
+  failure, rolls the bandwidth epoch and retires stale plans
+  (:meth:`PlanningService.update_bandwidth`,
+  :meth:`PlanningService.replan`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.cluster.topology import ClusterSpec
+from repro.core.configurator import (
+    PipetteConfigurator,
+    PipetteResult,
+    RankedConfig,
+)
+from repro.core.memory_estimator import MemoryEstimator
+from repro.model.transformer import TransformerConfig
+from repro.profiling.profile_run import ComputeProfile, profile_compute
+from repro.service.cache import PlanCache, PlanRequest
+from repro.service.executor import CandidateExecutor
+from repro.service.replan import (
+    DEFAULT_DRIFT_THRESHOLD,
+    ClusterEvent,
+    ReplanReport,
+    drift_exceeds,
+    replan,
+)
+
+
+@dataclass(frozen=True)
+class PlanTicket:
+    """Receipt for one queued request."""
+
+    index: int
+    fingerprint: str
+    request: PlanRequest
+
+
+@dataclass
+class PlanResponse:
+    """Answer to one ticket.
+
+    Attributes:
+        ticket: the receipt being answered.
+        result: the finished plan (``None`` when ``status == "error"``).
+        status: how it was obtained — ``"hit"`` (served from cache),
+            ``"miss"`` (searched now), ``"deduped"`` (shared the
+            search of an identical in-flight request), or ``"error"``
+            (this ticket failed; the batch around it was answered).
+        elapsed_s: time this ticket's answer took within its drain.
+        error: what went wrong, for ``"error"`` responses.
+    """
+
+    ticket: PlanTicket
+    result: PipetteResult | None
+    status: str
+    elapsed_s: float
+    error: str | None = None
+
+    @property
+    def best(self) -> RankedConfig | None:
+        """Shortcut to the recommended configuration."""
+        return self.result.best if self.result is not None else None
+
+
+class PlanningService:
+    """A persistent planner for one profiled cluster.
+
+    Args:
+        cluster: the cluster this service plans for.
+        bandwidth: its profiled matrix (Algorithm 1, line 1).
+        memory_estimator: fitted estimator shared by all requests
+            (the paper trains it once per cluster); ``None`` disables
+            the memory check.
+        executor: candidate executor for parallel search; ``None``
+            searches serially.
+        cache: plan store; defaults to a fresh 128-entry LRU.
+        profile_seed: seed of lazily collected compute profiles.
+    """
+
+    def __init__(self, cluster: ClusterSpec, bandwidth: BandwidthMatrix,
+                 memory_estimator: MemoryEstimator | None = None,
+                 executor: CandidateExecutor | None = None,
+                 cache: PlanCache | None = None,
+                 profile_seed: int = 0) -> None:
+        if bandwidth.n_gpus != cluster.n_gpus:
+            raise ValueError(
+                f"bandwidth matrix covers {bandwidth.n_gpus} GPUs but the "
+                f"cluster has {cluster.n_gpus}"
+            )
+        self.cluster = cluster
+        self.bandwidth = bandwidth
+        self.bandwidth_fp = bandwidth.fingerprint()
+        self.memory_estimator = memory_estimator
+        self.executor = executor
+        self.cache = cache or PlanCache()
+        self.profile_seed = profile_seed
+        self._profiles: "dict[TransformerConfig, ComputeProfile]" = {}
+        self._queue: "list[PlanTicket]" = []
+        self._submitted = 0
+
+    # ------------------------------------------------------------- profiles
+
+    def profile_for(self, model: TransformerConfig) -> ComputeProfile:
+        """The (cached) compute profile of ``model`` on this cluster."""
+        profile = self._profiles.get(model)
+        if profile is None:
+            profile = profile_compute(model, self.cluster,
+                                      seed=self.profile_seed)
+            self._profiles[model] = profile
+        return profile
+
+    # ------------------------------------------------------------ requests
+
+    def request(self, model: TransformerConfig, global_batch: int,
+                **kwargs) -> PlanRequest:
+        """Convenience constructor bound to this service's cluster."""
+        return PlanRequest(cluster=self.cluster, model=model,
+                           global_batch=global_batch, **kwargs)
+
+    def _make_ticket(self, request: PlanRequest) -> PlanTicket:
+        if request.cluster != self.cluster:
+            raise ValueError(
+                f"request is for cluster {request.cluster.name!r} "
+                f"({request.cluster.n_nodes} nodes) but this service plans "
+                f"for {self.cluster.name!r} ({self.cluster.n_nodes} nodes); "
+                "searches run against this service's profiled matrix, so "
+                "the specs must match exactly"
+            )
+        ticket = PlanTicket(index=self._submitted,
+                            fingerprint=request.fingerprint(),
+                            request=request)
+        self._submitted += 1
+        return ticket
+
+    def submit(self, request: PlanRequest) -> PlanTicket:
+        """Queue a request; :meth:`drain` answers all queued tickets."""
+        ticket = self._make_ticket(request)
+        self._queue.append(ticket)
+        return ticket
+
+    def _answer(self, ticket: PlanTicket) -> PlanResponse:
+        """Answer one ticket from cache or by searching (may raise)."""
+        t0 = time.perf_counter()
+        result = self.cache.get(ticket.fingerprint, self.bandwidth_fp)
+        status = "hit"
+        if result is None:
+            result = self._search(ticket.request)
+            self.cache.put(ticket.fingerprint, self.bandwidth_fp, result)
+            status = "miss"
+        return PlanResponse(ticket=ticket, result=result, status=status,
+                            elapsed_s=time.perf_counter() - t0)
+
+    def drain(self) -> list[PlanResponse]:
+        """Answer every queued ticket, in submission order.
+
+        Tickets are grouped by fingerprint first: each group costs at
+        most one search regardless of its size (in-flight dedup), and
+        nothing at all when the plan cache already holds the answer
+        for the current bandwidth epoch.  A ticket that fails (e.g. it
+        was queued for a cluster the service no longer plans for)
+        yields an ``"error"`` response; the rest of the batch is still
+        answered.
+        """
+        tickets, self._queue = self._queue, []
+        answered: "dict[str, PlanResponse]" = {}
+        responses = []
+        for ticket in tickets:
+            known = answered.get(ticket.fingerprint)
+            if known is not None:
+                responses.append(PlanResponse(
+                    ticket=ticket, result=known.result, status="deduped",
+                    elapsed_s=known.elapsed_s))
+                continue
+            t0 = time.perf_counter()
+            try:
+                response = self._answer(ticket)
+            except (ValueError, RuntimeError) as exc:
+                responses.append(PlanResponse(
+                    ticket=ticket, result=None, status="error",
+                    elapsed_s=time.perf_counter() - t0, error=str(exc)))
+                continue
+            answered[ticket.fingerprint] = response
+            responses.append(response)
+        return responses
+
+    def plan(self, request: PlanRequest) -> PlanResponse:
+        """Answer one request immediately.
+
+        Bypasses the queue: tickets other callers have submitted stay
+        queued for their own :meth:`drain`.  Errors raise rather than
+        coming back as ``"error"`` responses.
+        """
+        return self._answer(self._make_ticket(request))
+
+    def _search(self, request: PlanRequest) -> PipetteResult:
+        if request.cluster != self.cluster:
+            # Tickets can outlive a node failure that shrank the
+            # service's cluster between submit and drain.
+            raise ValueError(
+                f"request targets cluster {request.cluster.name!r} "
+                f"({request.cluster.n_nodes} nodes) but the service now "
+                f"plans for {self.cluster.n_nodes} nodes; re-submit "
+                "against the current cluster"
+            )
+        configurator = PipetteConfigurator(
+            self.cluster, request.model, self.bandwidth,
+            self.profile_for(request.model), self.memory_estimator,
+            options=request.options,
+        )
+        micro = list(request.micro_batches) \
+            if request.micro_batches is not None else None
+        return configurator.search(
+            request.global_batch,
+            memory_limit_bytes=request.memory_limit_bytes,
+            micro_batches=micro,
+            executor=self.executor,
+        )
+
+    # -------------------------------------------------------------- elastic
+
+    def update_bandwidth(self, new_bandwidth: BandwidthMatrix,
+                         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+                         ) -> int:
+        """Adopt a re-profiled matrix; retire stale plans if it drifted.
+
+        Drift is always measured against the *epoch baseline* — the
+        matrix the cached plans were actually searched against — so
+        slow cumulative drift cannot ratchet past the threshold
+        unnoticed.  A re-profile within the threshold is treated as
+        measurement wiggle and discarded entirely (cached plans stay
+        valid; re-searching over profiler noise would thrash the cache
+        for identical answers).  Drift beyond it adopts the new matrix,
+        rolls the epoch, and drops every cached plan searched against
+        the old fabric.  Returns the number of retired plans.
+        """
+        if new_bandwidth.n_gpus != self.cluster.n_gpus:
+            raise ValueError(
+                f"new matrix covers {new_bandwidth.n_gpus} GPUs but the "
+                f"cluster has {self.cluster.n_gpus}"
+            )
+        if not drift_exceeds(self.bandwidth, new_bandwidth,
+                             drift_threshold):
+            return 0
+        self.bandwidth = new_bandwidth
+        self.bandwidth_fp = new_bandwidth.fingerprint()
+        return self.cache.invalidate_epoch(self.bandwidth_fp)
+
+    def replan(self, request: PlanRequest, event: ClusterEvent,
+               new_bandwidth: BandwidthMatrix | None = None,
+               run_cold: bool = True) -> ReplanReport:
+        """Answer ``request`` again after ``event``, warm-starting.
+
+        The previous plan is taken from the cache (or computed now if
+        the service never answered this request).  The service then
+        *adopts* the post-event world, so later answers agree with the
+        report: a node failure installs the shrunken cluster and
+        survivor matrix (retiring the whole cache and the per-model
+        profiles — every cached plan maps workers onto GPUs that no
+        longer all exist); a drift event installs ``new_bandwidth``
+        unconditionally (the caller declared it real — the
+        :meth:`update_bandwidth` threshold is for routine re-profiles,
+        not declared events) and seeds the fresh epoch with the cold
+        result when one was computed.  Tickets still queued for the
+        pre-failure cluster get ``"error"`` responses at drain rather
+        than being answered with a stale plan.
+        """
+        previous = self.plan(request).best
+        if previous is None:
+            raise RuntimeError("no feasible previous plan to warm-start from")
+        report = replan(
+            self.cluster, request.model, self.bandwidth,
+            self.profile_for(request.model), previous, event,
+            memory_estimator=self.memory_estimator,
+            options=request.options,
+            new_bandwidth=new_bandwidth,
+            memory_limit_bytes=request.memory_limit_bytes,
+            micro_batches=list(request.micro_batches)
+            if request.micro_batches is not None else None,
+            executor=self.executor,
+            run_cold=run_cold,
+        )
+        if event.kind == "node_failure":
+            self.cluster = report.cluster
+            self.bandwidth = report.bandwidth
+            self.bandwidth_fp = report.bandwidth.fingerprint()
+            self.cache.clear()
+            self._profiles.clear()
+        else:
+            self.bandwidth = report.bandwidth
+            self.bandwidth_fp = report.bandwidth.fingerprint()
+            self.cache.invalidate_epoch(self.bandwidth_fp)
+            if report.cold_result is not None:
+                # The cold search is exactly what a fresh plan() of
+                # this request would compute — don't pay for it twice.
+                self.cache.put(request.fingerprint(), self.bandwidth_fp,
+                               report.cold_result)
+        return report
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> dict:
+        """Operational counters of cache, queue, and executor."""
+        out = {
+            "requests_submitted": self._submitted,
+            "cache_entries": len(self.cache),
+            "cache_hits": self.cache.stats.hits,
+            "cache_misses": self.cache.stats.misses,
+            "cache_hit_rate": self.cache.stats.hit_rate,
+            "cache_evictions": self.cache.stats.evictions,
+            "cache_stale_drops": self.cache.stats.stale_drops,
+            "profiled_models": len(self._profiles),
+        }
+        if self.executor is not None:
+            out["executor_kind"] = self.executor.kind
+            out["executor_workers"] = self.executor.n_workers
+            out["executor_batches"] = self.executor.stats.batches
+            out["executor_tasks"] = self.executor.stats.tasks
+        return out

@@ -1,0 +1,318 @@
+"""Elastic re-planning: warm-started answers to cluster events.
+
+Real clusters are not static: the paper's 40-day campaign (Fig. 3,
+:mod:`repro.cluster.trace`) shows attained bandwidth drifting week to
+week, and long training campaigns lose nodes outright.  Cold-searching
+Algorithm 1 after every such event repays the full configuration
+overhead of Table II; re-planning instead *reuses* the previous answer:
+
+* the naive scoring pass re-ranks the (changed) configuration space
+  without any annealing,
+* the leader's worker mapping is warm-started from the previous plan —
+  via mapping surgery (:func:`repro.parallel.mapping.compact_mapping_after_failure`)
+  when nodes failed, or verbatim when only bandwidth drifted —
+* and a short simulated-annealing run polishes that warm start, rather
+  than re-growing a placement from the framework default.
+
+:func:`replan` also runs the cold search for comparison, reporting the
+latency gap and search-time saving of the warm path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.cluster.fabric import BandwidthMatrix, Fabric
+from repro.cluster.topology import ClusterSpec
+from repro.core.annealing import SAOptions, anneal_mapping
+from repro.core.configurator import (
+    PipetteConfigurator,
+    PipetteOptions,
+    PipetteResult,
+    RankedConfig,
+    SearchContext,
+    candidate_latency,
+)
+from repro.core.memory_estimator import MemoryEstimator
+from repro.model.transformer import TransformerConfig
+from repro.parallel.mapping import (
+    WorkerGrid,
+    compact_mapping_after_failure,
+)
+from repro.profiling.profile_run import ComputeProfile
+
+#: Relative bandwidth change beyond which cached plans are considered
+#: stale.  The Fig. 3 campaign shows day-to-day wiggle well under this
+#: and week-scale drift above it, so the default separates measurement
+#: noise from real fabric change.
+DEFAULT_DRIFT_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """Something that happened to the cluster since the last plan.
+
+    Attributes:
+        kind: ``"node_failure"`` or ``"bandwidth_drift"``.
+        failed_nodes: node indices that died (``node_failure`` only).
+        day: fabric day of the observation (``bandwidth_drift`` only;
+            informational).
+    """
+
+    kind: str
+    failed_nodes: tuple[int, ...] = ()
+    day: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("node_failure", "bandwidth_drift"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.kind == "node_failure" and not self.failed_nodes:
+            raise ValueError("node_failure event needs at least one node")
+
+    @classmethod
+    def node_failure(cls, *nodes: int) -> "ClusterEvent":
+        """The event of losing ``nodes`` from the cluster."""
+        return cls(kind="node_failure",
+                   failed_nodes=tuple(sorted(int(n) for n in nodes)))
+
+    @classmethod
+    def bandwidth_drift(cls, day: float | None = None) -> "ClusterEvent":
+        """The event of a re-profiled, drifted bandwidth matrix."""
+        return cls(kind="bandwidth_drift", day=day)
+
+
+def bandwidth_drift_ratio(old: BandwidthMatrix,
+                          new: BandwidthMatrix) -> float:
+    """Largest relative per-link bandwidth change between two matrices."""
+    if old.n_gpus != new.n_gpus:
+        raise ValueError(
+            f"matrices cover {old.n_gpus} vs {new.n_gpus} GPUs; drift is "
+            "only defined over an unchanged GPU set"
+        )
+    finite = np.isfinite(old.matrix) & np.isfinite(new.matrix)
+    if not finite.any():
+        return 0.0
+    rel = np.abs(new.matrix[finite] - old.matrix[finite]) / old.matrix[finite]
+    return float(rel.max())
+
+
+def drift_exceeds(old: BandwidthMatrix, new: BandwidthMatrix,
+                  threshold: float = DEFAULT_DRIFT_THRESHOLD) -> bool:
+    """Whether the fabric moved enough to retire cached plans."""
+    return bandwidth_drift_ratio(old, new) > threshold
+
+
+def fabric_drift_ratio(fabric: Fabric, day: float,
+                       baseline_day: float = 0.0) -> float:
+    """Drift of a fabric between two days of its Fig. 3 trace.
+
+    Convenience for monitoring loops that re-run the
+    :func:`repro.cluster.trace.collect_latency_trace` campaign: the
+    same temporal drift that separates the trace's quantile lines moves
+    this ratio.
+    """
+    return bandwidth_drift_ratio(fabric.bandwidth_at_day(baseline_day),
+                                 fabric.bandwidth_at_day(day))
+
+
+def surviving_gpus(cluster: ClusterSpec, failed_nodes) -> list[int]:
+    """GPU ids of ``cluster`` outside the failed nodes, in order."""
+    failed = {int(n) for n in failed_nodes}
+    return [g for g in range(cluster.n_gpus)
+            if cluster.node_of(g) not in failed]
+
+
+def shrink_cluster(cluster: ClusterSpec, failed_nodes) -> ClusterSpec:
+    """The cluster left after ``failed_nodes`` drop out.
+
+    Nodes are homogeneous on paper, so the shrunken spec is the same
+    hardware with fewer nodes; GPU ids are compacted to match
+    :meth:`repro.cluster.fabric.BandwidthMatrix.restrict`.
+    """
+    failed = {int(n) for n in failed_nodes}
+    for node in failed:
+        if not 0 <= node < cluster.n_nodes:
+            raise ValueError(f"failed node {node} outside the cluster")
+    remaining = cluster.n_nodes - len(failed)
+    if remaining < 1:
+        raise ValueError("no nodes left after the failure")
+    return cluster.scaled_to(remaining)
+
+
+def default_warm_sa(sa: SAOptions) -> SAOptions:
+    """A quarter-budget annealing schedule for warm-started re-plans.
+
+    Warm starts begin near the optimum, so they converge in a fraction
+    of the cold budget; whichever budget (iterations or wall-clock) is
+    configured is scaled down.
+    """
+    iterations = None if sa.max_iterations is None \
+        else max(200, sa.max_iterations // 4)
+    time_limit = None if sa.time_limit_s is None \
+        else max(0.5, sa.time_limit_s / 4)
+    return replace(sa, max_iterations=iterations, time_limit_s=time_limit)
+
+
+@dataclass
+class ReplanReport:
+    """Outcome of one elastic re-plan, warm path vs cold search.
+
+    Attributes:
+        event: what happened.
+        cluster: the cluster planned for after the event.
+        bandwidth: the matrix the re-plan was searched against (the
+            restricted survivor matrix after a failure, the re-profiled
+            one after drift) — what a service adopts as its new state.
+        previous: the plan that was in force before the event.
+        warm: warm-started recommendation.
+        warm_start_latency_s: estimated latency of the surgically
+            warm-started mapping *before* annealing polished it.
+        warm_search_s: wall-clock of the warm path (naive re-ranking +
+            short anneal).
+        cold: cold-search recommendation (``None`` if skipped).
+        cold_search_s: wall-clock of the cold search.
+        cold_result: the cold search's full result (``None`` if skipped).
+    """
+
+    event: ClusterEvent
+    cluster: ClusterSpec
+    bandwidth: BandwidthMatrix
+    previous: RankedConfig
+    warm: RankedConfig
+    warm_start_latency_s: float
+    warm_search_s: float
+    cold: RankedConfig | None = None
+    cold_search_s: float | None = None
+    cold_result: PipetteResult | None = None
+
+    @property
+    def latency_gap(self) -> float:
+        """Relative latency excess of warm over cold (negative = warm wins)."""
+        if self.cold is None:
+            raise ValueError("cold search was skipped; no gap to report")
+        return (self.warm.estimated_latency_s
+                / self.cold.estimated_latency_s) - 1.0
+
+    @property
+    def search_speedup(self) -> float:
+        """How many times faster the warm path found its answer."""
+        if self.cold_search_s is None:
+            raise ValueError("cold search was skipped; no speedup to report")
+        return self.cold_search_s / max(self.warm_search_s, 1e-9)
+
+
+def _warm_mapping(event: ClusterEvent, previous: RankedConfig,
+                  leader: RankedConfig, cluster: ClusterSpec):
+    """The best available warm start for the leader's mapping."""
+    if event.kind == "bandwidth_drift":
+        if leader.config.pp == previous.config.pp \
+                and leader.config.tp == previous.config.tp \
+                and leader.config.dp == previous.config.dp:
+            return previous.mapping
+        return leader.mapping
+    grid = WorkerGrid(pp=leader.config.pp, tp=leader.config.tp,
+                      dp=leader.config.dp)
+    try:
+        return compact_mapping_after_failure(previous.mapping,
+                                             event.failed_nodes,
+                                             cluster, grid)
+    except ValueError:
+        # The leader changed tensor-parallel width; slot geometry does
+        # not carry over, so the sequential start is the honest one.
+        return leader.mapping
+
+
+def replan(cluster: ClusterSpec, model: TransformerConfig,
+           bandwidth: BandwidthMatrix, profile: ComputeProfile,
+           previous: RankedConfig, event: ClusterEvent,
+           memory_estimator: MemoryEstimator | None = None,
+           options: PipetteOptions | None = None,
+           warm_sa: SAOptions | None = None,
+           new_bandwidth: BandwidthMatrix | None = None,
+           memory_limit_bytes: float | None = None,
+           micro_batches: "list[int] | None" = None,
+           executor=None, run_cold: bool = True) -> ReplanReport:
+    """Re-plan after a cluster event, warm-starting from ``previous``.
+
+    Args:
+        cluster: the cluster ``previous`` was planned for.
+        bandwidth: the matrix ``previous`` was searched against.
+        previous: the plan in force when the event happened.
+        event: what changed.  ``node_failure`` shrinks the cluster and
+            restricts the matrix to the survivors; ``bandwidth_drift``
+            keeps the cluster and requires ``new_bandwidth`` (the
+            re-profiled matrix).
+        warm_sa: annealing budget of the warm polish; defaults to a
+            quarter of the cold budget (:func:`default_warm_sa`).
+        micro_batches: microbatch restriction of the original request,
+            honored by both the warm re-ranking and the cold search.
+        executor: optional :class:`~repro.service.executor.CandidateExecutor`
+            for both the warm re-ranking and the cold search.
+        run_cold: also run the full cold search for comparison.
+    """
+    options = options or PipetteOptions()
+    warm_sa = warm_sa or default_warm_sa(options.sa)
+    global_batch = previous.config.global_batch
+
+    if event.kind == "node_failure":
+        new_cluster = shrink_cluster(cluster, event.failed_nodes)
+        keep = surviving_gpus(cluster, event.failed_nodes)
+        base = new_bandwidth if new_bandwidth is not None else bandwidth
+        new_bw = base if base.n_gpus == new_cluster.n_gpus \
+            else base.restrict(keep)
+    else:
+        if new_bandwidth is None:
+            raise ValueError("bandwidth_drift re-planning needs the "
+                             "re-profiled matrix (new_bandwidth)")
+        new_cluster = cluster
+        new_bw = new_bandwidth
+
+    # Warm path: re-rank the configuration space with naive mappings
+    # only (no annealing), then polish the leader's warm-started
+    # mapping with a short anneal.
+    t0 = time.perf_counter()
+    naive = PipetteConfigurator(
+        new_cluster, model, new_bw, profile, memory_estimator,
+        options=replace(options, use_worker_dedication=False),
+    ).search(global_batch, memory_limit_bytes=memory_limit_bytes,
+             micro_batches=micro_batches, executor=executor)
+    if naive.best is None:
+        raise RuntimeError("no feasible configuration on the post-event "
+                           "cluster; cannot re-plan")
+    leader = naive.best
+    ctx = SearchContext(cluster=new_cluster, model=model, bandwidth=new_bw,
+                        profile=profile, memory_estimator=memory_estimator,
+                        sa=warm_sa)
+    start_mapping = _warm_mapping(event, previous, leader, new_cluster)
+    sa_result = anneal_mapping(
+        start_mapping,
+        lambda m, c=leader.config: candidate_latency(ctx, c, m),
+        warm_sa.with_seed(options.seed),
+    )
+    warm_search_s = time.perf_counter() - t0
+    warm = RankedConfig(
+        config=leader.config, mapping=sa_result.mapping,
+        estimated_latency_s=sa_result.value,
+        estimated_memory_bytes=leader.estimated_memory_bytes,
+        memory_ok=leader.memory_ok,
+    )
+
+    report = ReplanReport(
+        event=event, cluster=new_cluster, bandwidth=new_bw,
+        previous=previous, warm=warm,
+        warm_start_latency_s=sa_result.initial_value,
+        warm_search_s=warm_search_s,
+    )
+    if run_cold:
+        cold_result = PipetteConfigurator(
+            new_cluster, model, new_bw, profile, memory_estimator,
+            options=options,
+        ).search(global_batch, memory_limit_bytes=memory_limit_bytes,
+                 micro_batches=micro_batches, executor=executor)
+        report.cold = cold_result.best
+        report.cold_search_s = cold_result.total_s
+        report.cold_result = cold_result
+    return report

@@ -1,0 +1,156 @@
+"""Request fingerprinting and the LRU plan cache."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.core import PipetteOptions, SAOptions
+from repro.core.configurator import PipetteResult
+from repro.model import get_model
+from repro.service.cache import PlanCache, PlanRequest, canonical_value
+
+
+def _result() -> PipetteResult:
+    return PipetteResult(best=None, ranked=[], rejected_oom=0,
+                         memory_check_s=0.0, annealing_s=0.0, total_s=0.0)
+
+
+@pytest.fixture
+def request_a(tiny_cluster, toy_model) -> PlanRequest:
+    return PlanRequest(cluster=tiny_cluster, model=toy_model,
+                       global_batch=32)
+
+
+class TestFingerprint:
+    def test_stable_across_equal_requests(self, tiny_cluster, toy_model,
+                                          request_a):
+        twin = PlanRequest(cluster=tiny_cluster, model=toy_model,
+                           global_batch=32)
+        assert request_a.fingerprint() == twin.fingerprint()
+
+    def test_differs_on_batch(self, tiny_cluster, toy_model, request_a):
+        other = PlanRequest(cluster=tiny_cluster, model=toy_model,
+                            global_batch=64)
+        assert request_a.fingerprint() != other.fingerprint()
+
+    def test_differs_on_model(self, tiny_cluster, request_a):
+        other = PlanRequest(cluster=tiny_cluster, model=get_model("gpt-1.1b"),
+                            global_batch=32)
+        assert request_a.fingerprint() != other.fingerprint()
+
+    def test_differs_on_options(self, tiny_cluster, toy_model, request_a):
+        other = PlanRequest(
+            cluster=tiny_cluster, model=toy_model, global_batch=32,
+            options=PipetteOptions(sa=SAOptions(max_iterations=7)))
+        assert request_a.fingerprint() != other.fingerprint()
+
+    def test_micro_batches_normalized(self, tiny_cluster, toy_model):
+        a = PlanRequest(cluster=tiny_cluster, model=toy_model,
+                        global_batch=32, micro_batches=(4, 1, 2, 2))
+        b = PlanRequest(cluster=tiny_cluster, model=toy_model,
+                        global_batch=32, micro_batches=(1, 2, 4))
+        assert a.micro_batches == (1, 2, 4)  # sorted and deduplicated
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_cluster_description_is_cosmetic(self, tiny_cluster, toy_model,
+                                             request_a):
+        from dataclasses import replace
+        renamed = replace(tiny_cluster, description="after relabeling")
+        other = PlanRequest(cluster=renamed, model=toy_model, global_batch=32)
+        assert request_a.fingerprint() == other.fingerprint()
+
+    def test_canonical_rejects_exotic_values(self):
+        with pytest.raises(TypeError):
+            canonical_value(object())
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self, request_a):
+        cache = PlanCache()
+        key = request_a.fingerprint()
+        assert cache.get(key, "epoch-1") is None
+        cache.put(key, "epoch-1", _result())
+        assert cache.get(key, "epoch-1") is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_bandwidth_epoch_mismatch_is_stale(self, request_a):
+        cache = PlanCache()
+        key = request_a.fingerprint()
+        cache.put(key, "epoch-1", _result())
+        assert cache.get(key, "epoch-2") is None
+        assert cache.stats.stale_drops == 1
+        assert key not in cache
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(max_entries=2)
+        cache.put("a", "fp", _result())
+        cache.put("b", "fp", _result())
+        cache.get("a", "fp")           # refresh "a"; "b" is now LRU
+        cache.put("c", "fp", _result())
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_epoch(self):
+        cache = PlanCache()
+        cache.put("a", "old", _result())
+        cache.put("b", "old", _result())
+        cache.put("c", "new", _result())
+        assert cache.invalidate_epoch("new") == 2
+        assert len(cache) == 1 and "c" in cache
+
+    def test_clear_keeps_stats(self):
+        cache = PlanCache()
+        cache.put("a", "fp", _result())
+        cache.get("a", "fp")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+
+class TestBandwidthFingerprint:
+    def test_identical_matrices_share_fingerprint(self, tiny_network):
+        bw = tiny_network.bandwidth
+        twin = BandwidthMatrix(matrix=bw.matrix.copy(),
+                               alpha=bw.alpha.copy())
+        assert bw.fingerprint() == twin.fingerprint()
+
+    def test_changed_link_changes_fingerprint(self, tiny_network):
+        bw = tiny_network.bandwidth
+        matrix = bw.matrix.copy()
+        matrix[0, 5] *= 0.5
+        assert bw.fingerprint() != BandwidthMatrix(
+            matrix=matrix, alpha=bw.alpha).fingerprint()
+
+    def test_sub_quantum_noise_ignored(self, tiny_network):
+        # Start from an exactly-quantized matrix so the added noise is
+        # guaranteed to stay within one rounding quantum.
+        base = np.round(np.where(np.isfinite(tiny_network.bandwidth.matrix),
+                                 tiny_network.bandwidth.matrix, np.inf), 3)
+        alpha = tiny_network.bandwidth.alpha
+        clean = BandwidthMatrix(matrix=base, alpha=alpha)
+        noisy = BandwidthMatrix(matrix=base + 1e-6, alpha=alpha)
+        assert clean.fingerprint(decimals=3) == noisy.fingerprint(decimals=3)
+
+    def test_restrict_preserves_pairwise_values(self, tiny_network):
+        bw = tiny_network.bandwidth
+        keep = [0, 1, 2, 3, 8, 9, 10, 11]
+        sub = bw.restrict(keep)
+        assert sub.n_gpus == len(keep)
+        for i, gi in enumerate(keep):
+            for j, gj in enumerate(keep):
+                if i != j:
+                    assert sub.between(i, j) == bw.between(gi, gj)
+                    assert sub.alpha_between(i, j) == bw.alpha_between(gi, gj)
+
+    def test_restrict_validates(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.bandwidth.restrict([])
+        with pytest.raises(ValueError):
+            tiny_network.bandwidth.restrict([0, 0, 1])

@@ -1,0 +1,143 @@
+"""Parallel candidate evaluation must equal the serial search exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core import PipetteConfigurator, PipetteOptions, SAOptions
+from repro.core.configurator import even_chunks, run_units, score_unit
+from repro.service.executor import CandidateExecutor, available_workers
+
+
+class PickleOracleEstimator:
+    """Ground-truth-backed estimator that survives process boundaries."""
+
+    soft_margin = 0.92
+
+    def __init__(self, cluster, seed=5):
+        self.cluster = cluster
+        self.seed = seed
+
+    def predict_bytes(self, model, config, n_gpus=None):
+        from repro.sim.memory_sim import simulated_max_memory_bytes
+        return simulated_max_memory_bytes(model, config, self.cluster,
+                                          seed=self.seed)
+
+
+def _configurator(tiny_cluster, toy_model, tiny_network, toy_profile,
+                  with_estimator=True, sa_iterations=150):
+    estimator = PickleOracleEstimator(tiny_cluster) if with_estimator else None
+    return PipetteConfigurator(
+        tiny_cluster, toy_model, tiny_network.bandwidth, toy_profile,
+        estimator,
+        options=PipetteOptions(
+            use_worker_dedication=True,
+            sa=SAOptions(max_iterations=sa_iterations), sa_top_k=3, seed=17))
+
+
+def _ranking_signature(result):
+    return [(r.config, r.estimated_latency_s, r.estimated_memory_bytes,
+             r.memory_ok, r.mapping.block_to_slot.tolist())
+            for r in result.ranked]
+
+
+class TestEvenChunks:
+    def test_covers_everything_in_order(self):
+        items = list(range(10))
+        chunks = even_chunks(items, 3)
+        assert [x for c in chunks for x in c] == items
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+    def test_more_workers_than_items(self):
+        assert even_chunks([1, 2], 8) == [(1,), (2,)]
+
+    def test_single_chunk(self):
+        assert even_chunks([1, 2, 3], 1) == [(1, 2, 3)]
+
+
+class TestRunUnits:
+    def test_empty_items_short_circuit(self, tiny_cluster, toy_model,
+                                       tiny_network, toy_profile):
+        conf = _configurator(tiny_cluster, toy_model, tiny_network,
+                             toy_profile)
+        assert run_units(score_unit, conf.context(), [], None) == []
+
+    def test_serial_kind_runs_inline(self, tiny_cluster, toy_model,
+                                     tiny_network, toy_profile):
+        conf = _configurator(tiny_cluster, toy_model, tiny_network,
+                             toy_profile, with_estimator=False)
+        with CandidateExecutor(max_workers=2, kind="serial") as executor:
+            result = conf.search(32, executor=executor)
+        assert result.best is not None
+        assert executor.stats.batches >= 1
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_thread_pool_identical(self, tiny_cluster, toy_model,
+                                   tiny_network, toy_profile, workers):
+        serial = _configurator(tiny_cluster, toy_model, tiny_network,
+                               toy_profile).search(32)
+        with CandidateExecutor(max_workers=workers, kind="thread") as ex:
+            parallel = _configurator(tiny_cluster, toy_model, tiny_network,
+                                     toy_profile).search(32, executor=ex)
+        assert _ranking_signature(parallel) == _ranking_signature(serial)
+        assert parallel.rejected_oom == serial.rejected_oom
+        assert parallel.best.config == serial.best.config
+
+    def test_process_pool_identical(self, tiny_cluster, toy_model,
+                                    tiny_network, toy_profile):
+        # Small budget: the point is crossing the process boundary, not
+        # annealing quality.
+        serial = _configurator(tiny_cluster, toy_model, tiny_network,
+                               toy_profile, sa_iterations=40).search(
+                                   32, micro_batches=[2])
+        with CandidateExecutor(max_workers=2, kind="process") as ex:
+            parallel = _configurator(
+                tiny_cluster, toy_model, tiny_network, toy_profile,
+                sa_iterations=40).search(32, micro_batches=[2], executor=ex)
+        assert _ranking_signature(parallel) == _ranking_signature(serial)
+
+    def test_no_estimator_path(self, tiny_cluster, toy_model, tiny_network,
+                               toy_profile):
+        serial = _configurator(tiny_cluster, toy_model, tiny_network,
+                               toy_profile, with_estimator=False).search(32)
+        with CandidateExecutor(max_workers=2, kind="thread") as ex:
+            parallel = _configurator(
+                tiny_cluster, toy_model, tiny_network, toy_profile,
+                with_estimator=False).search(32, executor=ex)
+        assert _ranking_signature(parallel) == _ranking_signature(serial)
+
+
+class TestRankingDeterminism:
+    def test_tie_break_orders_equal_latencies(self, tiny_cluster, toy_model,
+                                              tiny_network, toy_profile):
+        conf = _configurator(tiny_cluster, toy_model, tiny_network,
+                             toy_profile, with_estimator=False)
+        result = conf.search(32)
+        keys = [r.sort_key for r in result.ranked]
+        assert keys == sorted(keys)
+        # Keys are strictly increasing: no two entries compare equal,
+        # so the ranking admits exactly one order.
+        assert len(set(keys)) == len(keys)
+
+
+class TestExecutorConstruction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateExecutor(kind="fleet")
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateExecutor(max_workers=0)
+
+    def test_auto_resolves(self):
+        ex = CandidateExecutor(max_workers=2)
+        assert ex.kind in ("process", "thread")
+        assert available_workers() >= 1
+        ex.close()
+
+    def test_close_idempotent(self):
+        ex = CandidateExecutor(max_workers=1, kind="thread")
+        ex.map(len, [(1, 2)])
+        ex.close()
+        ex.close()

@@ -1,0 +1,222 @@
+"""The planning service front door: batching, dedup, cache, events."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.core import PipetteOptions, SAOptions
+from repro.model import get_model
+from repro.service import (
+    CandidateExecutor,
+    ClusterEvent,
+    PlanningService,
+    PlanRequest,
+)
+
+
+FAST = PipetteOptions(use_worker_dedication=False)
+SA_FAST = PipetteOptions(sa=SAOptions(max_iterations=100), sa_top_k=1)
+
+
+@pytest.fixture
+def service(tiny_cluster, tiny_network) -> PlanningService:
+    return PlanningService(tiny_cluster, tiny_network.bandwidth)
+
+
+class TestRequestLifecycle:
+    def test_miss_then_hit(self, service, toy_model):
+        request = service.request(toy_model, 32, options=FAST)
+        first = service.plan(request)
+        second = service.plan(request)
+        assert first.status == "miss"
+        assert second.status == "hit"
+        assert second.result is first.result
+        assert second.elapsed_s <= first.elapsed_s
+
+    def test_inflight_dedup(self, service, toy_model):
+        request = service.request(toy_model, 32, options=FAST)
+        service.submit(request)
+        service.submit(request)
+        service.submit(service.request(toy_model, 16, options=FAST))
+        responses = service.drain()
+        assert [r.status for r in responses] == ["miss", "deduped", "miss"]
+        assert responses[0].result is responses[1].result
+        assert service.stats["cache_entries"] == 2
+
+    def test_plan_leaves_queue_untouched(self, service, toy_model):
+        queued = service.submit(service.request(toy_model, 16, options=FAST))
+        response = service.plan(service.request(toy_model, 32, options=FAST))
+        assert response.status == "miss"
+        drained = service.drain()
+        assert [r.ticket.index for r in drained] == [queued.index]
+        assert drained[0].status == "miss"
+
+    def test_drain_isolates_failing_ticket(self, service, toy_model,
+                                           monkeypatch):
+        bad = service.request(toy_model, 16, options=FAST)
+        good = service.request(toy_model, 32, options=FAST)
+        service.submit(bad)
+        service.submit(good)
+        real_search = service._search
+
+        def failing_search(request):
+            if request.global_batch == 16:
+                raise RuntimeError("estimator exploded")
+            return real_search(request)
+
+        monkeypatch.setattr(service, "_search", failing_search)
+        responses = service.drain()
+        assert [r.status for r in responses] == ["error", "miss"]
+        assert responses[0].result is None and responses[0].best is None
+        assert "estimator exploded" in responses[0].error
+        assert responses[1].best is not None
+
+    def test_responses_in_submission_order(self, service, toy_model):
+        tickets = [service.submit(service.request(toy_model, batch,
+                                                  options=FAST))
+                   for batch in (16, 32, 16)]
+        responses = service.drain()
+        assert [r.ticket.index for r in responses] == [t.index
+                                                       for t in tickets]
+
+    def test_search_parameters_respected(self, service, toy_model):
+        response = service.plan(service.request(
+            toy_model, 32, micro_batches=(2,), options=FAST))
+        assert response.best.config.micro_batch == 2
+
+    def test_foreign_cluster_rejected(self, service, toy_model,
+                                      tiny_cluster):
+        foreign = tiny_cluster.scaled_to(2)
+        with pytest.raises(ValueError):
+            service.submit(PlanRequest(cluster=foreign, model=toy_model,
+                                       global_batch=16))
+
+    def test_same_size_different_cluster_rejected(self, service, toy_model,
+                                                  tiny_cluster):
+        # Equal GPU count is not enough: the service searches against
+        # its own profiled matrix, so the specs must match exactly.
+        from dataclasses import replace
+        lookalike = replace(tiny_cluster, name="impostor")
+        assert lookalike.n_gpus == service.cluster.n_gpus
+        with pytest.raises(ValueError):
+            service.submit(PlanRequest(cluster=lookalike, model=toy_model,
+                                       global_batch=16))
+
+    def test_mismatched_matrix_rejected(self, tiny_cluster, tiny_network):
+        with pytest.raises(ValueError):
+            PlanningService(tiny_cluster.scaled_to(2),
+                            tiny_network.bandwidth)
+
+    def test_profiles_cached_per_model(self, service, toy_model):
+        service.plan(service.request(toy_model, 16, options=FAST))
+        service.plan(service.request(toy_model, 32, options=FAST))
+        assert service.stats["profiled_models"] == 1
+
+
+class TestBandwidthEpochs:
+    def test_small_noise_keeps_cache(self, service, toy_model, tiny_network):
+        service.plan(service.request(toy_model, 32, options=FAST))
+        bw = tiny_network.bandwidth
+        wiggle = BandwidthMatrix(matrix=bw.matrix * 1.001, alpha=bw.alpha)
+        assert service.update_bandwidth(wiggle) == 0
+        assert service.plan(service.request(toy_model, 32,
+                                            options=FAST)).status == "hit"
+
+    def test_real_drift_invalidates(self, service, toy_model, tiny_network):
+        service.plan(service.request(toy_model, 32, options=FAST))
+        bw = tiny_network.bandwidth
+        degraded = bw.matrix.copy()
+        degraded[np.isfinite(degraded)] *= 0.7
+        np.fill_diagonal(degraded, np.inf)
+        moved = BandwidthMatrix(matrix=degraded, alpha=bw.alpha)
+        assert service.update_bandwidth(moved) == 1
+        response = service.plan(service.request(toy_model, 32, options=FAST))
+        assert response.status == "miss"
+
+    def test_wrong_size_matrix_rejected(self, service, tiny_network):
+        with pytest.raises(ValueError):
+            service.update_bandwidth(tiny_network.bandwidth.restrict(range(4)))
+
+    def test_cumulative_drift_rolls_epoch(self, service, toy_model,
+                                          tiny_network):
+        # Two +8% steps are each under the 10% threshold relative to
+        # their predecessor, but 16.6% relative to the epoch baseline:
+        # the second must invalidate.  (A last-adopted-matrix
+        # comparison would ratchet past the threshold unnoticed.)
+        service.plan(service.request(toy_model, 32, options=FAST))
+        bw = tiny_network.bandwidth
+        step1 = BandwidthMatrix(matrix=bw.matrix * 1.08, alpha=bw.alpha)
+        step2 = BandwidthMatrix(matrix=bw.matrix * 1.08 ** 2, alpha=bw.alpha)
+        assert service.update_bandwidth(step1, drift_threshold=0.10) == 0
+        assert service.update_bandwidth(step2, drift_threshold=0.10) == 1
+        assert service.plan(service.request(toy_model, 32,
+                                            options=FAST)).status == "miss"
+
+
+class TestServiceReplan:
+    def test_node_failure_adopts_survivor_cluster(self, service, toy_model,
+                                                  tiny_cluster):
+        request = service.request(toy_model, 32, options=SA_FAST)
+        report = service.replan(request, ClusterEvent.node_failure(1),
+                                run_cold=False)
+        assert report.cluster.n_nodes == tiny_cluster.n_nodes - 1
+        assert report.warm.config.n_gpus == report.cluster.n_gpus
+        assert service.stats["cache_entries"] == 0
+        # The service now plans for the survivors, not the dead cluster.
+        assert service.cluster == report.cluster
+        assert service.bandwidth.n_gpus == report.cluster.n_gpus
+        follow_up = service.plan(service.request(toy_model, 32,
+                                                 options=FAST))
+        assert follow_up.best.config.n_gpus == report.cluster.n_gpus
+
+    def test_stale_request_rejected_after_failure(self, service, toy_model):
+        # A request built against the pre-failure cluster must not be
+        # answered with a plan that maps workers onto dead GPUs.
+        stale = service.request(toy_model, 32, options=FAST)
+        service.replan(service.request(toy_model, 32, options=SA_FAST),
+                       ClusterEvent.node_failure(0), run_cold=False)
+        with pytest.raises(ValueError):
+            service.submit(stale)
+
+    def test_drift_replan_adopts_matrix_and_seeds_cache(self, service,
+                                                        toy_model,
+                                                        tiny_network):
+        request = service.request(toy_model, 32, options=SA_FAST)
+        bw = tiny_network.bandwidth
+        # Even sub-threshold drift: the caller declared the event, so
+        # the service must answer future plans against the new matrix.
+        drifted = BandwidthMatrix(matrix=bw.matrix * 1.05, alpha=bw.alpha)
+        report = service.replan(request, ClusterEvent.bandwidth_drift(),
+                                new_bandwidth=drifted)
+        assert service.bandwidth is drifted
+        assert service.bandwidth_fp == drifted.fingerprint()
+        follow_up = service.plan(request)
+        assert follow_up.status == "hit"
+        assert follow_up.result is report.cold_result
+
+    def test_replan_honors_micro_batch_restriction(self, service, toy_model):
+        request = service.request(toy_model, 32, micro_batches=(2,),
+                                  options=SA_FAST)
+        report = service.replan(request, ClusterEvent.node_failure(2))
+        assert report.warm.config.micro_batch == 2
+        assert report.cold.config.micro_batch == 2
+        assert all(r.config.micro_batch == 2
+                   for r in report.cold_result.ranked)
+
+
+class TestParallelService:
+    def test_executor_is_used_and_equivalent(self, tiny_cluster,
+                                             tiny_network, toy_model):
+        serial = PlanningService(tiny_cluster, tiny_network.bandwidth)
+        baseline = serial.plan(serial.request(toy_model, 32,
+                                              options=SA_FAST))
+        with CandidateExecutor(max_workers=2, kind="thread") as executor:
+            parallel = PlanningService(tiny_cluster, tiny_network.bandwidth,
+                                       executor=executor)
+            response = parallel.plan(parallel.request(toy_model, 32,
+                                                      options=SA_FAST))
+            assert executor.stats.batches >= 1
+            assert parallel.stats["executor_workers"] == 2
+        assert response.best.config == baseline.best.config
+        assert response.best.estimated_latency_s == \
+            baseline.best.estimated_latency_s

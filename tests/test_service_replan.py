@@ -1,0 +1,201 @@
+"""Elastic re-planning: mapping surgery, drift detection, warm starts."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.core import PipetteConfigurator, PipetteOptions, SAOptions
+from repro.parallel import (
+    Mapping,
+    WorkerGrid,
+    compact_mapping_after_failure,
+    sequential_mapping,
+)
+from repro.service.replan import (
+    ClusterEvent,
+    bandwidth_drift_ratio,
+    default_warm_sa,
+    drift_exceeds,
+    fabric_drift_ratio,
+    replan,
+    shrink_cluster,
+    surviving_gpus,
+)
+
+
+@pytest.fixture
+def previous_plan(tiny_cluster, toy_model, tiny_network, toy_profile):
+    """A finished search whose best entry we re-plan from."""
+    configurator = PipetteConfigurator(
+        tiny_cluster, toy_model, tiny_network.bandwidth, toy_profile, None,
+        options=PipetteOptions(sa=SAOptions(max_iterations=200), sa_top_k=2,
+                               seed=3))
+    return configurator.search(32).best
+
+
+class TestClusterEvent:
+    def test_node_failure_sorts_nodes(self):
+        event = ClusterEvent.node_failure(3, 1)
+        assert event.failed_nodes == (1, 3)
+
+    def test_node_failure_needs_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterEvent(kind="node_failure")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterEvent(kind="meteor_strike")
+
+
+class TestShrinkHelpers:
+    def test_surviving_gpus_excludes_failed_node(self, tiny_cluster):
+        keep = surviving_gpus(tiny_cluster, [1])
+        assert keep == [0, 1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 15]
+
+    def test_shrink_cluster_counts(self, tiny_cluster):
+        assert shrink_cluster(tiny_cluster, [0]).n_nodes == 3
+        with pytest.raises(ValueError):
+            shrink_cluster(tiny_cluster, [9])
+        with pytest.raises(ValueError):
+            shrink_cluster(tiny_cluster, range(tiny_cluster.n_nodes))
+
+
+class TestMappingSurgery:
+    def test_valid_permutation_preserving_survivors(self, tiny_cluster):
+        grid = WorkerGrid(pp=2, tp=4, dp=2)
+        # A deliberately shuffled learned placement.
+        old = Mapping(grid, tiny_cluster, np.array([2, 0, 3, 1]))
+        new_cluster = shrink_cluster(tiny_cluster, [1])
+        new_grid = WorkerGrid(pp=3, tp=4, dp=1)
+        warm = compact_mapping_after_failure(old, [1], new_cluster, new_grid)
+        # tp=4 on 4-GPU nodes: one slot per node, node 1 is slot 1.
+        # Surviving blocks kept slots 2, 0, 3 which compact to 1, 0, 2.
+        assert warm.block_to_slot.tolist() == [1, 0, 2]
+
+    def test_mismatched_tp_rejected(self, tiny_cluster):
+        grid = WorkerGrid(pp=2, tp=4, dp=2)
+        old = sequential_mapping(grid, tiny_cluster)
+        new_cluster = shrink_cluster(tiny_cluster, [0])
+        with pytest.raises(ValueError):
+            compact_mapping_after_failure(old, [0], new_cluster,
+                                          WorkerGrid(pp=6, tp=2, dp=1))
+
+    def test_grid_cluster_size_checked(self, tiny_cluster):
+        grid = WorkerGrid(pp=2, tp=4, dp=2)
+        old = sequential_mapping(grid, tiny_cluster)
+        with pytest.raises(ValueError):
+            compact_mapping_after_failure(old, [0], tiny_cluster,
+                                          WorkerGrid(pp=3, tp=4, dp=1))
+
+
+class TestDrift:
+    def test_ratio_zero_for_identical(self, tiny_network):
+        bw = tiny_network.bandwidth
+        assert bandwidth_drift_ratio(bw, bw) == 0.0
+
+    def test_ratio_sees_degraded_link(self, tiny_network):
+        bw = tiny_network.bandwidth
+        matrix = bw.matrix.copy()
+        matrix[0, 5] *= 0.7
+        moved = BandwidthMatrix(matrix=matrix, alpha=bw.alpha)
+        assert bandwidth_drift_ratio(bw, moved) == pytest.approx(0.3)
+        assert drift_exceeds(bw, moved, threshold=0.1)
+        assert not drift_exceeds(bw, moved, threshold=0.5)
+
+    def test_size_mismatch_rejected(self, tiny_network):
+        bw = tiny_network.bandwidth
+        with pytest.raises(ValueError):
+            bandwidth_drift_ratio(bw, bw.restrict(range(8)))
+
+    def test_fabric_drift_over_days(self, tiny_fabric):
+        assert fabric_drift_ratio(tiny_fabric, 0.0) == 0.0
+        assert fabric_drift_ratio(tiny_fabric, 30.0) > 0.0
+
+
+class TestWarmSADefaults:
+    def test_iteration_budget_scaled(self):
+        warm = default_warm_sa(SAOptions(max_iterations=4000))
+        assert warm.max_iterations == 1000
+
+    def test_time_budget_scaled(self):
+        warm = default_warm_sa(SAOptions(time_limit_s=10.0,
+                                         max_iterations=None))
+        assert warm.time_limit_s == pytest.approx(2.5)
+        assert warm.max_iterations is None
+
+
+class TestReplanAfterFailure:
+    def test_mapping_excludes_failed_gpus(self, tiny_cluster, toy_model,
+                                          tiny_network, toy_profile,
+                                          previous_plan):
+        event = ClusterEvent.node_failure(1)
+        report = replan(tiny_cluster, toy_model, tiny_network.bandwidth,
+                        toy_profile, previous_plan, event,
+                        options=PipetteOptions(
+                            sa=SAOptions(max_iterations=200), sa_top_k=2,
+                            seed=3))
+        new_cluster = report.cluster
+        assert new_cluster.n_nodes == tiny_cluster.n_nodes - 1
+        assert report.warm.config.n_gpus == new_cluster.n_gpus
+        # The warm mapping is a bijection onto the surviving cluster:
+        # every worker lands on a (renumbered) surviving GPU.
+        mapping = report.warm.mapping
+        assert mapping.cluster.n_gpus == new_cluster.n_gpus
+        used = {mapping.gpu(x, y, z)
+                for x in range(mapping.grid.pp)
+                for y in range(mapping.grid.tp)
+                for z in range(mapping.grid.dp)}
+        assert used == set(range(new_cluster.n_gpus))
+
+    def test_warm_competitive_with_cold(self, tiny_cluster, toy_model,
+                                        tiny_network, toy_profile,
+                                        previous_plan):
+        report = replan(tiny_cluster, toy_model, tiny_network.bandwidth,
+                        toy_profile, previous_plan,
+                        ClusterEvent.node_failure(2),
+                        options=PipetteOptions(
+                            sa=SAOptions(max_iterations=400), sa_top_k=3,
+                            seed=3))
+        assert report.cold is not None
+        # Warm keeps quality (generous 10% bound for a unit test) and
+        # must not spend more search time than the cold path.
+        assert report.latency_gap < 0.10
+        assert report.warm_search_s < report.cold_search_s
+        assert report.search_speedup > 1.0
+
+    def test_replan_without_cold(self, tiny_cluster, toy_model, tiny_network,
+                                 toy_profile, previous_plan):
+        report = replan(tiny_cluster, toy_model, tiny_network.bandwidth,
+                        toy_profile, previous_plan,
+                        ClusterEvent.node_failure(0),
+                        options=PipetteOptions(
+                            sa=SAOptions(max_iterations=100), seed=3),
+                        run_cold=False)
+        assert report.cold is None
+        with pytest.raises(ValueError):
+            _ = report.latency_gap
+        with pytest.raises(ValueError):
+            _ = report.search_speedup
+
+
+class TestReplanAfterDrift:
+    def test_drift_needs_new_matrix(self, tiny_cluster, toy_model,
+                                    tiny_network, toy_profile, previous_plan):
+        with pytest.raises(ValueError):
+            replan(tiny_cluster, toy_model, tiny_network.bandwidth,
+                   toy_profile, previous_plan, ClusterEvent.bandwidth_drift())
+
+    def test_same_cluster_warm_start(self, tiny_cluster, tiny_fabric,
+                                     toy_model, tiny_network, toy_profile,
+                                     previous_plan):
+        drifted = tiny_fabric.bandwidth_at_day(30.0)
+        report = replan(tiny_cluster, toy_model, tiny_network.bandwidth,
+                        toy_profile, previous_plan,
+                        ClusterEvent.bandwidth_drift(day=30.0),
+                        new_bandwidth=drifted,
+                        options=PipetteOptions(
+                            sa=SAOptions(max_iterations=200), sa_top_k=2,
+                            seed=3))
+        assert report.cluster.n_gpus == tiny_cluster.n_gpus
+        assert report.warm.config.n_gpus == tiny_cluster.n_gpus
+        assert report.warm_search_s < report.cold_search_s
