@@ -1,0 +1,111 @@
+"""Durable plan store: a restarted service keeps its cache.
+
+The claim of :mod:`repro.service.store`: persistence makes Algorithm-1
+searches a *campaign-lifetime* investment, not a process-lifetime one.
+
+* a planning service built over a durable store, after a simulated
+  process restart (new service object, new cache, same store path),
+  answers a previously planned request as a cache ``"hit"``;
+* the rehydrated plan is byte-identical to the one the first process
+  searched (same serialized payload: best config, mapping, latency);
+* the restart hit is >= 10x faster than the cold search was —
+  the same bar the in-memory cache meets within one process.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.cluster import NetworkProfiler, make_fabric
+from repro.cluster.presets import mid_range_cluster
+from repro.core import PipetteOptions, SAOptions
+from repro.model import get_model
+from repro.service import DurablePlanCache, PlanningService, PlanStore
+
+#: One concrete fabric draw, like the other macro-benchmarks.
+SEED = 2
+
+N_NODES = 4
+GLOBAL_BATCH = 64
+OPTIONS = PipetteOptions(sa=SAOptions(max_iterations=1200), sa_top_k=4,
+                         seed=SEED)
+
+
+def _world():
+    cluster = mid_range_cluster(n_nodes=N_NODES)
+    fabric = make_fabric(cluster, seed=SEED)
+    network = NetworkProfiler().profile(fabric, seed=SEED)
+    model = get_model("gpt-1.1b")
+    return cluster, network.bandwidth, model
+
+
+def test_restart_answers_from_store(benchmark, tmp_path):
+    """Plan, kill the service, rehydrate: the answer is a cached hit."""
+    cluster, bandwidth, model = _world()
+    store_path = tmp_path / "plans.jsonl"
+
+    def collect():
+        # First life: pay the search, persist the plan.
+        first = PlanningService(cluster, bandwidth,
+                                cache=DurablePlanCache(store_path),
+                                profile_seed=SEED)
+        cold = first.plan(first.request(model, GLOBAL_BATCH,
+                                        options=OPTIONS))
+        del first  # the process "dies"; only the store remains
+
+        # Second life: a fresh service over the same store.
+        reborn = PlanningService(cluster, bandwidth,
+                                 cache=DurablePlanCache(store_path),
+                                 profile_seed=SEED)
+        hot = reborn.plan(reborn.request(model, GLOBAL_BATCH,
+                                         options=OPTIONS))
+        return cold, hot, reborn.cache.rehydrated
+
+    cold, hot, rehydrated = run_once(benchmark, collect)
+    print(f"\ncold search:   {cold.elapsed_s * 1e3:10.1f} ms  "
+          f"[{cold.status}]")
+    print(f"restart hit:   {hot.elapsed_s * 1e3:10.3f} ms  "
+          f"[{hot.status}], {rehydrated} plans rehydrated")
+    print(f"speedup:       {cold.elapsed_s / hot.elapsed_s:10.0f}x")
+    assert cold.status == "miss" and hot.status == "hit"
+    assert rehydrated == 1
+
+    # Byte-identical plan: the serialized payloads match exactly.
+    cold_payload = json.dumps(cold.result.to_payload(), sort_keys=True)
+    hot_payload = json.dumps(hot.result.to_payload(), sort_keys=True)
+    assert hot_payload == cold_payload
+    assert hot.best.config == cold.best.config
+    assert hot.best.mapping == cold.best.mapping
+    assert hot.best.estimated_latency_s == cold.best.estimated_latency_s
+
+    assert cold.elapsed_s >= 10 * hot.elapsed_s
+
+
+def test_store_compaction_bounds_log(benchmark, tmp_path):
+    """Churning the cache does not grow the log past the live set."""
+    cluster, bandwidth, model = _world()
+    store_path = tmp_path / "plans.jsonl"
+    batches = [16, 32, 64, 128]
+
+    def collect():
+        service = PlanningService(cluster, bandwidth,
+                                  cache=DurablePlanCache(store_path,
+                                                         max_entries=2),
+                                  profile_seed=SEED)
+        fast = PipetteOptions(use_worker_dedication=False, seed=SEED)
+        for batch in batches:
+            service.plan(service.request(model, batch, options=fast))
+        churn_lines = len(store_path.read_text().splitlines())
+        # Restart compacts: tombstones and overwritten puts collapse.
+        reborn = DurablePlanCache(store_path, max_entries=2)
+        compact_lines = len(store_path.read_text().splitlines())
+        return churn_lines, compact_lines, reborn.rehydrated
+
+    churn_lines, compact_lines, rehydrated = run_once(benchmark, collect)
+    print(f"\nlog after churn:      {churn_lines} lines "
+          f"({len(batches)} searches, capacity 2)")
+    print(f"log after rehydrate:  {compact_lines} lines "
+          f"({rehydrated} live plans)")
+    assert rehydrated == 2  # LRU bound survived persistence
+    assert compact_lines == 1 + rehydrated  # header + one put per plan
+    assert churn_lines > compact_lines

@@ -65,8 +65,11 @@ from repro.profiling import ComputeTimeModel, profile_compute
 from repro.service import (
     CandidateExecutor,
     ClusterEvent,
+    ClusterRegistry,
+    DurablePlanCache,
     PlanCache,
     PlanRequest,
+    PlanStore,
     PlanningService,
 )
 from repro.sim import ClusterRunner, simulate_iteration, simulated_max_memory_bytes
@@ -103,8 +106,11 @@ __all__ = [
     "profile_compute",
     "CandidateExecutor",
     "ClusterEvent",
+    "ClusterRegistry",
+    "DurablePlanCache",
     "PlanCache",
     "PlanRequest",
+    "PlanStore",
     "PlanningService",
     "ClusterRunner",
     "simulate_iteration",

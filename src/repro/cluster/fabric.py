@@ -19,6 +19,17 @@ from repro.units import GB
 from repro.utils.rng import derive_seed
 
 
+def _sentinel_encode(values: np.ndarray) -> np.ndarray:
+    """Replace non-finite entries with distinct hashable sentinels.
+
+    Bandwidths and alphas are non-negative, so negative sentinels can
+    never collide with measured values: inf (the diagonal) becomes
+    ``-1.0`` and NaN (a failed measurement) ``-2.0``.
+    """
+    return np.where(np.isnan(values), -2.0,
+                    np.where(np.isinf(values), -1.0, values))
+
+
 @dataclass(frozen=True)
 class BandwidthMatrix:
     """Pairwise attained bandwidth between all GPUs, in GB/s.
@@ -86,15 +97,18 @@ class BandwidthMatrix:
         hash identically once quantized to ``decimals`` decimal GB/s,
         while a node swap, link degradation, or real drift produces a
         different fingerprint and retires the cached plans.
+
+        NaN (a failed measurement) and inf (the no-transfer diagonal)
+        quantize to *distinct* sentinels: a matrix whose off-diagonal
+        entries were poisoned by NaN must never hash like a healthy
+        one whose corresponding entries are merely infinite.
         """
-        quant = np.round(np.where(np.isfinite(self.matrix), self.matrix, -1.0),
-                         decimals)
         digest = hashlib.sha256()
+        quant = np.round(_sentinel_encode(self.matrix), decimals)
         digest.update(np.asarray(quant.shape, dtype=np.int64).tobytes())
         digest.update(np.ascontiguousarray(quant).tobytes())
         digest.update(np.ascontiguousarray(
-            np.round(np.where(np.isfinite(self.alpha), self.alpha, -1.0),
-                     9)).tobytes())
+            np.round(_sentinel_encode(self.alpha), 9)).tobytes())
         return digest.hexdigest()[:16]
 
     def restrict(self, gpus) -> "BandwidthMatrix":

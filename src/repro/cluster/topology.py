@@ -49,6 +49,18 @@ class GpuSpec:
         """Device memory in binary gibibytes."""
         return self.memory_bytes / GIB
 
+    def to_payload(self) -> dict:
+        """JSON-serializable form (see :mod:`repro.service.store`)."""
+        return {"name": self.name, "memory_bytes": self.memory_bytes,
+                "peak_flops": self.peak_flops,
+                "achievable_fraction": self.achievable_fraction,
+                "hbm_gb_s": self.hbm_gb_s}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "GpuSpec":
+        """Inverse of :meth:`to_payload`."""
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class LinkSpec:
@@ -69,6 +81,16 @@ class LinkSpec:
         if self.alpha_s < 0:
             raise ValueError(f"alpha_s must be non-negative, got {self.alpha_s}")
 
+    def to_payload(self) -> dict:
+        """JSON-serializable form (see :mod:`repro.service.store`)."""
+        return {"name": self.name, "bandwidth_gb_s": self.bandwidth_gb_s,
+                "alpha_s": self.alpha_s}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LinkSpec":
+        """Inverse of :meth:`to_payload`."""
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class NodeSpec:
@@ -80,6 +102,19 @@ class NodeSpec:
 
     def __post_init__(self) -> None:
         check_positive_int(self.gpus_per_node, "gpus_per_node")
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form (see :mod:`repro.service.store`)."""
+        return {"gpus_per_node": self.gpus_per_node,
+                "gpu": self.gpu.to_payload(),
+                "intra_link": self.intra_link.to_payload()}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "NodeSpec":
+        """Inverse of :meth:`to_payload`."""
+        return cls(gpus_per_node=payload["gpus_per_node"],
+                   gpu=GpuSpec.from_payload(payload["gpu"]),
+                   intra_link=LinkSpec.from_payload(payload["intra_link"]))
 
 
 @dataclass(frozen=True)
@@ -143,6 +178,25 @@ class ClusterSpec:
             inter_link=self.inter_link,
             description=self.description,
         )
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form (see :mod:`repro.service.store`).
+
+        ``description`` rides along so a rehydrated spec prints the
+        same, even though it is excluded from comparison.
+        """
+        return {"name": self.name, "n_nodes": self.n_nodes,
+                "node": self.node.to_payload(),
+                "inter_link": self.inter_link.to_payload(),
+                "description": self.description}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ClusterSpec":
+        """Inverse of :meth:`to_payload`."""
+        return cls(name=payload["name"], n_nodes=payload["n_nodes"],
+                   node=NodeSpec.from_payload(payload["node"]),
+                   inter_link=LinkSpec.from_payload(payload["inter_link"]),
+                   description=payload.get("description", ""))
 
     def _check_gpu(self, gpu: int) -> None:
         if not 0 <= gpu < self.n_gpus:

@@ -41,6 +41,11 @@ from repro.parallel.config import ParallelConfig, enumerate_parallel_configs
 from repro.parallel.mapping import Mapping, WorkerGrid, sequential_mapping
 from repro.profiling.profile_run import ComputeProfile
 
+#: Schema version of the ``to_payload`` serializations below.  Bump it
+#: whenever a payload's shape changes; readers refuse versions they do
+#: not understand rather than silently mis-deserializing.
+PAYLOAD_VERSION = 1
+
 
 @dataclass(frozen=True)
 class PipetteOptions:
@@ -99,6 +104,30 @@ class RankedConfig:
         return (self.estimated_latency_s, self.config.pp, self.config.tp,
                 self.config.dp, self.config.micro_batch)
 
+    def to_payload(self) -> dict:
+        """JSON-serializable form (see :mod:`repro.service.store`).
+
+        The mapping's cluster is *not* embedded; the enclosing
+        :meth:`PipetteResult.to_payload` record carries it once.
+        """
+        return {"config": self.config.to_payload(),
+                "mapping": self.mapping.to_payload(),
+                "estimated_latency_s": self.estimated_latency_s,
+                "estimated_memory_bytes": self.estimated_memory_bytes,
+                "memory_ok": self.memory_ok}
+
+    @classmethod
+    def from_payload(cls, payload: dict,
+                     cluster: ClusterSpec) -> "RankedConfig":
+        """Inverse of :meth:`to_payload`, rebinding to ``cluster``."""
+        return cls(
+            config=ParallelConfig.from_payload(payload["config"]),
+            mapping=Mapping.from_payload(payload["mapping"], cluster),
+            estimated_latency_s=payload["estimated_latency_s"],
+            estimated_memory_bytes=payload["estimated_memory_bytes"],
+            memory_ok=payload["memory_ok"],
+        )
+
 
 @dataclass
 class PipetteResult:
@@ -122,6 +151,58 @@ class PipetteResult:
     memory_check_s: float
     annealing_s: float
     total_s: float
+
+    def to_payload(self) -> dict:
+        """Versioned, JSON-serializable form of a finished search.
+
+        The cluster every mapping is bound to is embedded exactly once
+        (all entries of one result share it), so the payload is fully
+        self-contained: :meth:`from_payload` needs nothing but the
+        dict.  ``best`` is stored as an index into ``ranked`` — it is
+        ``ranked[0]`` by construction — preserving the identity
+        relation across a round trip.
+        """
+        cluster = self.ranked[0].mapping.cluster if self.ranked else None
+        best_index = next((i for i, entry in enumerate(self.ranked)
+                           if entry is self.best), None)
+        payload = {
+            "version": PAYLOAD_VERSION,
+            "cluster": None if cluster is None else cluster.to_payload(),
+            "ranked": [entry.to_payload() for entry in self.ranked],
+            "best_index": best_index,
+            "rejected_oom": self.rejected_oom,
+            "memory_check_s": self.memory_check_s,
+            "annealing_s": self.annealing_s,
+            "total_s": self.total_s,
+        }
+        if self.best is not None and best_index is None:
+            payload["best"] = self.best.to_payload()
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PipetteResult":
+        """Inverse of :meth:`to_payload`."""
+        version = payload.get("version")
+        if version != PAYLOAD_VERSION:
+            raise ValueError(
+                f"unsupported PipetteResult payload version {version!r} "
+                f"(this build reads version {PAYLOAD_VERSION})"
+            )
+        cluster = None if payload["cluster"] is None \
+            else ClusterSpec.from_payload(payload["cluster"])
+        ranked = [RankedConfig.from_payload(entry, cluster)
+                  for entry in payload["ranked"]]
+        if payload["best_index"] is not None:
+            best = ranked[payload["best_index"]]
+        elif payload.get("best") is not None:
+            best = RankedConfig.from_payload(payload["best"], cluster)
+        else:
+            best = None
+        return cls(best=best, ranked=ranked,
+                   rejected_oom=payload["rejected_oom"],
+                   memory_check_s=payload["memory_check_s"],
+                   annealing_s=payload["annealing_s"],
+                   total_s=payload["total_s"])
 
 
 # ---------------------------------------------------------------- work units

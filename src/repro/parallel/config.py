@@ -77,6 +77,21 @@ class ParallelConfig:
                               global_batch=self.global_batch,
                               recompute=True)
 
+    def to_payload(self) -> dict:
+        """JSON-serializable form (see :mod:`repro.service.store`)."""
+        return {"pp": self.pp, "tp": self.tp, "dp": self.dp,
+                "micro_batch": self.micro_batch,
+                "global_batch": self.global_batch,
+                "recompute": self.recompute}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ParallelConfig":
+        """Inverse of :meth:`to_payload`."""
+        return cls(pp=payload["pp"], tp=payload["tp"], dp=payload["dp"],
+                   micro_batch=payload["micro_batch"],
+                   global_batch=payload["global_batch"],
+                   recompute=payload.get("recompute", False))
+
 
 def _way_triples(n_gpus: int, max_tp: int, max_pp: int) -> Iterator[tuple[int, int, int]]:
     """All ``(pp, tp, dp)`` with ``pp * tp * dp == n_gpus`` within bounds."""

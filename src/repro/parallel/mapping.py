@@ -70,6 +70,15 @@ class WorkerGrid:
                 f"[{self.pp}] x [{self.tp}] x [{self.dp}]"
             )
 
+    def to_payload(self) -> dict:
+        """JSON-serializable form (see :mod:`repro.service.store`)."""
+        return {"pp": self.pp, "tp": self.tp, "dp": self.dp}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WorkerGrid":
+        """Inverse of :meth:`to_payload`."""
+        return cls(pp=payload["pp"], tp=payload["tp"], dp=payload["dp"])
+
 
 class Mapping:
     """A bijection from logical workers to GPUs, in block form.
@@ -148,6 +157,22 @@ class Mapping:
     def copy(self) -> "Mapping":
         """Deep copy (the permutation array is duplicated)."""
         return Mapping(self.grid, self.cluster, self.block_to_slot.copy())
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form, *without* the cluster.
+
+        Plans are persisted per cluster (the store record carries the
+        cluster spec once, not per mapping), so rehydration supplies it
+        back through :meth:`from_payload`.
+        """
+        return {"grid": self.grid.to_payload(),
+                "block_to_slot": self.block_to_slot.tolist()}
+
+    @classmethod
+    def from_payload(cls, payload: dict, cluster: ClusterSpec) -> "Mapping":
+        """Inverse of :meth:`to_payload`, rebinding to ``cluster``."""
+        return cls(WorkerGrid.from_payload(payload["grid"]), cluster,
+                   np.array(payload["block_to_slot"], dtype=np.int64))
 
     def __eq__(self, other) -> bool:
         return (isinstance(other, Mapping)

@@ -12,6 +12,11 @@ a programmable service and PipeTune amortizes tuning across jobs:
   failures and bandwidth drift, warm-starting SA from the prior plan;
 * :mod:`repro.service.planner` — the front door: request batching,
   in-flight dedup, cache, and event handling;
+* :mod:`repro.service.store` — durable JSON-lines plan persistence,
+  rehydrating the cache (epochs intact) across service restarts;
+* :mod:`repro.service.registry` — many named services behind one
+  router: pinned/spec-matched/cheapest-feasible planning, per-cluster
+  elastic events;
 * ``python -m repro.service`` — a small CLI over all of the above.
 """
 
@@ -43,6 +48,16 @@ from repro.service.planner import (
     PlanResponse,
     PlanTicket,
 )
+from repro.service.registry import (
+    ClusterRegistry,
+    RoutedResponse,
+)
+from repro.service.store import (
+    SCHEMA_VERSION,
+    DurablePlanCache,
+    PlanStore,
+    PlanStoreError,
+)
 
 __all__ = [
     "CacheStats",
@@ -65,4 +80,10 @@ __all__ = [
     "PlanningService",
     "PlanResponse",
     "PlanTicket",
+    "ClusterRegistry",
+    "RoutedResponse",
+    "SCHEMA_VERSION",
+    "DurablePlanCache",
+    "PlanStore",
+    "PlanStoreError",
 ]

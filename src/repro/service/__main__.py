@@ -1,14 +1,20 @@
 """Command-line front door of the planning service.
 
-Three subcommands, each a small end-to-end story on a simulated
+Four subcommands, each a small end-to-end story on a simulated
 cluster (swap the simulated fabric for a real profiling campaign to
 use them against physical machines):
 
-* ``plan``   — answer one planning request and print the ranking;
-* ``demo``   — serve a queued workload with duplicates, showing
+* ``plan``     — answer one planning request and print the ranking;
+* ``demo``     — serve a queued workload with duplicates, showing
   caching, in-flight dedup, and (optionally) parallel search;
-* ``replan`` — fail a node and compare warm-started re-planning with
-  the cold search.
+* ``replan``   — fail a node and compare warm-started re-planning with
+  the cold search;
+* ``registry`` — serve several named clusters at once: pinned and
+  cheapest-feasible routing, per-cluster failure isolation.
+
+``--store-path`` (or the registry's ``--store-dir``) makes the plan
+cache durable: re-running the same command answers previously planned
+requests as cache hits, across process restarts.
 
 Run ``python -m repro.service <subcommand> --help`` for knobs, or use
 the ``pipette-plan`` console script installed by the package.
@@ -17,6 +23,7 @@ the ``pipette-plan`` console script installed by the package.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.cluster import NetworkProfiler, make_fabric
@@ -26,24 +33,40 @@ from repro.model import MODEL_CATALOG, get_model
 from repro.service.cache import PlanRequest
 from repro.service.executor import CandidateExecutor, available_workers
 from repro.service.planner import PlanningService
+from repro.service.registry import ClusterRegistry
 from repro.service.replan import ClusterEvent
+from repro.service.store import DurablePlanCache
 from repro.units import GIB
+
+PRESETS = {"mid-range": mid_range_cluster, "high-end": high_end_cluster}
+
+
+def _executor(args) -> CandidateExecutor | None:
+    if args.workers == 0:
+        return None
+    return CandidateExecutor(
+        max_workers=args.workers if args.workers > 0 else None)
+
+
+def _durable_cache(path: str | None) -> DurablePlanCache | None:
+    if path is None:
+        return None
+    cache = DurablePlanCache(path)
+    print(f"store: {path} ({cache.rehydrated} plans rehydrated)")
+    return cache
 
 
 def _build_service(args) -> PlanningService:
-    presets = {"mid-range": mid_range_cluster, "high-end": high_end_cluster}
-    cluster = presets[args.cluster](n_nodes=args.nodes)
+    cluster = PRESETS[args.cluster](n_nodes=args.nodes)
     fabric = make_fabric(cluster, seed=args.seed)
     network = NetworkProfiler().profile(fabric, seed=args.seed)
-    executor = None
-    if args.workers != 0:
-        executor = CandidateExecutor(
-            max_workers=args.workers if args.workers > 0 else None)
+    executor = _executor(args)
     print(f"cluster: {cluster.description or cluster.name} "
           f"({cluster.n_nodes} nodes x {cluster.gpus_per_node} GPUs)")
     if executor is not None:
         print(f"executor: {executor.kind} pool, {executor.n_workers} workers")
     return PlanningService(cluster, network.bandwidth, executor=executor,
+                           cache=_durable_cache(args.store_path),
                            profile_seed=args.seed)
 
 
@@ -128,6 +151,76 @@ def cmd_replan(args) -> int:
     return 0
 
 
+def _parse_cluster_arg(entry: str, index: int):
+    """One ``preset:nodes`` CLI entry -> (name, preset fn, node count)."""
+    preset, _, nodes = entry.partition(":")
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; "
+                         f"choose from {sorted(PRESETS)}")
+    try:
+        n_nodes = int(nodes) if nodes else 4
+    except ValueError:
+        raise ValueError(f"bad node count in {entry!r}") from None
+    return f"{preset}-{index}", PRESETS[preset], n_nodes
+
+
+def cmd_registry(args) -> int:
+    registry = ClusterRegistry(executor=_executor(args))
+    options = _options(args)
+    model = get_model(args.model)
+    for index, entry in enumerate(args.clusters):
+        name, preset, n_nodes = _parse_cluster_arg(entry, index)
+        cluster = preset(n_nodes=n_nodes)
+        seed = args.seed + index
+        network = NetworkProfiler().profile(make_fabric(cluster, seed=seed),
+                                            seed=seed)
+        cache = None
+        if args.store_dir is not None:
+            cache = _durable_cache(os.path.join(args.store_dir,
+                                                f"{name}.jsonl"))
+        registry.add_cluster(name, cluster, network.bandwidth, cache=cache,
+                             profile_seed=seed)
+        print(f"registered {name}: {cluster.n_nodes} nodes x "
+              f"{cluster.gpus_per_node} GPUs")
+    print(f"\nmodel: {model.name}, global batch {args.global_batch}\n")
+
+    for name in registry.names:
+        routed = registry.plan_on(name, model, args.global_batch,
+                                  options=options)
+        best = routed.best
+        print(f"  [{routed.status:<7}] {name:<14} "
+              f"{best.config.describe():<24} "
+              f"{best.estimated_latency_s:7.3f} s/iter")
+
+    cheapest = registry.plan_cheapest(model, args.global_batch,
+                                      options=options)
+    print(f"\ncheapest feasible: {cheapest.cluster_name} "
+          f"({cheapest.best.config.describe()}, "
+          f"{cheapest.best.estimated_latency_s:.3f} s/iter, "
+          f"[{cheapest.status}])")
+
+    if args.fail_node is not None:
+        # Destructive by design: the victim's cache (and durable
+        # store, if any) is cleared, so this step is opt-in — a
+        # --store-dir re-run without it keeps answering [hit].
+        victim = registry.names[0]
+        retired = registry.fail_nodes(victim, args.fail_node)
+        print(f"\nnode {args.fail_node} failed on {victim}: "
+              f"{retired} cached plans retired; siblings untouched")
+        after = registry.plan_cheapest(model, args.global_batch,
+                                       options=options)
+        print(f"cheapest now: {after.cluster_name} "
+              f"({after.best.config.describe()}, "
+              f"{after.best.estimated_latency_s:.3f} s/iter, "
+              f"[{after.status}])")
+
+    print("\nregistry stats:")
+    for name, stats in registry.stats.items():
+        print(f"  {name}: entries={stats['cache_entries']} "
+              f"hits={stats['cache_hits']} misses={stats['cache_misses']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pipette-plan",
@@ -136,11 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--cluster", choices=("mid-range", "high-end"),
-                       default="mid-range", help="hardware preset (Table I)")
-        p.add_argument("--nodes", type=int, default=4,
-                       help="node count (default 4)")
+    def search_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument("--global-batch", type=int, default=64,
                        help="bs_global (default 64)")
         p.add_argument("--seed", type=int, default=0,
@@ -153,6 +242,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="candidate-executor width; 0 = serial "
                             "(default), -1 = all usable CPUs "
                             f"(this host: {available_workers()})")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cluster", choices=("mid-range", "high-end"),
+                       default="mid-range", help="hardware preset (Table I)")
+        p.add_argument("--nodes", type=int, default=4,
+                       help="node count (default 4)")
+        search_opts(p)
+        p.add_argument("--store-path", default=None, metavar="FILE",
+                       help="durable plan store (JSON lines); plans "
+                            "survive restarts and repeats answer as "
+                            "cache hits")
 
     plan = sub.add_parser("plan", help="answer one planning request")
     common(plan)
@@ -178,6 +278,26 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--fail-node", type=int, default=1,
                      help="node index that fails")
     rep.set_defaults(fn=cmd_replan)
+
+    reg = sub.add_parser("registry", help="serve several named clusters "
+                                          "behind one router")
+    search_opts(reg)
+    reg.add_argument("--clusters", nargs="+",
+                     default=["mid-range:2", "high-end:2"],
+                     metavar="PRESET[:NODES]",
+                     help="clusters to register (default: one mid-range "
+                          "and one high-end cluster of 2 nodes each)")
+    reg.add_argument("--model", default="gpt-1.1b",
+                     choices=sorted(MODEL_CATALOG),
+                     help="architecture to plan for")
+    reg.add_argument("--fail-node", type=int, default=None, metavar="NODE",
+                     help="also demo failure isolation: fail this node "
+                          "on the first cluster (clears its cache and "
+                          "durable store; off by default)")
+    reg.add_argument("--store-dir", default=None, metavar="DIR",
+                     help="directory of per-cluster durable stores "
+                          "(one <name>.jsonl each)")
+    reg.set_defaults(fn=cmd_registry)
     return parser
 
 

@@ -77,8 +77,24 @@ class PlanRequest:
     def __post_init__(self) -> None:
         if self.global_batch < 1:
             raise ValueError(f"global_batch must be >= 1, got {self.global_batch}")
+        if self.memory_limit_bytes is not None \
+                and not self.memory_limit_bytes > 0:  # NaN fails this too
+            raise ValueError(
+                f"memory_limit_bytes must be positive, got "
+                f"{self.memory_limit_bytes}"
+            )
         if self.micro_batches is not None:
             normalized = tuple(sorted({int(m) for m in self.micro_batches}))
+            if not normalized:
+                raise ValueError(
+                    "micro_batches must not be empty; pass None to sweep "
+                    "the default sizes"
+                )
+            if normalized[0] < 1:
+                raise ValueError(
+                    f"micro_batches entries must be >= 1, got "
+                    f"{normalized[0]}"
+                )
             object.__setattr__(self, "micro_batches", normalized)
 
     def fingerprint(self) -> str:
@@ -134,6 +150,10 @@ class PlanCache:
     Args:
         max_entries: capacity bound; least-recently-used plans are
             evicted beyond it.
+
+    Every mutation flows through the ``_record_*`` hooks, which are
+    no-ops here; :class:`repro.service.store.DurablePlanCache`
+    overrides them to mirror the cache onto disk.
     """
 
     def __init__(self, max_entries: int = 128) -> None:
@@ -149,6 +169,11 @@ class PlanCache:
     def __contains__(self, key: str) -> bool:
         return key in self._store
 
+    def entries(self) -> "list[tuple[str, str, PipetteResult]]":
+        """All live ``(key, bandwidth_fp, result)`` rows, LRU first."""
+        return [(key, entry.bandwidth_fp, entry.result)
+                for key, entry in self._store.items()]
+
     def get(self, key: str, bandwidth_fp: str) -> PipetteResult | None:
         """The cached plan for ``key`` in the current bandwidth epoch.
 
@@ -162,6 +187,7 @@ class PlanCache:
             return None
         if entry.bandwidth_fp != bandwidth_fp:
             del self._store[key]
+            self._record_drop(key)
             self.stats.stale_drops += 1
             self.stats.misses += 1
             return None
@@ -174,9 +200,13 @@ class PlanCache:
         if key in self._store:
             self._store.move_to_end(key)
         self._store[key] = _Entry(bandwidth_fp=bandwidth_fp, result=result)
+        self._record_put(key, bandwidth_fp, result)
+        evicted = []
         while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
+            evicted.append(self._store.popitem(last=False)[0])
             self.stats.evictions += 1
+        if evicted:
+            self._record_drops(evicted)
 
     def invalidate_epoch(self, bandwidth_fp: str) -> int:
         """Drop every entry not belonging to ``bandwidth_fp``.
@@ -189,9 +219,29 @@ class PlanCache:
                  if e.bandwidth_fp != bandwidth_fp]
         for key in stale:
             del self._store[key]
+        if stale:
+            self._record_drops(stale)
         self.stats.stale_drops += len(stale)
         return len(stale)
 
     def clear(self) -> None:
         """Drop everything (stats are kept)."""
         self._store.clear()
+        self._record_clear()
+
+    # ------------------------------------------------- persistence hooks
+
+    def _record_put(self, key: str, bandwidth_fp: str,
+                    result: PipetteResult) -> None:
+        """Mutation hook: ``key`` was stored or overwritten."""
+
+    def _record_drop(self, key: str) -> None:
+        """Mutation hook: ``key`` was evicted, staled, or invalidated."""
+
+    def _record_drops(self, keys: "list[str]") -> None:
+        """Mutation hook: many keys retired at once (epoch roll)."""
+        for key in keys:
+            self._record_drop(key)
+
+    def _record_clear(self) -> None:
+        """Mutation hook: the cache was emptied."""

@@ -41,6 +41,8 @@ from repro.service.replan import (
     ReplanReport,
     drift_exceeds,
     replan,
+    shrink_cluster,
+    surviving_gpus,
 )
 
 
@@ -110,7 +112,10 @@ class PlanningService:
         self.bandwidth_fp = bandwidth.fingerprint()
         self.memory_estimator = memory_estimator
         self.executor = executor
-        self.cache = cache or PlanCache()
+        # ``cache or PlanCache()`` would discard an *empty* caller
+        # cache (len() == 0 is falsy) — fatal for a durable cache that
+        # happens to start empty.
+        self.cache = cache if cache is not None else PlanCache()
         self.profile_seed = profile_seed
         self._profiles: "dict[TransformerConfig, ComputeProfile]" = {}
         self._queue: "list[PlanTicket]" = []
@@ -174,25 +179,37 @@ class PlanningService:
         Tickets are grouped by fingerprint first: each group costs at
         most one search regardless of its size (in-flight dedup), and
         nothing at all when the plan cache already holds the answer
-        for the current bandwidth epoch.  A ticket that fails (e.g. it
-        was queued for a cluster the service no longer plans for)
-        yields an ``"error"`` response; the rest of the batch is still
-        answered.
+        for the current bandwidth epoch.  ``"deduped"`` responses
+        report their *own* (near-zero) answer time, not the elapsed
+        time of the search they shared — per-ticket accounting must
+        not bill one search N times.  A ticket that fails (e.g. it was
+        queued for a cluster the service no longer plans for) yields
+        an ``"error"`` response and the rest of the batch is still
+        answered; identical failing tickets share the first failure
+        instead of re-raising the same search N times.
         """
         tickets, self._queue = self._queue, []
         answered: "dict[str, PlanResponse]" = {}
+        failed: "dict[str, str]" = {}
         responses = []
         for ticket in tickets:
+            t0 = time.perf_counter()
             known = answered.get(ticket.fingerprint)
             if known is not None:
                 responses.append(PlanResponse(
                     ticket=ticket, result=known.result, status="deduped",
-                    elapsed_s=known.elapsed_s))
+                    elapsed_s=time.perf_counter() - t0))
                 continue
-            t0 = time.perf_counter()
+            failure = failed.get(ticket.fingerprint)
+            if failure is not None:
+                responses.append(PlanResponse(
+                    ticket=ticket, result=None, status="error",
+                    elapsed_s=time.perf_counter() - t0, error=failure))
+                continue
             try:
                 response = self._answer(ticket)
             except (ValueError, RuntimeError) as exc:
+                failed[ticket.fingerprint] = str(exc)
                 responses.append(PlanResponse(
                     ticket=ticket, result=None, status="error",
                     elapsed_s=time.perf_counter() - t0, error=str(exc)))
@@ -235,6 +252,26 @@ class PlanningService:
         )
 
     # -------------------------------------------------------------- elastic
+
+    def apply_failure(self, *failed_nodes: int) -> int:
+        """Adopt the post-failure world without re-planning anything.
+
+        Installs the shrunken cluster and the survivor-restricted
+        matrix, rolls the bandwidth epoch, and retires every cached
+        plan and per-model profile (they all reference GPUs that no
+        longer all exist).  Unlike :meth:`replan`, no request is
+        needed — a registry can propagate a failure event to the right
+        cluster and let later requests re-plan on demand.  Returns the
+        number of retired plans.
+        """
+        keep = surviving_gpus(self.cluster, failed_nodes)
+        self.cluster = shrink_cluster(self.cluster, failed_nodes)
+        self.bandwidth = self.bandwidth.restrict(keep)
+        self.bandwidth_fp = self.bandwidth.fingerprint()
+        retired = len(self.cache)
+        self.cache.clear()
+        self._profiles.clear()
+        return retired
 
     def update_bandwidth(self, new_bandwidth: BandwidthMatrix,
                          drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,

@@ -1,0 +1,228 @@
+"""Multi-cluster planning: one front door over many named services.
+
+A real fleet is several clusters — different hardware generations,
+different fabrics — each with its own profiled bandwidth matrix,
+memory estimator, and plan cache.  :class:`ClusterRegistry` owns one
+:class:`~repro.service.planner.PlanningService` per named cluster and
+routes work to them:
+
+* a request *pinned* to a cluster name goes straight to that service;
+* an unpinned request is routed by spec match — the registered
+  cluster equal to the request's ``cluster`` answers it;
+* a caller with no cluster preference at all asks
+  :meth:`ClusterRegistry.plan_cheapest`, which fans the same planning
+  question over every registered cluster (each search reusing the
+  shared :class:`~repro.service.executor.CandidateExecutor`) and
+  returns the feasible plan with the lowest estimated latency;
+* elastic events — a re-profiled matrix, a node failure — are
+  propagated to exactly one named cluster, leaving every sibling's
+  cache and epoch untouched.
+
+Services keep their identity inside the registry: per-cluster durable
+caches (:mod:`repro.service.store`) rehydrate independently, so a
+restarted registry remembers every cluster's plans.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.cluster.topology import ClusterSpec
+from repro.core.configurator import PipetteResult, RankedConfig
+from repro.core.memory_estimator import MemoryEstimator
+from repro.model.transformer import TransformerConfig
+from repro.service.cache import PlanCache, PlanRequest
+from repro.service.executor import CandidateExecutor
+from repro.service.planner import PlanningService, PlanResponse
+from repro.service.replan import DEFAULT_DRIFT_THRESHOLD
+
+
+@dataclass
+class RoutedResponse:
+    """A plan answer plus the name of the cluster that produced it."""
+
+    cluster_name: str
+    response: PlanResponse
+
+    @property
+    def best(self) -> RankedConfig | None:
+        """Shortcut to the recommended configuration."""
+        return self.response.best
+
+    @property
+    def result(self) -> PipetteResult | None:
+        """Shortcut to the full search result."""
+        return self.response.result
+
+    @property
+    def status(self) -> str:
+        """Shortcut to the cache status (``"hit"``/``"miss"``/...)."""
+        return self.response.status
+
+
+class ClusterRegistry:
+    """Front door owning one planning service per named cluster.
+
+    Args:
+        executor: candidate executor shared by every registered
+            service built through :meth:`add_cluster` (one pool serves
+            the whole fleet; per-cluster searches fan their candidate
+            chunks over it independently).  ``None`` searches serially.
+    """
+
+    def __init__(self, executor: CandidateExecutor | None = None) -> None:
+        self.executor = executor
+        self._services: "OrderedDict[str, PlanningService]" = OrderedDict()
+
+    # ---------------------------------------------------------- membership
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    @property
+    def names(self) -> list[str]:
+        """Registered cluster names, in registration order."""
+        return list(self._services)
+
+    def register(self, name: str, service: PlanningService) -> PlanningService:
+        """Adopt an existing service under ``name``."""
+        if name in self._services:
+            raise ValueError(f"cluster {name!r} is already registered")
+        self._services[name] = service
+        return service
+
+    def add_cluster(self, name: str, cluster: ClusterSpec,
+                    bandwidth: BandwidthMatrix,
+                    memory_estimator: MemoryEstimator | None = None,
+                    cache: PlanCache | None = None,
+                    profile_seed: int = 0) -> PlanningService:
+        """Build and register a service for ``cluster`` under ``name``.
+
+        The service shares the registry's executor; pass a
+        :class:`~repro.service.store.DurablePlanCache` as ``cache`` to
+        give the cluster restart-surviving plans.
+        """
+        return self.register(name, PlanningService(
+            cluster, bandwidth, memory_estimator=memory_estimator,
+            executor=self.executor, cache=cache, profile_seed=profile_seed))
+
+    def unregister(self, name: str) -> PlanningService:
+        """Remove and return the named service (its cache is untouched)."""
+        if name not in self._services:
+            self._raise_unknown(name)
+        return self._services.pop(name)
+
+    def service(self, name: str) -> PlanningService:
+        """The service planning for the named cluster."""
+        service = self._services.get(name)
+        if service is None:
+            self._raise_unknown(name)
+        return service
+
+    def _raise_unknown(self, name: str):
+        raise ValueError(
+            f"unknown cluster {name!r}; registered: {self.names or 'none'}"
+        )
+
+    # ------------------------------------------------------------- routing
+
+    def route(self, request: PlanRequest) -> str:
+        """Name of the registered cluster matching ``request.cluster``.
+
+        Spec equality is the router (the request embeds the cluster it
+        was built for); with duplicate specs the earliest registration
+        wins, matching LRU-style stability.
+        """
+        for name, service in self._services.items():
+            if service.cluster == request.cluster:
+                return name
+        raise ValueError(
+            f"no registered cluster matches the request's "
+            f"{request.cluster.name!r} ({request.cluster.n_nodes} nodes); "
+            f"registered: {self.names or 'none'}"
+        )
+
+    def plan(self, request: PlanRequest,
+             cluster: str | None = None) -> RoutedResponse:
+        """Answer one request, pinned to ``cluster`` or routed by spec."""
+        name = cluster if cluster is not None else self.route(request)
+        return RoutedResponse(cluster_name=name,
+                              response=self.service(name).plan(request))
+
+    def plan_on(self, name: str, model: TransformerConfig,
+                global_batch: int, **kwargs) -> RoutedResponse:
+        """Build a request bound to the named cluster and answer it."""
+        service = self.service(name)
+        return RoutedResponse(
+            cluster_name=name,
+            response=service.plan(service.request(model, global_batch,
+                                                  **kwargs)))
+
+    def plan_cheapest(self, model: TransformerConfig, global_batch: int,
+                      **kwargs) -> RoutedResponse:
+        """The lowest-latency feasible plan across every cluster.
+
+        Each registered cluster answers its own cluster-bound copy of
+        the question — independent searches over the shared executor,
+        each hitting its own cache on repeats.  Plans that fit memory
+        outrank best-effort (``memory_ok=False``) ones; ties break by
+        registration order.  Clusters with no feasible configuration
+        are skipped; if none can serve, the collected errors raise.
+        """
+        if not self._services:
+            raise ValueError("no clusters registered")
+        candidates: "list[tuple[tuple, RoutedResponse]]" = []
+        errors: "list[str]" = []
+        for rank, (name, service) in enumerate(self._services.items()):
+            try:
+                response = service.plan(service.request(model, global_batch,
+                                                        **kwargs))
+            except (ValueError, RuntimeError) as exc:
+                errors.append(f"{name}: {exc}")
+                continue
+            best = response.best
+            if best is None:
+                errors.append(f"{name}: no feasible configuration")
+                continue
+            candidates.append((
+                (not best.memory_ok, best.estimated_latency_s, rank),
+                RoutedResponse(cluster_name=name, response=response)))
+        if not candidates:
+            raise RuntimeError(
+                "no cluster can serve the request: " + "; ".join(errors))
+        return min(candidates, key=lambda pair: pair[0])[1]
+
+    # ------------------------------------------------------------- elastic
+
+    def update_bandwidth(self, name: str, new_bandwidth: BandwidthMatrix,
+                         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+                         ) -> int:
+        """Adopt a re-profiled matrix on one cluster only.
+
+        Siblings keep their matrices, epochs, and caches; returns the
+        number of plans the named cluster retired.
+        """
+        return self.service(name).update_bandwidth(
+            new_bandwidth, drift_threshold=drift_threshold)
+
+    def fail_nodes(self, name: str, *failed_nodes: int) -> int:
+        """Apply a node failure to one cluster only.
+
+        The named service shrinks (:meth:`PlanningService.apply_failure`)
+        and retires its plans; every sibling's cache stays intact.
+        Returns the number of retired plans.
+        """
+        return self.service(name).apply_failure(*failed_nodes)
+
+    # --------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> dict:
+        """Per-cluster operational counters, keyed by cluster name."""
+        return {name: service.stats
+                for name, service in self._services.items()}

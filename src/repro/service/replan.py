@@ -86,17 +86,34 @@ class ClusterEvent:
 
 def bandwidth_drift_ratio(old: BandwidthMatrix,
                           new: BandwidthMatrix) -> float:
-    """Largest relative per-link bandwidth change between two matrices."""
+    """Largest relative per-link bandwidth change between two matrices.
+
+    A link that was measurable in ``old`` but comes back NaN/inf in
+    ``new`` is dead, not unchanged, and a link profiled at 0 GB/s that
+    now attains anything has no finite ratio either; both report
+    infinite drift so the caller always retires plans searched against
+    a fabric that lost a link.
+    """
     if old.n_gpus != new.n_gpus:
         raise ValueError(
             f"matrices cover {old.n_gpus} vs {new.n_gpus} GPUs; drift is "
             "only defined over an unchanged GPU set"
         )
-    finite = np.isfinite(old.matrix) & np.isfinite(new.matrix)
-    if not finite.any():
+    old_finite = np.isfinite(old.matrix)
+    new_finite = np.isfinite(new.matrix)
+    if np.any(old_finite & ~new_finite):
+        return float("inf")
+    both = old_finite & new_finite
+    if not both.any():
         return 0.0
-    rel = np.abs(new.matrix[finite] - old.matrix[finite]) / old.matrix[finite]
-    return float(rel.max())
+    denom = old.matrix[both]
+    diff = np.abs(new.matrix[both] - denom)
+    if np.any((denom == 0.0) & (diff > 0.0)):
+        return float("inf")
+    nonzero = denom > 0.0
+    if not nonzero.any():
+        return 0.0
+    return float((diff[nonzero] / denom[nonzero]).max())
 
 
 def drift_exceeds(old: BandwidthMatrix, new: BandwidthMatrix,

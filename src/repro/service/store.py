@@ -1,0 +1,264 @@
+"""Durable plan persistence: the plan cache, surviving restarts.
+
+Pipette's value is amortizing expensive Algorithm-1 searches across a
+long training campaign, but an in-memory :class:`~repro.service.cache.PlanCache`
+forgets everything the moment the planner process dies.  This module
+keeps the cache mirrored on disk:
+
+* :class:`PlanStore` — an append-only JSON-lines log of cache
+  mutations (``put`` / ``drop`` / ``clear`` records under a versioned
+  header), using the ``to_payload``/``from_payload`` serialization of
+  :class:`~repro.core.configurator.PipetteResult`.  Appends are
+  flushed and fsynced, so a killed process loses at most the record
+  being written; a torn final line is tolerated at load.
+* :class:`DurablePlanCache` — a :class:`~repro.service.cache.PlanCache`
+  that rehydrates from a store at construction (bandwidth-epoch
+  fingerprints intact, so stale-epoch invalidation keeps working
+  across restarts) and mirrors every later mutation back through the
+  cache's ``_record_*`` hooks.  Rehydration compacts the log down to
+  the live entries.
+
+The store is single-writer: one planning service owns one path.  A
+restarted service built over the same path answers every request it
+had already planned as a cache ``"hit"`` with the identical plan —
+see ``benchmarks/bench_store_restart.py`` for the proof.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.core.configurator import PipetteResult
+from repro.service.cache import CacheStats, PlanCache
+
+#: On-disk schema version.  Bump on any record-shape change; readers
+#: refuse logs written by a schema they do not understand.
+SCHEMA_VERSION = 1
+
+
+class PlanStoreError(RuntimeError):
+    """The on-disk plan log is unreadable or from another schema."""
+
+
+class PlanStore:
+    """Append-only JSON-lines log mirroring one plan cache.
+
+    Args:
+        path: log file location; parent directories are created.  A
+            missing file is an empty store.
+
+    Records are one JSON object per line.  The first line is a header
+    stamping :data:`SCHEMA_VERSION`; after it come ``put`` records
+    (key, bandwidth fingerprint, and the full
+    :meth:`~repro.core.configurator.PipetteResult.to_payload` payload),
+    ``drop`` records (eviction/staleness/invalidation tombstones), and
+    ``clear`` records (the cache was emptied, e.g. by a node failure).
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- writing
+
+    @staticmethod
+    def _header_bytes() -> bytes:
+        return (json.dumps({"kind": "header",
+                            "schema": SCHEMA_VERSION}) + "\n").encode("utf-8")
+
+    def _repair_torn_tail(self, fh) -> None:
+        """Truncate a torn (newline-less) final line before appending.
+
+        A writer that died mid-record leaves a partial last line; that
+        record was never acknowledged (the fsync happens after the full
+        line), so discarding it is safe — and appending *onto* it would
+        merge an acknowledged record into the fragment, losing it.
+        """
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size == 0:
+            fh.write(self._header_bytes())
+            return
+        fh.seek(size - 1)
+        if fh.read(1) == b"\n":
+            return
+        fh.seek(0)
+        keep = fh.read().rfind(b"\n") + 1
+        fh.truncate(keep)
+        fh.seek(0, os.SEEK_END)
+        if keep == 0:  # even the header was torn; this is a fresh log
+            fh.write(self._header_bytes())
+
+    def _append(self, records: "list[dict]") -> None:
+        """Durably append ``records`` in one open + one fsync."""
+        if not records:
+            return
+        try:
+            fh = open(self.path, "r+b")
+        except FileNotFoundError:
+            fh = open(self.path, "x+b")
+        with fh:
+            self._repair_torn_tail(fh)
+            fh.write(b"".join(
+                (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+                for record in records))
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def record_put(self, key: str, bandwidth_fp: str,
+                   result: PipetteResult) -> None:
+        """Log that ``key`` now holds ``result`` for one epoch."""
+        self._append([{"kind": "put", "key": key,
+                       "bandwidth_fp": bandwidth_fp,
+                       "result": result.to_payload()}])
+
+    def record_drop(self, key: str) -> None:
+        """Log that ``key`` was retired (eviction, staleness, ...)."""
+        self._append([{"kind": "drop", "key": key}])
+
+    def record_drops(self, keys) -> None:
+        """Log a batch of retirements under a single fsync.
+
+        Epoch invalidation can retire a full cache at once; paying one
+        sync for the batch instead of one per key keeps
+        ``update_bandwidth`` from stalling on the log.
+        """
+        self._append([{"kind": "drop", "key": key} for key in keys])
+
+    def record_clear(self) -> None:
+        """Log that the cache was emptied."""
+        self._append([{"kind": "clear"}])
+
+    # ------------------------------------------------------------- reading
+
+    def load(self) -> "OrderedDict[str, tuple[str, PipetteResult]]":
+        """Replay the log into ``key -> (bandwidth_fp, result)`` rows.
+
+        Rows come back in last-written order (a re-``put`` key moves to
+        the end), which seeds the rehydrated cache's LRU order.  A torn
+        final line — the record a killed process was writing — is
+        ignored; corruption anywhere else raises :class:`PlanStoreError`.
+        """
+        if not self.path.exists():
+            return OrderedDict()
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        rows: "OrderedDict[str, tuple[str, PipetteResult]]" = OrderedDict()
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines) - 1:
+                    break  # torn final write; everything before it holds
+                raise PlanStoreError(
+                    f"{self.path}:{lineno + 1}: corrupt record ({exc})"
+                ) from exc
+            kind = record.get("kind")
+            if lineno == 0:
+                if kind != "header":
+                    raise PlanStoreError(
+                        f"{self.path}: not a plan store (missing header)"
+                    )
+                if record.get("schema") != SCHEMA_VERSION:
+                    raise PlanStoreError(
+                        f"{self.path}: schema {record.get('schema')!r} is "
+                        f"not the supported {SCHEMA_VERSION}"
+                    )
+                continue
+            if kind == "put":
+                try:
+                    result = PipetteResult.from_payload(record["result"])
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise PlanStoreError(
+                        f"{self.path}:{lineno + 1}: bad plan payload ({exc})"
+                    ) from exc
+                rows.pop(record["key"], None)
+                rows[record["key"]] = (record["bandwidth_fp"], result)
+            elif kind == "drop":
+                rows.pop(record["key"], None)
+            elif kind == "clear":
+                rows.clear()
+            else:
+                raise PlanStoreError(
+                    f"{self.path}:{lineno + 1}: unknown record kind {kind!r}"
+                )
+        return rows
+
+    def compact(self, entries) -> None:
+        """Atomically rewrite the log to exactly ``entries``.
+
+        ``entries`` is ``(key, bandwidth_fp, result)`` rows, typically
+        :meth:`~repro.service.cache.PlanCache.entries` — the tombstones
+        and overwrites of the append log collapse into one ``put`` per
+        live plan.
+        """
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "header",
+                                 "schema": SCHEMA_VERSION}) + "\n")
+            for key, bandwidth_fp, result in entries:
+                fh.write(json.dumps(
+                    {"kind": "put", "key": key, "bandwidth_fp": bandwidth_fp,
+                     "result": result.to_payload()}, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+
+class DurablePlanCache(PlanCache):
+    """A plan cache mirrored onto a :class:`PlanStore`.
+
+    Args:
+        store: the backing log (or a path, for convenience).
+        max_entries: LRU capacity bound, as in :class:`PlanCache`;
+            also applied while rehydrating, so an over-full log is
+            trimmed to the newest entries.
+
+    Construction replays the log (``rehydrated`` reports how many
+    plans came back), compacts it, and from then on every ``put``,
+    eviction, stale drop, epoch invalidation, and ``clear`` is
+    persisted before the mutating call returns.  Cache *stats* restart
+    at zero — they describe this process's lifetime, not the store's.
+    """
+
+    def __init__(self, store: "PlanStore | str | os.PathLike[str]",
+                 max_entries: int = 128) -> None:
+        super().__init__(max_entries=max_entries)
+        if not isinstance(store, PlanStore):
+            store = PlanStore(store)
+        self._backend: PlanStore | None = None  # silence hooks on replay
+        for key, (bandwidth_fp, result) in store.load().items():
+            self.put(key, bandwidth_fp, result)
+        self.rehydrated = len(self)
+        self.stats = CacheStats()
+        store.compact(self.entries())
+        self._backend = store
+
+    @property
+    def store(self) -> PlanStore:
+        """The backing log."""
+        assert self._backend is not None
+        return self._backend
+
+    # ------------------------------------------------- persistence hooks
+
+    def _record_put(self, key: str, bandwidth_fp: str,
+                    result: PipetteResult) -> None:
+        if self._backend is not None:
+            self._backend.record_put(key, bandwidth_fp, result)
+
+    def _record_drop(self, key: str) -> None:
+        if self._backend is not None:
+            self._backend.record_drop(key)
+
+    def _record_drops(self, keys: "list[str]") -> None:
+        if self._backend is not None:
+            self._backend.record_drops(keys)
+
+    def _record_clear(self) -> None:
+        if self._backend is not None:
+            self._backend.record_clear()

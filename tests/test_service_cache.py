@@ -63,6 +63,29 @@ class TestFingerprint:
         with pytest.raises(TypeError):
             canonical_value(object())
 
+    def test_nonpositive_micro_batches_rejected(self, tiny_cluster,
+                                                toy_model):
+        # Regression: micro_batches=(0,) used to flow straight into
+        # configuration enumeration (and get cached).
+        for bad in ((0,), (-2,), (2, 0, 4)):
+            with pytest.raises(ValueError, match="micro_batches"):
+                PlanRequest(cluster=tiny_cluster, model=toy_model,
+                            global_batch=32, micro_batches=bad)
+
+    def test_nonpositive_memory_limit_rejected(self, tiny_cluster,
+                                               toy_model):
+        for bad in (0, -1.0, float("nan")):
+            with pytest.raises(ValueError, match="memory_limit_bytes"):
+                PlanRequest(cluster=tiny_cluster, model=toy_model,
+                            global_batch=32, memory_limit_bytes=bad)
+
+    def test_empty_micro_batches_rejected(self, tiny_cluster, toy_model):
+        # An empty restriction enumerates zero configurations and
+        # would cache a best=None answer.
+        with pytest.raises(ValueError, match="micro_batches"):
+            PlanRequest(cluster=tiny_cluster, model=toy_model,
+                        global_batch=32, micro_batches=())
+
 
 class TestPlanCache:
     def test_miss_then_hit(self, request_a):
@@ -154,3 +177,29 @@ class TestBandwidthFingerprint:
             tiny_network.bandwidth.restrict([])
         with pytest.raises(ValueError):
             tiny_network.bandwidth.restrict([0, 0, 1])
+
+    def test_nan_and_inf_hash_differently(self, tiny_network):
+        # Regression: NaN (failed measurement) and inf both quantized
+        # to -1.0, so a poisoned matrix could impersonate a healthy
+        # one whose same entry was infinite.
+        bw = tiny_network.bandwidth
+        poisoned = bw.matrix.copy()
+        poisoned[0, 5] = np.nan
+        infinite = bw.matrix.copy()
+        infinite[0, 5] = np.inf
+        fp_nan = BandwidthMatrix(matrix=poisoned, alpha=bw.alpha).fingerprint()
+        fp_inf = BandwidthMatrix(matrix=infinite, alpha=bw.alpha).fingerprint()
+        assert fp_nan != fp_inf
+        assert fp_nan != bw.fingerprint()
+        assert fp_inf != bw.fingerprint()
+
+    def test_nan_alpha_hashes_differently(self, tiny_network):
+        bw = tiny_network.bandwidth
+        alpha_nan = bw.alpha.copy()
+        alpha_nan[0, 5] = np.nan
+        alpha_inf = bw.alpha.copy()
+        alpha_inf[0, 5] = np.inf
+        assert BandwidthMatrix(matrix=bw.matrix,
+                               alpha=alpha_nan).fingerprint() \
+            != BandwidthMatrix(matrix=bw.matrix,
+                               alpha=alpha_inf).fingerprint()

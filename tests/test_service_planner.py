@@ -113,6 +113,66 @@ class TestRequestLifecycle:
         assert service.stats["profiled_models"] == 1
 
 
+class TestDrainAccounting:
+    def test_deduped_reports_own_time(self, service, toy_model,
+                                      monkeypatch):
+        # Regression: "deduped" responses used to copy the first
+        # ticket's full search elapsed_s, billing one search N times.
+        import time as time_mod
+        real_search = service._search
+
+        def slow_search(request):
+            time_mod.sleep(0.05)
+            return real_search(request)
+
+        monkeypatch.setattr(service, "_search", slow_search)
+        request = service.request(toy_model, 32, options=FAST)
+        service.submit(request)
+        service.submit(request)
+        miss, deduped = service.drain()
+        assert (miss.status, deduped.status) == ("miss", "deduped")
+        assert miss.elapsed_s >= 0.05
+        assert deduped.elapsed_s < miss.elapsed_s / 10
+
+    def test_failing_fingerprint_searched_once(self, service, toy_model,
+                                               monkeypatch):
+        # Regression: N identical bad tickets re-raised the same
+        # search N times instead of sharing the first failure.
+        calls = {"n": 0}
+
+        def failing_search(request):
+            calls["n"] += 1
+            raise RuntimeError("estimator exploded")
+
+        monkeypatch.setattr(service, "_search", failing_search)
+        request = service.request(toy_model, 32, options=FAST)
+        for _ in range(3):
+            service.submit(request)
+        responses = service.drain()
+        assert [r.status for r in responses] == ["error"] * 3
+        assert calls["n"] == 1
+        assert all("estimator exploded" in r.error for r in responses)
+
+    def test_failure_dedup_does_not_mask_other_tickets(self, service,
+                                                       toy_model,
+                                                       monkeypatch):
+        real_search = service._search
+
+        def failing_search(request):
+            if request.global_batch == 16:
+                raise RuntimeError("boom")
+            return real_search(request)
+
+        monkeypatch.setattr(service, "_search", failing_search)
+        bad = service.request(toy_model, 16, options=FAST)
+        good = service.request(toy_model, 32, options=FAST)
+        for request in (bad, good, bad, good):
+            service.submit(request)
+        responses = service.drain()
+        assert [r.status for r in responses] \
+            == ["error", "miss", "error", "deduped"]
+
+
 class TestBandwidthEpochs:
     def test_small_noise_keeps_cache(self, service, toy_model, tiny_network):
         service.plan(service.request(toy_model, 32, options=FAST))
@@ -168,6 +228,22 @@ class TestServiceReplan:
         follow_up = service.plan(service.request(toy_model, 32,
                                                  options=FAST))
         assert follow_up.best.config.n_gpus == report.cluster.n_gpus
+
+    def test_apply_failure_without_request(self, service, toy_model,
+                                           tiny_cluster):
+        service.plan(service.request(toy_model, 32, options=FAST))
+        old_fp = service.bandwidth_fp
+        retired = service.apply_failure(1)
+        assert retired == 1
+        assert service.cluster.n_nodes == tiny_cluster.n_nodes - 1
+        assert service.bandwidth.n_gpus == service.cluster.n_gpus
+        assert service.bandwidth_fp != old_fp
+        assert len(service.cache) == 0
+        assert service.stats["profiled_models"] == 0
+        follow_up = service.plan(service.request(toy_model, 32,
+                                                 options=FAST))
+        assert follow_up.status == "miss"
+        assert follow_up.best.config.n_gpus == service.cluster.n_gpus
 
     def test_stale_request_rejected_after_failure(self, service, toy_model):
         # A request built against the pre-failure cluster must not be

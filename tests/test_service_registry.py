@@ -1,0 +1,208 @@
+"""Multi-cluster registry: routing, cheapest-feasible planning, isolation."""
+
+import pytest
+
+from repro.cluster import Fabric, HeterogeneityModel, NetworkProfiler
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.core import PipetteOptions
+from repro.service import (
+    ClusterRegistry,
+    DurablePlanCache,
+    PlanningService,
+    PlanRequest,
+)
+from repro.units import GIB
+
+FAST = PipetteOptions(use_worker_dedication=False)
+
+
+def _cluster(name: str, n_nodes: int, inter_gb_s: float = 10.0,
+             flops: float = 10e12) -> ClusterSpec:
+    gpu = GpuSpec(name=f"{name}-GPU", memory_bytes=4 * GIB, peak_flops=flops,
+                  achievable_fraction=0.5, hbm_gb_s=500.0)
+    node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                    intra_link=LinkSpec("NVL", 100.0, alpha_s=1e-6))
+    return ClusterSpec(name=name, n_nodes=n_nodes, node=node,
+                       inter_link=LinkSpec("IB", inter_gb_s, alpha_s=1e-5))
+
+
+def _bandwidth(cluster: ClusterSpec, seed: int):
+    fabric = Fabric(cluster, heterogeneity=HeterogeneityModel(), seed=seed)
+    return NetworkProfiler(n_rounds=2).profile(fabric, seed=seed).bandwidth
+
+
+@pytest.fixture
+def slow_cluster() -> ClusterSpec:
+    return _cluster("slow", n_nodes=2, flops=5e12)
+
+
+@pytest.fixture
+def fast_cluster() -> ClusterSpec:
+    return _cluster("fast", n_nodes=2, flops=40e12)
+
+
+@pytest.fixture
+def registry(slow_cluster, fast_cluster) -> ClusterRegistry:
+    reg = ClusterRegistry()
+    reg.add_cluster("slow", slow_cluster, _bandwidth(slow_cluster, seed=1))
+    reg.add_cluster("fast", fast_cluster, _bandwidth(fast_cluster, seed=2))
+    return reg
+
+
+class TestMembership:
+    def test_names_in_registration_order(self, registry):
+        assert registry.names == ["slow", "fast"]
+        assert len(registry) == 2
+        assert "slow" in registry and "nope" not in registry
+
+    def test_duplicate_name_rejected(self, registry, slow_cluster):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add_cluster("slow", slow_cluster,
+                                 _bandwidth(slow_cluster, seed=1))
+
+    def test_unknown_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="unknown cluster"):
+            registry.service("nope")
+
+    def test_unregister(self, registry):
+        service = registry.unregister("slow")
+        assert isinstance(service, PlanningService)
+        assert registry.names == ["fast"]
+        with pytest.raises(ValueError):
+            registry.unregister("slow")
+
+    def test_register_existing_service(self, slow_cluster):
+        reg = ClusterRegistry()
+        service = PlanningService(slow_cluster,
+                                  _bandwidth(slow_cluster, seed=1))
+        assert reg.register("s", service) is service
+        assert reg.service("s") is service
+
+
+class TestRouting:
+    def test_route_by_spec_match(self, registry, fast_cluster, toy_model):
+        request = PlanRequest(cluster=fast_cluster, model=toy_model,
+                              global_batch=16, options=FAST)
+        assert registry.route(request) == "fast"
+        routed = registry.plan(request)
+        assert routed.cluster_name == "fast"
+        assert routed.status == "miss"
+        assert routed.best is not None
+
+    def test_route_unknown_spec_rejected(self, registry, toy_model):
+        stranger = _cluster("stranger", n_nodes=3)
+        request = PlanRequest(cluster=stranger, model=toy_model,
+                              global_batch=16, options=FAST)
+        with pytest.raises(ValueError, match="no registered cluster"):
+            registry.plan(request)
+
+    def test_pinned_plan(self, registry, slow_cluster, toy_model):
+        request = PlanRequest(cluster=slow_cluster, model=toy_model,
+                              global_batch=16, options=FAST)
+        routed = registry.plan(request, cluster="slow")
+        assert routed.cluster_name == "slow"
+
+    def test_plan_on_builds_bound_request(self, registry, toy_model):
+        routed = registry.plan_on("slow", toy_model, 16, options=FAST)
+        assert routed.cluster_name == "slow"
+        assert routed.response.ticket.request.cluster \
+            == registry.service("slow").cluster
+
+    def test_repeats_hit_per_cluster_cache(self, registry, toy_model):
+        first = registry.plan_on("slow", toy_model, 16, options=FAST)
+        second = registry.plan_on("slow", toy_model, 16, options=FAST)
+        assert (first.status, second.status) == ("miss", "hit")
+
+
+class TestCheapestFeasible:
+    def test_picks_lower_latency_cluster(self, registry, toy_model):
+        routed = registry.plan_cheapest(toy_model, 16, options=FAST)
+        assert routed.cluster_name == "fast"  # 8x the FLOPs
+        slow_best = registry.plan_on("slow", toy_model, 16,
+                                     options=FAST).best
+        assert routed.best.estimated_latency_s \
+            <= slow_best.estimated_latency_s
+
+    def test_searches_every_cluster_once(self, registry, toy_model):
+        registry.plan_cheapest(toy_model, 16, options=FAST)
+        stats = registry.stats
+        assert stats["slow"]["cache_entries"] == 1
+        assert stats["fast"]["cache_entries"] == 1
+        # A repeat is answered from both caches, no new searches.
+        routed = registry.plan_cheapest(toy_model, 16, options=FAST)
+        assert routed.status == "hit"
+
+    def test_empty_registry_rejected(self, toy_model):
+        with pytest.raises(ValueError, match="no clusters"):
+            ClusterRegistry().plan_cheapest(toy_model, 16)
+
+    def test_infeasible_everywhere_raises(self, registry, toy_model):
+        # A microbatch of 5 divides no minibatch of 16, so every
+        # cluster enumerates zero configurations.
+        with pytest.raises(RuntimeError, match="no cluster can serve"):
+            registry.plan_cheapest(toy_model, 16, micro_batches=(5,),
+                                   options=FAST)
+
+
+class TestElasticIsolation:
+    def test_node_failure_leaves_sibling_cache_intact(self, registry,
+                                                      toy_model):
+        registry.plan_on("slow", toy_model, 16, options=FAST)
+        registry.plan_on("fast", toy_model, 16, options=FAST)
+        retired = registry.fail_nodes("slow", 1)
+        assert retired == 1
+        assert registry.service("slow").cluster.n_nodes == 1
+        # The sibling's cluster, epoch, and cache are untouched.
+        assert registry.service("fast").cluster.n_nodes == 2
+        assert len(registry.service("fast").cache) == 1
+        hot = registry.plan_on("fast", toy_model, 16, options=FAST)
+        assert hot.status == "hit"
+        # The failed cluster re-plans on demand on its shrunken spec.
+        replanned = registry.plan_on("slow", toy_model, 16, options=FAST)
+        assert replanned.status == "miss"
+        assert replanned.best.config.n_gpus \
+            == registry.service("slow").cluster.n_gpus
+
+    def test_bandwidth_update_is_per_cluster(self, registry, slow_cluster,
+                                             toy_model):
+        registry.plan_on("slow", toy_model, 16, options=FAST)
+        registry.plan_on("fast", toy_model, 16, options=FAST)
+        fast_fp = registry.service("fast").bandwidth_fp
+        drifted = _bandwidth(slow_cluster, seed=99)
+        retired = registry.update_bandwidth("slow", drifted,
+                                            drift_threshold=0.0)
+        assert retired == 1
+        assert registry.service("fast").bandwidth_fp == fast_fp
+        assert len(registry.service("fast").cache) == 1
+
+    def test_durable_caches_stay_per_cluster(self, slow_cluster,
+                                             fast_cluster, toy_model,
+                                             tmp_path):
+        def build():
+            reg = ClusterRegistry()
+            reg.add_cluster("slow", slow_cluster,
+                            _bandwidth(slow_cluster, seed=1),
+                            cache=DurablePlanCache(tmp_path / "slow.jsonl"))
+            reg.add_cluster("fast", fast_cluster,
+                            _bandwidth(fast_cluster, seed=2),
+                            cache=DurablePlanCache(tmp_path / "fast.jsonl"))
+            return reg
+
+        first = build()
+        first.plan_on("slow", toy_model, 16, options=FAST)
+        first.plan_on("fast", toy_model, 16, options=FAST)
+
+        reborn = build()  # a registry restart
+        assert reborn.plan_on("slow", toy_model, 16,
+                              options=FAST).status == "hit"
+        assert reborn.plan_on("fast", toy_model, 16,
+                              options=FAST).status == "hit"
+
+
+class TestStats:
+    def test_stats_keyed_by_cluster(self, registry, toy_model):
+        registry.plan_on("slow", toy_model, 16, options=FAST)
+        stats = registry.stats
+        assert set(stats) == {"slow", "fast"}
+        assert stats["slow"]["cache_misses"] == 1
+        assert stats["fast"]["cache_misses"] == 0

@@ -111,6 +111,48 @@ class TestDrift:
         assert fabric_drift_ratio(tiny_fabric, 0.0) == 0.0
         assert fabric_drift_ratio(tiny_fabric, 30.0) > 0.0
 
+    def test_link_dying_is_infinite_drift(self, tiny_network):
+        # Regression: a link that comes back NaN (failed measurement)
+        # or inf in the new matrix used to be masked out entirely, so
+        # a dead link reported 0 drift and kept stale plans alive.
+        bw = tiny_network.bandwidth
+        for poison in (np.nan, np.inf):
+            matrix = bw.matrix.copy()
+            matrix[0, 5] = poison
+            dead = BandwidthMatrix(matrix=matrix, alpha=bw.alpha)
+            assert bandwidth_drift_ratio(bw, dead) == np.inf
+            assert drift_exceeds(bw, dead, threshold=1e9)
+
+    def test_zero_baseline_link_is_infinite_drift(self, tiny_network):
+        # Regression: dividing by a 0 GB/s baseline emitted inf/NaN
+        # warnings instead of a clean infinite-drift verdict.
+        bw = tiny_network.bandwidth
+        matrix = bw.matrix.copy()
+        matrix[0, 5] = 0.0
+        zeroed = BandwidthMatrix(matrix=matrix, alpha=bw.alpha)
+        with np.errstate(divide="raise", invalid="raise"):
+            assert bandwidth_drift_ratio(zeroed, bw) == np.inf
+
+    def test_zero_link_staying_zero_is_no_drift(self, tiny_network):
+        bw = tiny_network.bandwidth
+        matrix = bw.matrix.copy()
+        matrix[0, 5] = 0.0
+        zeroed = BandwidthMatrix(matrix=matrix, alpha=bw.alpha)
+        with np.errstate(divide="raise", invalid="raise"):
+            assert bandwidth_drift_ratio(zeroed, zeroed) == 0.0
+
+    def test_recovered_link_still_measures_others(self, tiny_network):
+        # A NaN-in-old link that becomes measurable contributes no
+        # ratio (no finite baseline), but surviving links still do.
+        bw = tiny_network.bandwidth
+        matrix = bw.matrix.copy()
+        matrix[0, 5] = np.nan
+        old = BandwidthMatrix(matrix=matrix, alpha=bw.alpha)
+        newer = bw.matrix.copy()
+        newer[1, 4] *= 0.5
+        new = BandwidthMatrix(matrix=newer, alpha=bw.alpha)
+        assert bandwidth_drift_ratio(old, new) == pytest.approx(0.5)
+
 
 class TestWarmSADefaults:
     def test_iteration_budget_scaled(self):

@@ -1,0 +1,372 @@
+"""Durable plan store: serialization round trips, log replay, restarts."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.core import PipetteConfigurator, PipetteOptions, SAOptions
+from repro.core.configurator import (
+    PAYLOAD_VERSION,
+    PipetteResult,
+    RankedConfig,
+)
+from repro.parallel import (
+    ParallelConfig,
+    WorkerGrid,
+    random_block_mapping,
+    sequential_mapping,
+)
+from repro.parallel.mapping import Mapping
+from repro.service import (
+    DurablePlanCache,
+    PlanningService,
+    PlanStore,
+    PlanStoreError,
+)
+
+FAST = PipetteOptions(use_worker_dedication=False)
+SA_SMALL = PipetteOptions(sa=SAOptions(max_iterations=60), sa_top_k=1, seed=3)
+
+
+def _prop_cluster() -> ClusterSpec:
+    """A fixed 4x4 cluster for property examples (no fixture mixing)."""
+    from repro.units import GIB
+    gpu = GpuSpec("G", memory_bytes=4 * GIB, peak_flops=10e12)
+    node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                    intra_link=LinkSpec("L", 100.0))
+    return ClusterSpec(name="prop", n_nodes=4, node=node,
+                       inter_link=LinkSpec("I", 10.0))
+
+
+def _search(cluster, model, network, profile, options=SA_SMALL,
+            global_batch=32) -> PipetteResult:
+    return PipetteConfigurator(cluster, model, network.bandwidth, profile,
+                               None, options=options).search(global_batch)
+
+
+# ------------------------------------------------------------- round trips
+
+
+class TestPayloadRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(pp=st.integers(1, 6), tp=st.integers(1, 6), dp=st.integers(1, 6))
+    def test_worker_grid(self, pp, tp, dp):
+        grid = WorkerGrid(pp=pp, tp=tp, dp=dp)
+        assert WorkerGrid.from_payload(grid.to_payload()) == grid
+
+    @settings(max_examples=30, deadline=None)
+    @given(pp=st.sampled_from([1, 2, 4]), tp=st.sampled_from([1, 2, 4]),
+           dp=st.sampled_from([1, 2, 4]), micro=st.sampled_from([1, 2, 4]),
+           recompute=st.booleans())
+    def test_parallel_config(self, pp, tp, dp, micro, recompute):
+        config = ParallelConfig(pp=pp, tp=tp, dp=dp, micro_batch=micro,
+                                global_batch=micro * dp * 4,
+                                recompute=recompute)
+        back = ParallelConfig.from_payload(config.to_payload())
+        assert back == config
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_mapping(self, seed):
+        cluster = _prop_cluster()
+        grid = WorkerGrid(pp=2, tp=4, dp=2)
+        mapping = random_block_mapping(grid, cluster, seed=seed)
+        back = Mapping.from_payload(mapping.to_payload(), cluster)
+        assert back == mapping
+        assert back.cluster == cluster
+
+    def test_cluster_spec(self, tiny_cluster):
+        back = ClusterSpec.from_payload(tiny_cluster.to_payload())
+        assert back == tiny_cluster
+        assert back.description == tiny_cluster.description
+        # Payload is JSON-stable.
+        text = json.dumps(tiny_cluster.to_payload(), sort_keys=True)
+        assert json.loads(text) == tiny_cluster.to_payload()
+
+    def test_ranked_config(self, tiny_cluster, toy_config):
+        grid = WorkerGrid(pp=toy_config.pp, tp=toy_config.tp,
+                          dp=toy_config.dp)
+        entry = RankedConfig(config=toy_config,
+                             mapping=sequential_mapping(grid, tiny_cluster),
+                             estimated_latency_s=1.25,
+                             estimated_memory_bytes=None, memory_ok=True)
+        back = RankedConfig.from_payload(entry.to_payload(), tiny_cluster)
+        assert back == entry
+
+    def test_search_result_byte_identical(self, tiny_cluster, toy_model,
+                                          tiny_network, toy_profile):
+        result = _search(tiny_cluster, toy_model, tiny_network, toy_profile)
+        text = json.dumps(result.to_payload(), sort_keys=True)
+        back = PipetteResult.from_payload(json.loads(text))
+        assert back.best.config == result.best.config
+        assert back.best.mapping == result.best.mapping
+        assert back.best.estimated_latency_s == result.best.estimated_latency_s
+        assert [r.sort_key for r in back.ranked] \
+            == [r.sort_key for r in result.ranked]
+        assert back.rejected_oom == result.rejected_oom
+        # Re-serializing reproduces the exact bytes.
+        assert json.dumps(back.to_payload(), sort_keys=True) == text
+
+    def test_best_identity_preserved(self, tiny_cluster, toy_model,
+                                     tiny_network, toy_profile):
+        result = _search(tiny_cluster, toy_model, tiny_network, toy_profile,
+                         options=FAST)
+        assert result.best is result.ranked[0]
+        back = PipetteResult.from_payload(result.to_payload())
+        assert back.best is back.ranked[0]
+
+    def test_empty_result_round_trips(self):
+        empty = PipetteResult(best=None, ranked=[], rejected_oom=3,
+                              memory_check_s=0.1, annealing_s=0.0,
+                              total_s=0.2)
+        back = PipetteResult.from_payload(empty.to_payload())
+        assert back.best is None and back.ranked == []
+        assert back.rejected_oom == 3
+
+    def test_unknown_version_refused(self):
+        empty = PipetteResult(best=None, ranked=[], rejected_oom=0,
+                              memory_check_s=0.0, annealing_s=0.0,
+                              total_s=0.0)
+        payload = empty.to_payload()
+        payload["version"] = PAYLOAD_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            PipetteResult.from_payload(payload)
+
+
+# ------------------------------------------------------------------ store
+
+
+@pytest.fixture
+def store(tmp_path) -> PlanStore:
+    return PlanStore(tmp_path / "plans.jsonl")
+
+
+@pytest.fixture
+def a_result(tiny_cluster, toy_model, tiny_network,
+             toy_profile) -> PipetteResult:
+    return _search(tiny_cluster, toy_model, tiny_network, toy_profile,
+                   options=FAST)
+
+
+class TestPlanStore:
+    def test_missing_file_is_empty(self, store):
+        assert store.load() == {}
+        assert not store.path.exists()
+
+    def test_put_replay(self, store, a_result):
+        store.record_put("k1", "fp-a", a_result)
+        store.record_put("k2", "fp-b", a_result)
+        rows = store.load()
+        assert list(rows) == ["k1", "k2"]
+        assert rows["k1"][0] == "fp-a"
+        assert rows["k2"][0] == "fp-b"
+        assert rows["k1"][1].best.config == a_result.best.config
+
+    def test_drop_and_clear_replay(self, store, a_result):
+        store.record_put("k1", "fp", a_result)
+        store.record_drop("k1")
+        assert store.load() == {}
+        store.record_put("k2", "fp", a_result)
+        store.record_clear()
+        store.record_put("k3", "fp", a_result)
+        assert list(store.load()) == ["k3"]
+
+    def test_reput_moves_to_end(self, store, a_result):
+        store.record_put("k1", "fp", a_result)
+        store.record_put("k2", "fp", a_result)
+        store.record_put("k1", "fp2", a_result)
+        rows = store.load()
+        assert list(rows) == ["k2", "k1"]
+        assert rows["k1"][0] == "fp2"
+
+    def test_torn_final_line_tolerated(self, store, a_result):
+        store.record_put("k1", "fp", a_result)
+        store.record_put("k2", "fp", a_result)
+        text = store.path.read_text()
+        store.path.write_text(text[:-40])  # tear the last record
+        assert list(store.load()) == ["k1"]
+
+    def test_append_after_torn_tail_repairs(self, store, a_result):
+        # Regression: appending onto a torn final line merged the new
+        # (fsync-acknowledged) record into the fragment, silently
+        # dropping it — and a further append bricked the whole log.
+        store.record_put("k1", "fp", a_result)
+        store.record_put("k2", "fp", a_result)
+        text = store.path.read_text()
+        store.path.write_text(text[:-40])  # tear the last record
+        store.record_put("k3", "fp", a_result)
+        store.record_put("k4", "fp", a_result)
+        assert list(store.load()) == ["k1", "k3", "k4"]
+
+    def test_append_after_torn_header_restarts_log(self, store, a_result):
+        store.path.write_text('{"kind": "head')  # torn first write
+        store.record_put("k1", "fp", a_result)
+        assert list(store.load()) == ["k1"]
+
+    def test_batched_drops_replay(self, store, a_result):
+        for key in ("k1", "k2", "k3"):
+            store.record_put(key, "fp", a_result)
+        store.record_drops(["k1", "k3"])
+        assert list(store.load()) == ["k2"]
+
+    def test_corruption_before_end_raises(self, store, a_result):
+        store.record_put("k1", "fp", a_result)
+        lines = store.path.read_text().splitlines()
+        lines[1] = lines[1][:-40]
+        lines.append(json.dumps({"kind": "drop", "key": "k1"}))
+        store.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PlanStoreError, match="corrupt"):
+            store.load()
+
+    def test_foreign_file_refused(self, store):
+        store.path.write_text('{"not": "a header"}\n')
+        with pytest.raises(PlanStoreError, match="header"):
+            store.load()
+
+    def test_future_schema_refused(self, store):
+        store.path.write_text('{"kind": "header", "schema": 999}\n')
+        with pytest.raises(PlanStoreError, match="schema"):
+            store.load()
+
+    def test_unknown_record_kind_raises(self, store):
+        store.path.write_text('{"kind": "header", "schema": 1}\n'
+                              '{"kind": "mystery"}\n')
+        with pytest.raises(PlanStoreError, match="mystery"):
+            store.load()
+
+    def test_compact_collapses_log(self, store, a_result):
+        for i in range(4):
+            store.record_put(f"k{i}", "fp", a_result)
+        store.record_drop("k0")
+        store.record_put("k1", "fp2", a_result)
+        rows = store.load()
+        store.compact((key, fp, result)
+                      for key, (fp, result) in rows.items())
+        assert len(store.path.read_text().splitlines()) == 1 + len(rows)
+        assert store.load().keys() == rows.keys()
+
+
+# ---------------------------------------------------------- durable cache
+
+
+class TestDurablePlanCache:
+    def test_accepts_path_or_store(self, tmp_path, a_result):
+        by_path = DurablePlanCache(tmp_path / "a.jsonl")
+        by_store = DurablePlanCache(PlanStore(tmp_path / "b.jsonl"))
+        for cache in (by_path, by_store):
+            cache.put("k", "fp", a_result)
+            assert cache.store.path.exists()
+
+    def test_mutations_are_mirrored(self, tmp_path, a_result):
+        path = tmp_path / "plans.jsonl"
+        cache = DurablePlanCache(path)
+        cache.put("k1", "fp", a_result)
+        cache.put("k2", "fp", a_result)
+        assert list(PlanStore(path).load()) == ["k1", "k2"]
+        cache.get("k1", "other-fp")  # stale drop
+        assert list(PlanStore(path).load()) == ["k2"]
+        cache.clear()
+        assert PlanStore(path).load() == {}
+
+    def test_eviction_is_mirrored(self, tmp_path, a_result):
+        path = tmp_path / "plans.jsonl"
+        cache = DurablePlanCache(path, max_entries=2)
+        for key in ("k1", "k2", "k3"):
+            cache.put(key, "fp", a_result)
+        assert list(PlanStore(path).load()) == ["k2", "k3"]
+
+    def test_bulk_retirements_batch_appends(self, tmp_path, a_result,
+                                            monkeypatch):
+        # Epoch invalidation and multi-eviction retire many keys; each
+        # batch must cost one durable append (one fsync), not one per
+        # key.
+        path = tmp_path / "plans.jsonl"
+        cache = DurablePlanCache(path, max_entries=8)
+        for i in range(6):
+            cache.put(f"k{i}", "old-fp", a_result)
+        appends = {"n": 0}
+        real_append = cache.store._append
+
+        def counting_append(records):
+            appends["n"] += 1
+            real_append(records)
+
+        monkeypatch.setattr(cache.store, "_append", counting_append)
+        cache.invalidate_epoch("new-fp")
+        assert appends["n"] == 1
+        assert PlanStore(path).load() == {}
+
+    def test_invalidate_epoch_is_mirrored(self, tmp_path, a_result):
+        path = tmp_path / "plans.jsonl"
+        cache = DurablePlanCache(path)
+        cache.put("old", "fp-old", a_result)
+        cache.put("new", "fp-new", a_result)
+        cache.invalidate_epoch("fp-new")
+        assert list(PlanStore(path).load()) == ["new"]
+
+    def test_rehydrates_and_compacts(self, tmp_path, a_result):
+        path = tmp_path / "plans.jsonl"
+        first = DurablePlanCache(path)
+        for key in ("k1", "k2", "k3"):
+            first.put(key, "fp", a_result)
+        first.get("k1", "other")  # tombstone churn
+        reborn = DurablePlanCache(path)
+        assert reborn.rehydrated == 2
+        assert "k2" in reborn and "k3" in reborn
+        assert reborn.stats.hits == 0  # stats restart with the process
+        # The log was compacted to header + live entries.
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_rehydrate_respects_capacity(self, tmp_path, a_result):
+        path = tmp_path / "plans.jsonl"
+        roomy = DurablePlanCache(path, max_entries=8)
+        for i in range(5):
+            roomy.put(f"k{i}", "fp", a_result)
+        tight = DurablePlanCache(path, max_entries=2)
+        assert tight.rehydrated == 2
+        assert "k3" in tight and "k4" in tight  # newest survive
+
+
+class TestServiceRestart:
+    def test_restart_hits_with_identical_plan(self, tiny_cluster,
+                                              tiny_network, toy_model,
+                                              tmp_path):
+        path = tmp_path / "plans.jsonl"
+        first = PlanningService(tiny_cluster, tiny_network.bandwidth,
+                                cache=DurablePlanCache(path))
+        cold = first.plan(first.request(toy_model, 32, options=SA_SMALL))
+        assert cold.status == "miss"
+
+        reborn = PlanningService(tiny_cluster, tiny_network.bandwidth,
+                                 cache=DurablePlanCache(path))
+        hot = reborn.plan(reborn.request(toy_model, 32, options=SA_SMALL))
+        assert hot.status == "hit"
+        assert json.dumps(hot.result.to_payload(), sort_keys=True) \
+            == json.dumps(cold.result.to_payload(), sort_keys=True)
+
+    def test_restart_respects_bandwidth_epoch(self, tiny_cluster,
+                                              tiny_network, tiny_fabric,
+                                              toy_model, tmp_path):
+        path = tmp_path / "plans.jsonl"
+        first = PlanningService(tiny_cluster, tiny_network.bandwidth,
+                                cache=DurablePlanCache(path))
+        first.plan(first.request(toy_model, 32, options=FAST))
+
+        # The fabric drifted while the service was down; the persisted
+        # plan's epoch no longer matches and must not be served.
+        drifted = tiny_fabric.bandwidth_at_day(30.0)
+        reborn = PlanningService(tiny_cluster, drifted,
+                                 cache=DurablePlanCache(path))
+        response = reborn.plan(reborn.request(toy_model, 32, options=FAST))
+        assert response.status == "miss"
+        assert reborn.cache.stats.stale_drops == 1
+
+    def test_empty_durable_cache_not_discarded(self, tiny_cluster,
+                                               tiny_network, tmp_path):
+        cache = DurablePlanCache(tmp_path / "plans.jsonl")
+        service = PlanningService(tiny_cluster, tiny_network.bandwidth,
+                                  cache=cache)
+        assert service.cache is cache
