@@ -15,9 +15,13 @@ a programmable service and PipeTune amortizes tuning across jobs:
 * :mod:`repro.service.store` — durable JSON-lines plan persistence,
   rehydrating the cache (epochs intact) across service restarts;
 * :mod:`repro.service.registry` — many named services behind one
-  router: pinned/spec-matched/cheapest-feasible planning, per-cluster
-  elastic events;
-* ``python -m repro.service`` — a small CLI over all of the above.
+  router: pinned/spec-matched/cheapest-feasible planning, registry
+  level queueing/draining, per-cluster elastic events;
+* :mod:`repro.service.gateway` — the asyncio front door: concurrent
+  clients, in-flight coalescing, bounded per-cluster backpressure,
+  drains off the event loop, elastic events fenced between batches;
+* ``python -m repro.service`` — a small CLI over all of the above
+  (including a JSON-lines ``serve`` front end, stdin or TCP).
 """
 
 from repro.service.cache import (
@@ -30,6 +34,12 @@ from repro.service.executor import (
     CandidateExecutor,
     ExecutorStats,
     available_workers,
+)
+from repro.service.gateway import (
+    GatewayOverloadedError,
+    GatewayResponse,
+    GatewayStats,
+    PlanGateway,
 )
 from repro.service.replan import (
     DEFAULT_DRIFT_THRESHOLD,
@@ -57,6 +67,7 @@ from repro.service.store import (
     DurablePlanCache,
     PlanStore,
     PlanStoreError,
+    PlanStoreLockedError,
 )
 
 __all__ = [
@@ -67,6 +78,10 @@ __all__ = [
     "CandidateExecutor",
     "ExecutorStats",
     "available_workers",
+    "GatewayOverloadedError",
+    "GatewayResponse",
+    "GatewayStats",
+    "PlanGateway",
     "DEFAULT_DRIFT_THRESHOLD",
     "ClusterEvent",
     "ReplanReport",
@@ -86,4 +101,5 @@ __all__ = [
     "DurablePlanCache",
     "PlanStore",
     "PlanStoreError",
+    "PlanStoreLockedError",
 ]

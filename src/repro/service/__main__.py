@@ -1,6 +1,6 @@
 """Command-line front door of the planning service.
 
-Four subcommands, each a small end-to-end story on a simulated
+Five subcommands, each a small end-to-end story on a simulated
 cluster (swap the simulated fabric for a real profiling campaign to
 use them against physical machines):
 
@@ -10,7 +10,11 @@ use them against physical machines):
 * ``replan``   — fail a node and compare warm-started re-planning with
   the cold search;
 * ``registry`` — serve several named clusters at once: pinned and
-  cheapest-feasible routing, per-cluster failure isolation.
+  cheapest-feasible routing, per-cluster failure isolation;
+* ``serve``    — run the async gateway as a long-lived JSON-lines
+  server (stdin/stdout by default, TCP with ``--port``): one request
+  object per line in, one answer object per line out, with in-flight
+  coalescing and per-cluster backpressure across clients.
 
 ``--store-path`` (or the registry's ``--store-dir``) makes the plan
 cache durable: re-running the same command answers previously planned
@@ -23,8 +27,13 @@ the ``pipette-plan`` console script installed by the package.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
+import itertools
+import json
 import os
 import sys
+from functools import partial
 
 from repro.cluster import NetworkProfiler, make_fabric
 from repro.cluster.presets import high_end_cluster, mid_range_cluster
@@ -32,10 +41,11 @@ from repro.core import PipetteOptions, SAOptions
 from repro.model import MODEL_CATALOG, get_model
 from repro.service.cache import PlanRequest
 from repro.service.executor import CandidateExecutor, available_workers
+from repro.service.gateway import PlanGateway
 from repro.service.planner import PlanningService
-from repro.service.registry import ClusterRegistry
+from repro.service.registry import ClusterRegistry, cheapest_rank_key
 from repro.service.replan import ClusterEvent
-from repro.service.store import DurablePlanCache
+from repro.service.store import DurablePlanCache, PlanStoreError
 from repro.units import GIB
 
 PRESETS = {"mid-range": mid_range_cluster, "high-end": high_end_cluster}
@@ -164,10 +174,8 @@ def _parse_cluster_arg(entry: str, index: int):
     return f"{preset}-{index}", PRESETS[preset], n_nodes
 
 
-def cmd_registry(args) -> int:
+def _build_registry(args) -> ClusterRegistry:
     registry = ClusterRegistry(executor=_executor(args))
-    options = _options(args)
-    model = get_model(args.model)
     for index, entry in enumerate(args.clusters):
         name, preset, n_nodes = _parse_cluster_arg(entry, index)
         cluster = preset(n_nodes=n_nodes)
@@ -182,6 +190,13 @@ def cmd_registry(args) -> int:
                              profile_seed=seed)
         print(f"registered {name}: {cluster.n_nodes} nodes x "
               f"{cluster.gpus_per_node} GPUs")
+    return registry
+
+
+def cmd_registry(args) -> int:
+    registry = _build_registry(args)
+    options = _options(args)
+    model = get_model(args.model)
     print(f"\nmodel: {model.name}, global batch {args.global_batch}\n")
 
     for name in registry.names:
@@ -219,6 +234,181 @@ def cmd_registry(args) -> int:
         print(f"  {name}: entries={stats['cache_entries']} "
               f"hits={stats['cache_hits']} misses={stats['cache_misses']}")
     return 0
+
+
+async def _answer_payload(gateway: PlanGateway, options: PipetteOptions,
+                          payload: dict):
+    """One decoded request object -> one GatewayResponse (may raise)."""
+    if "model" not in payload:
+        raise ValueError("request needs a 'model' (e.g. \"gpt-1.1b\")")
+    model = get_model(str(payload["model"]))
+    global_batch = int(payload.get("global_batch", 64))
+    kwargs: dict = {"options": options}
+    if payload.get("micro_batches") is not None:
+        kwargs["micro_batches"] = tuple(
+            int(m) for m in payload["micro_batches"])
+    if payload.get("memory_limit_gib") is not None:
+        kwargs["memory_limit_bytes"] = \
+            float(payload["memory_limit_gib"]) * GIB
+    registry = gateway.registry
+    name = payload.get("cluster")
+    if name is not None:
+        name = str(name)
+        request = registry.service(name).request(model, global_batch,
+                                                 **kwargs)
+        return await gateway.plan(request, cluster=name)
+    # No cluster named: ask every cluster *concurrently* through the
+    # gateway and keep the cheapest feasible answer (the async twin of
+    # ClusterRegistry.plan_cheapest, same name tie-break).
+    names = registry.names
+    if not names:
+        raise ValueError("no clusters registered")
+    answers = await asyncio.gather(
+        *(gateway.plan(registry.service(n).request(model, global_batch,
+                                                   **kwargs), cluster=n)
+          for n in names),
+        return_exceptions=True)
+    ranked, errors = [], []
+    for n, answer in zip(names, answers):
+        if isinstance(answer, BaseException):
+            errors.append(f"{n}: {answer}")
+        elif answer.best is None:
+            errors.append(f"{n}: {answer.response.error or 'no feasible configuration'}")
+        else:
+            ranked.append((cheapest_rank_key(answer.best, n), answer))
+    if not ranked:
+        raise RuntimeError(
+            "no cluster can serve the request: " + "; ".join(errors))
+    return min(ranked, key=lambda pair: pair[0])[1]
+
+
+async def _handle_line(gateway: PlanGateway, options: PipetteOptions,
+                       line: str, default_id, write_line) -> None:
+    rid = default_id
+    try:
+        payload = json.loads(line)
+        if not isinstance(payload, dict):
+            raise ValueError("each request line must be a JSON object")
+        rid = payload.get("id", default_id)
+        answer = await _answer_payload(gateway, options, payload)
+        # This caller's own submit-to-answer time — a coalesced
+        # follower must not report its leader's full search time.
+        out = {"id": rid, "cluster": answer.cluster_name,
+               "status": answer.status,
+               "elapsed_ms": round(answer.elapsed_s * 1e3, 3)}
+        best = answer.best
+        if best is None:
+            out["status"] = "error"
+            out["error"] = answer.response.error \
+                or "no feasible configuration"
+        else:
+            out["config"] = best.config.describe()
+            out["latency_s"] = best.estimated_latency_s
+            if best.estimated_memory_bytes is not None:
+                out["memory_gib"] = round(
+                    best.estimated_memory_bytes / GIB, 3)
+    except (ValueError, TypeError, RuntimeError, KeyError,
+            json.JSONDecodeError) as exc:
+        # TypeError included: a wrongly-typed field (e.g. a number for
+        # micro_batches) must answer as an error line, never vanish.
+        out = {"id": rid, "status": "error", "error": str(exc)}
+    await write_line(json.dumps(out, sort_keys=True))
+
+
+async def _serve_stream(gateway: PlanGateway, options: PipetteOptions,
+                        read_line, write_line) -> None:
+    """Pump request lines until EOF; answers land as they finish.
+
+    A reader failure (an over-long line, a reset connection) must not
+    abandon in-flight handlers: the started tasks are always gathered
+    so every accepted request gets its answer attempt before the
+    stream winds down.
+    """
+    counter = itertools.count(1)
+    # Completed handlers remove themselves: a long-lived connection
+    # serves unboundedly many requests, so finished tasks must not
+    # accumulate for the stream's whole lifetime.
+    tasks: "set[asyncio.Task]" = set()
+    try:
+        while True:
+            try:
+                line = await read_line()
+            except (asyncio.LimitOverrunError, ValueError) as exc:
+                await write_line(json.dumps(
+                    {"status": "error",
+                     "error": f"unreadable request line ({exc})"},
+                    sort_keys=True))
+                break
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            task = asyncio.ensure_future(_handle_line(
+                gateway, options, line, next(counter), write_line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+    finally:
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+
+async def _serve_connection(gateway, options, reader, writer) -> None:
+    async def write_line(text: str) -> None:
+        writer.write((text + "\n").encode("utf-8"))
+        # Per-answer flow control: a slow reader parks the handler
+        # here instead of growing the transport buffer without bound.
+        await writer.drain()
+
+    async def read_line():
+        return (await reader.readline()).decode("utf-8")
+
+    try:
+        await _serve_stream(gateway, options, read_line, write_line)
+    except ConnectionResetError:
+        pass  # client went away; nothing left to answer
+    finally:
+        writer.close()
+
+
+async def _serve_async(args, registry: ClusterRegistry,
+                       options: PipetteOptions) -> int:
+    async with PlanGateway(registry, max_queue_depth=args.max_queue_depth,
+                           overflow=args.overflow) as gateway:
+        if args.port is not None:
+            server = await asyncio.start_server(
+                partial(_serve_connection, gateway, options),
+                host=args.host, port=args.port,
+                limit=1 << 20)  # 1 MiB request lines
+            names = ", ".join(str(sock.getsockname())
+                              for sock in server.sockets)
+            print(f"serving on {names}", file=sys.stderr, flush=True)
+            async with server:
+                await server.serve_forever()
+        else:
+            loop = asyncio.get_running_loop()
+
+            async def read_line():
+                return await loop.run_in_executor(None, sys.stdin.readline)
+
+            async def write_line(text: str) -> None:
+                print(text, flush=True)
+
+            await _serve_stream(gateway, options, read_line, write_line)
+        stats = gateway.stats
+        print(f"gateway: {stats.submitted} submitted, "
+              f"{stats.coalesced} coalesced, {stats.rejected} rejected, "
+              f"{stats.batches} drain batches "
+              f"(largest {stats.max_batch})", file=sys.stderr, flush=True)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    # Registration chatter goes to stderr: in stdin/stdout mode every
+    # stdout line is a protocol answer, nothing else.
+    with contextlib.redirect_stdout(sys.stderr):
+        registry = _build_registry(args)
+    return asyncio.run(_serve_async(args, registry, _options(args)))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -298,6 +488,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory of per-cluster durable stores "
                           "(one <name>.jsonl each)")
     reg.set_defaults(fn=cmd_registry)
+
+    srv = sub.add_parser("serve", help="run the async gateway as a "
+                                       "JSON-lines server")
+    search_opts(srv)
+    srv.add_argument("--clusters", nargs="+",
+                     default=["mid-range:2", "high-end:2"],
+                     metavar="PRESET[:NODES]",
+                     help="clusters to serve (default: one mid-range "
+                          "and one high-end cluster of 2 nodes each)")
+    srv.add_argument("--store-dir", default=None, metavar="DIR",
+                     help="directory of per-cluster durable stores "
+                          "(one <name>.jsonl each)")
+    srv.add_argument("--port", type=int, default=None, metavar="PORT",
+                     help="listen on TCP PORT instead of stdin/stdout")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="TCP bind address (with --port; default "
+                          "127.0.0.1)")
+    srv.add_argument("--max-queue-depth", type=int, default=64,
+                     help="distinct in-flight requests per cluster "
+                          "before the overflow policy applies")
+    srv.add_argument("--overflow", choices=("wait", "reject"),
+                     default="wait",
+                     help="over-limit callers wait for a slot or get "
+                          "an immediate error")
+    srv.set_defaults(fn=cmd_serve)
     return parser
 
 
@@ -305,6 +520,11 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except PlanStoreError as exc:
+        # A corrupt, foreign, or locked plan store is an operator
+        # problem with a one-line explanation, not a traceback.
+        print(f"store error: {exc}", file=sys.stderr)
+        return 2
     except (ValueError, RuntimeError, KeyError) as exc:
         # Bad operands (unknown model, out-of-range node, infeasible
         # batch) are user errors, not crashes.

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields, is_dataclass
 
@@ -154,6 +155,12 @@ class PlanCache:
     Every mutation flows through the ``_record_*`` hooks, which are
     no-ops here; :class:`repro.service.store.DurablePlanCache`
     overrides them to mirror the cache onto disk.
+
+    The cache is safe for concurrent callers: every public method
+    holds one reentrant lock, so the gateway's per-cluster drain
+    threads (and an elastic event racing them) see the store, the LRU
+    order, and the stats move atomically.  Hooks fire while the lock
+    is held, which also serializes a durable cache's log appends.
     """
 
     def __init__(self, max_entries: int = 128) -> None:
@@ -161,52 +168,63 @@ class PlanCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self._store: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._store
+        with self._lock:
+            return key in self._store
 
     def entries(self) -> "list[tuple[str, str, PipetteResult]]":
         """All live ``(key, bandwidth_fp, result)`` rows, LRU first."""
-        return [(key, entry.bandwidth_fp, entry.result)
-                for key, entry in self._store.items()]
+        with self._lock:
+            return [(key, entry.bandwidth_fp, entry.result)
+                    for key, entry in self._store.items()]
 
     def get(self, key: str, bandwidth_fp: str) -> PipetteResult | None:
         """The cached plan for ``key`` in the current bandwidth epoch.
 
         A key whose entry was searched against a *different* bandwidth
         fingerprint is stale: the entry is dropped, the miss recorded,
-        and the caller re-plans against the fresh matrix.
+        and the caller re-plans against the fresh matrix.  A stale
+        lookup must never count as "recent use" — the entry leaves the
+        LRU order outright, untouched siblings keep their positions,
+        and only a same-epoch hit refreshes recency.
         """
-        entry = self._store.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.bandwidth_fp != bandwidth_fp:
-            del self._store[key]
-            self._record_drop(key)
-            self.stats.stale_drops += 1
-            self.stats.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.stats.hits += 1
-        return entry.result
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.bandwidth_fp != bandwidth_fp:
+                # The stale entry leaves the LRU order outright — it
+                # must not be refreshed on its way out.
+                del self._store[key]
+                self._record_drop(key)
+                self.stats.stale_drops += 1
+                self.stats.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return entry.result
 
     def put(self, key: str, bandwidth_fp: str, result: PipetteResult) -> None:
         """Store a finished plan under ``key`` for one bandwidth epoch."""
-        if key in self._store:
-            self._store.move_to_end(key)
-        self._store[key] = _Entry(bandwidth_fp=bandwidth_fp, result=result)
-        self._record_put(key, bandwidth_fp, result)
-        evicted = []
-        while len(self._store) > self.max_entries:
-            evicted.append(self._store.popitem(last=False)[0])
-            self.stats.evictions += 1
-        if evicted:
-            self._record_drops(evicted)
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+            self._store[key] = _Entry(bandwidth_fp=bandwidth_fp, result=result)
+            self._record_put(key, bandwidth_fp, result)
+            evicted = []
+            while len(self._store) > self.max_entries:
+                evicted.append(self._store.popitem(last=False)[0])
+                self.stats.evictions += 1
+            if evicted:
+                self._record_drops(evicted)
 
     def invalidate_epoch(self, bandwidth_fp: str) -> int:
         """Drop every entry not belonging to ``bandwidth_fp``.
@@ -215,19 +233,21 @@ class PlanCache:
         exceeded the re-plan threshold; returns the number of retired
         plans.
         """
-        stale = [k for k, e in self._store.items()
-                 if e.bandwidth_fp != bandwidth_fp]
-        for key in stale:
-            del self._store[key]
-        if stale:
-            self._record_drops(stale)
-        self.stats.stale_drops += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [k for k, e in self._store.items()
+                     if e.bandwidth_fp != bandwidth_fp]
+            for key in stale:
+                del self._store[key]
+            if stale:
+                self._record_drops(stale)
+            self.stats.stale_drops += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop everything (stats are kept)."""
-        self._store.clear()
-        self._record_clear()
+        with self._lock:
+            self._store.clear()
+            self._record_clear()
 
     # ------------------------------------------------- persistence hooks
 

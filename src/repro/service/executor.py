@@ -17,6 +17,7 @@ search, just faster on a multi-core planner host.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -74,18 +75,26 @@ class CandidateExecutor:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.stats = ExecutorStats()
         self._pool: Executor | None = None
+        # One executor is shared by every cluster's searches; lazy pool
+        # creation, stat bumps, and shutdown race when the gateway
+        # drains clusters concurrently, so they synchronize here.  The
+        # pool's own ``map`` is safe for concurrent callers.
+        self._lock = threading.Lock()
 
     # ----------------------------------------------------------- pool plumbing
 
     def _ensure_pool(self) -> Executor | None:
         if self.kind == "serial":
             return None
-        if self._pool is None:
-            if self.kind == "process":
-                self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
-            else:
-                self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                if self.kind == "process":
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.n_workers)
+                else:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.n_workers)
+            return self._pool
 
     def map(self, fn, payloads) -> list:
         """Run ``fn`` over ``payloads``, preserving order.
@@ -95,8 +104,9 @@ class CandidateExecutor:
         picklable ``(context, chunk)`` tuple.
         """
         payloads = list(payloads)
-        self.stats.batches += 1
-        self.stats.tasks += len(payloads)
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.tasks += len(payloads)
         pool = self._ensure_pool()
         if pool is None:
             return [fn(p) for p in payloads]
@@ -104,9 +114,10 @@ class CandidateExecutor:
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "CandidateExecutor":
         return self

@@ -1,0 +1,427 @@
+"""Async planning gateway: many concurrent clients, one fleet.
+
+:class:`~repro.service.planner.PlanningService` and
+:class:`~repro.service.registry.ClusterRegistry` answer one caller at
+a time; a live planning *service* has many — every job of a training
+campaign asking "what config do I train with right now", often the
+same question at the same moment.  :class:`PlanGateway` is the asyncio
+front door over a registry that absorbs that concurrency without
+serializing the fleet:
+
+* **coalescing** — concurrent requests with the same fingerprint (and
+  the same bandwidth epoch) share one search: the first caller leads,
+  the rest await the leader's future and receive the *same*
+  :class:`~repro.core.configurator.PipetteResult` object.  The
+  coalescing key includes the cluster's bandwidth fingerprint, so a
+  request submitted after an elastic event can never be answered by a
+  search that started against the pre-event fabric;
+* **per-cluster lanes** — each cluster has its own queue and drain
+  loop, so a slow search on one cluster never delays answers from its
+  siblings, and one cluster's backlog drains as batches through the
+  service's existing in-flight dedup;
+* **bounded backpressure** — each lane admits at most
+  ``max_queue_depth`` distinct in-flight requests; beyond that the
+  gateway either makes callers *wait* for a slot (default) or
+  *rejects* them immediately with :class:`GatewayOverloadedError`;
+* **non-blocking drains** — the synchronous
+  :meth:`~repro.service.planner.PlanningService.drain` runs in a
+  thread pool via ``run_in_executor``, so the event loop keeps
+  accepting clients (and coalescing their requests) while searches
+  run.  Inside each drain the shared
+  :class:`~repro.service.executor.CandidateExecutor` still fans
+  candidate work over its own pool;
+* **fenced elastic events** — :meth:`PlanGateway.update_bandwidth` and
+  :meth:`PlanGateway.fail_nodes` acquire the lane's fence, so an
+  epoch roll lands *between* drain batches, never under one, and the
+  service's own lock makes the adoption atomic.
+
+Use as an async context manager::
+
+    async with PlanGateway(registry) as gateway:
+        responses = await asyncio.gather(
+            *(gateway.plan(request) for request in requests))
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.core.configurator import PipetteResult, RankedConfig
+from repro.service.cache import PlanRequest
+from repro.service.planner import PlanningService, PlanResponse
+from repro.service.registry import ClusterRegistry
+from repro.service.replan import DEFAULT_DRIFT_THRESHOLD
+
+
+class GatewayOverloadedError(RuntimeError):
+    """A cluster's lane is full and the gateway's policy is ``reject``."""
+
+
+@dataclass
+class GatewayStats:
+    """Operational counters of one :class:`PlanGateway`.
+
+    Attributes:
+        submitted: requests enqueued onto a lane (coalesced followers
+            are not enqueued and do not count here).
+        coalesced: requests answered by joining an identical in-flight
+            request instead of enqueueing their own.
+        rejected: requests refused by the ``reject`` overflow policy.
+        batches: drain batches run on the executor threads.
+        answered: tickets answered by those batches.
+        max_batch: largest single drain batch.
+    """
+
+    submitted: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    batches: int = 0
+    answered: int = 0
+    max_batch: int = 0
+
+
+@dataclass
+class GatewayResponse:
+    """A plan answer delivered through the gateway.
+
+    Attributes:
+        cluster_name: the cluster that produced the plan.
+        response: the underlying service answer.  Note that its
+            ``elapsed_s`` times the *search's* answer inside the
+            drain, which a coalesced follower shares with its leader.
+        coalesced: ``True`` when this caller shared an identical
+            in-flight request's search instead of submitting its own.
+        elapsed_s: this caller's own submit-to-answer wall time (queue
+            wait included).  Per-caller accounting must not copy the
+            leader's search time onto every follower: a follower that
+            joined late reports only the wait it actually experienced.
+    """
+
+    cluster_name: str
+    response: PlanResponse
+    coalesced: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def status(self) -> str:
+        """``"coalesced"`` for followers, else the service status."""
+        return "coalesced" if self.coalesced else self.response.status
+
+    @property
+    def best(self) -> RankedConfig | None:
+        """Shortcut to the recommended configuration."""
+        return self.response.best
+
+    @property
+    def result(self) -> PipetteResult | None:
+        """Shortcut to the full search result."""
+        return self.response.result
+
+
+class _Lane:
+    """Per-cluster queue, admission bound, fence, and drain task."""
+
+    def __init__(self, name: str, max_depth: int) -> None:
+        self.name = name
+        self.queue: "asyncio.Queue" = asyncio.Queue()
+        self.slots = asyncio.Semaphore(max_depth)
+        self.fence = asyncio.Lock()
+        self.task: "asyncio.Task | None" = None
+
+
+class PlanGateway:
+    """Asyncio front door over a :class:`ClusterRegistry`.
+
+    Args:
+        registry: the fleet to serve; a single
+            :class:`~repro.service.planner.PlanningService` can be
+            wrapped via :meth:`for_service`.
+        max_queue_depth: distinct in-flight requests admitted per
+            cluster lane before the overflow policy applies.
+        overflow: ``"wait"`` parks over-limit callers until a slot
+            frees (backpressure), ``"reject"`` fails them fast with
+            :class:`GatewayOverloadedError` (load shedding).
+        drain_workers: threads for running synchronous drains; at
+            least one per concurrently-busy cluster to keep lanes
+            independent.  Defaults to 8.
+    """
+
+    def __init__(self, registry: ClusterRegistry, *,
+                 max_queue_depth: int = 64, overflow: str = "wait",
+                 drain_workers: int | None = None) -> None:
+        if overflow not in ("wait", "reject"):
+            raise ValueError(f"unknown overflow policy {overflow!r}; "
+                             "choose 'wait' or 'reject'")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.registry = registry
+        self.max_queue_depth = int(max_queue_depth)
+        self.overflow = overflow
+        self.stats = GatewayStats()
+        self._drain_workers = drain_workers
+        self._lanes: "dict[str, _Lane]" = {}
+        self._inflight: "dict[tuple[str, str, str], asyncio.Future]" = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    @classmethod
+    def for_service(cls, service: PlanningService, name: str = "default",
+                    **kwargs) -> "PlanGateway":
+        """A gateway over one service, registered under ``name``."""
+        registry = ClusterRegistry(executor=service.executor)
+        registry.register(name, service)
+        return cls(registry, **kwargs)
+
+    # ------------------------------------------------------------ planning
+
+    async def plan(self, request: PlanRequest,
+                   cluster: str | None = None) -> GatewayResponse:
+        """Answer one request; safe to call from many tasks at once.
+
+        Routing matches :meth:`ClusterRegistry.plan` (pinned name or
+        spec match).  An identical request already in flight on the
+        same cluster *and the same bandwidth epoch* is coalesced —
+        this caller awaits the in-flight search and shares its result.
+        Otherwise the request is enqueued on its cluster's lane,
+        subject to the overflow policy, and answered by the lane's
+        next drain batch.  Submit-time failures (e.g. a request built
+        for a cluster that has since shrunk) raise here, like
+        :meth:`PlanningService.plan`; search failures inside a drain
+        come back as ``"error"`` responses, like
+        :meth:`PlanningService.drain`.
+        """
+        if self._closed:
+            raise RuntimeError("gateway is closed")
+        t0 = time.perf_counter()
+        name = cluster if cluster is not None else self.registry.route(request)
+        fingerprint = request.fingerprint()
+        while True:
+            service = self.registry.service(name)
+            # The epoch in the key is what fences coalescing across
+            # elastic events: post-event submitters get a fresh key,
+            # hence a fresh search against the post-event matrix —
+            # never the pre-event leader's plan.
+            key = (name, fingerprint, service.bandwidth_fp)
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.stats.coalesced += 1
+                try:
+                    response = await asyncio.shield(existing)
+                except asyncio.CancelledError:
+                    if existing.cancelled():
+                        # The leader was cancelled before its request
+                        # was enqueued; this follower retries as the
+                        # new leader instead of hanging on a future
+                        # nobody will resolve.
+                        self.stats.coalesced -= 1
+                        continue
+                    raise  # this caller itself was cancelled
+                return GatewayResponse(
+                    cluster_name=name, response=response, coalesced=True,
+                    elapsed_s=time.perf_counter() - t0)
+            lane = self._lane(name)
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            try:
+                if self.overflow == "reject" and lane.slots.locked():
+                    self.stats.rejected += 1
+                    raise GatewayOverloadedError(
+                        f"cluster {name!r} already has "
+                        f"{self.max_queue_depth} requests in flight and "
+                        "the overflow policy is 'reject'; retry later or "
+                        "raise max_queue_depth")
+                await lane.slots.acquire()
+            except BaseException:
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+                # Wake any follower already coalesced onto this
+                # never-enqueued future so it can re-lead.
+                future.cancel()
+                raise
+            lane.queue.put_nowait((request, key, future))
+            self.stats.submitted += 1
+            # Shielded so a cancelled leader does not cancel the shared
+            # future out from under coalesced followers.
+            response = await asyncio.shield(future)
+            return GatewayResponse(cluster_name=name, response=response,
+                                   elapsed_s=time.perf_counter() - t0)
+
+    # ------------------------------------------------------------- elastic
+
+    async def update_bandwidth(self, name: str,
+                               new_bandwidth: BandwidthMatrix,
+                               drift_threshold: float =
+                               DEFAULT_DRIFT_THRESHOLD) -> int:
+        """Adopt a re-profiled matrix on one cluster, fenced.
+
+        Waits for the named lane's in-flight drain batch to finish,
+        then rolls the epoch before the next batch starts — so every
+        response handed out was searched against a matrix its epoch
+        actually trusted.  Returns the number of retired plans.
+        """
+        async with self._lane(name).fence:
+            return await self._run(partial(
+                self.registry.update_bandwidth, name, new_bandwidth,
+                drift_threshold=drift_threshold))
+
+    async def fail_nodes(self, name: str, *failed_nodes: int) -> int:
+        """Apply a node failure to one cluster, fenced like above.
+
+        Tickets already queued for the pre-failure cluster drain as
+        ``"error"`` responses; post-event requests (built against the
+        survivor cluster) plan fresh.  Returns the number of retired
+        plans.
+        """
+        async with self._lane(name).fence:
+            return await self._run(partial(
+                self.registry.fail_nodes, name, *failed_nodes))
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def aclose(self) -> None:
+        """Answer everything in flight, then stop the lanes and pool."""
+        if self._closed:
+            return
+        self._closed = True
+        pending = list(self._inflight.values())
+        if pending:
+            await asyncio.gather(*(asyncio.shield(f) for f in pending),
+                                 return_exceptions=True)
+        for lane in self._lanes.values():
+            if lane.task is not None:
+                lane.task.cancel()
+        tasks = [lane.task for lane in self._lanes.values()
+                 if lane.task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "PlanGateway":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------ plumbing
+
+    def _lane(self, name: str) -> _Lane:
+        self.registry.service(name)  # unknown names fail fast
+        lane = self._lanes.get(name)
+        if lane is None:
+            lane = _Lane(name, self.max_queue_depth)
+            lane.task = asyncio.get_running_loop().create_task(
+                self._drain_lane(lane))
+            self._lanes[name] = lane
+        return lane
+
+    def _drain_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self._drain_workers if self._drain_workers is not None \
+                else 8
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="pipette-gateway")
+        return self._pool
+
+    async def _run(self, fn):
+        """Run blocking registry/service work off the event loop."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._drain_pool(), fn)
+
+    async def _drain_lane(self, lane: _Lane) -> None:
+        """One cluster's drain loop: batch, fence, drain, resolve.
+
+        The loop must outlive any single batch: whatever goes wrong
+        mid-batch is delivered to that batch's futures, and the lane
+        keeps draining — a dead lane would strand every later request
+        on this cluster in an unanswerable queue.  Only cancellation
+        (gateway shutdown) ends the loop.
+        """
+        while True:
+            items = [await lane.queue.get()]
+            while True:
+                try:
+                    items.append(lane.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                async with lane.fence:
+                    await self._drain_batch(lane, items)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                for _, key, future in items:
+                    self._resolve(lane, key, future, exc=exc)
+            finally:
+                for _ in items:
+                    lane.queue.task_done()
+
+    async def _drain_batch(self, lane: _Lane, items: list) -> None:
+        try:
+            service = self.registry.service(lane.name)
+        except ValueError as exc:  # unregistered while queued
+            for _, key, future in items:
+                self._resolve(lane, key, future, exc=exc)
+            return
+        tickets = []
+        for request, key, future in items:
+            try:
+                ticket = service.submit(request)
+            except (ValueError, RuntimeError) as exc:
+                self._resolve(lane, key, future, exc=exc)
+                continue
+            tickets.append((ticket, key, future))
+        if not tickets:
+            return
+        self.stats.batches += 1
+        self.stats.max_batch = max(self.stats.max_batch, len(tickets))
+        try:
+            responses = await self._run(service.drain)
+        except asyncio.CancelledError:
+            raise  # gateway shutdown: aclose already waited for futures
+        except BaseException as exc:
+            # An unexpected failure (e.g. a durable cache whose disk
+            # filled mid-drain) answers this batch with the error; the
+            # lane itself must survive to serve the next batch.
+            for _, key, future in tickets:
+                self._resolve(lane, key, future, exc=exc)
+            return
+        by_index = {r.ticket.index: r for r in responses}
+        for ticket, key, future in tickets:
+            response = by_index.get(ticket.index)
+            if response is None:
+                # A racing direct drain() on the service stole the
+                # ticket; the contract is that a service behind a
+                # gateway is drained only by the gateway.
+                self._resolve(lane, key, future, exc=RuntimeError(
+                    f"ticket {ticket.index} was drained outside the "
+                    f"gateway on cluster {lane.name!r}"))
+            else:
+                self._resolve(lane, key, future, response=response)
+                self.stats.answered += 1
+
+    def _resolve(self, lane: _Lane, key, future,
+                 response: PlanResponse | None = None,
+                 exc: BaseException | None = None) -> None:
+        """Answer one enqueued item (idempotent).
+
+        The lane loop's defensive catch may re-deliver a batch that
+        :meth:`_drain_batch` already resolved; the ``done()`` guard
+        keeps the slot release exactly-once per enqueued item.
+        """
+        if self._inflight.get(key) is future:
+            del self._inflight[key]
+        if future.done():
+            return
+        lane.slots.release()
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(response)

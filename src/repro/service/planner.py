@@ -20,6 +20,7 @@ against that state:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -95,6 +96,17 @@ class PlanningService:
             searches serially.
         cache: plan store; defaults to a fresh 128-entry LRU.
         profile_seed: seed of lazily collected compute profiles.
+
+    The service was single-caller by construction through PR 2; it is
+    now safe for concurrent use.  One reentrant lock serializes every
+    entry point that reads or mutates service state — queue, cache,
+    profiles, cluster/bandwidth epoch — so a drain running in one
+    thread can never interleave with an elastic event (or a second
+    drain) in another.  Searches run *under* the lock on purpose: a
+    cluster answers one drain at a time (cross-cluster concurrency is
+    the registry's and gateway's job), and an epoch roll midway
+    through a search could otherwise hand out a plan computed against
+    a matrix the service no longer trusts.
     """
 
     def __init__(self, cluster: ClusterSpec, bandwidth: BandwidthMatrix,
@@ -120,17 +132,19 @@ class PlanningService:
         self._profiles: "dict[TransformerConfig, ComputeProfile]" = {}
         self._queue: "list[PlanTicket]" = []
         self._submitted = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- profiles
 
     def profile_for(self, model: TransformerConfig) -> ComputeProfile:
         """The (cached) compute profile of ``model`` on this cluster."""
-        profile = self._profiles.get(model)
-        if profile is None:
-            profile = profile_compute(model, self.cluster,
-                                      seed=self.profile_seed)
-            self._profiles[model] = profile
-        return profile
+        with self._lock:
+            profile = self._profiles.get(model)
+            if profile is None:
+                profile = profile_compute(model, self.cluster,
+                                          seed=self.profile_seed)
+                self._profiles[model] = profile
+            return profile
 
     # ------------------------------------------------------------ requests
 
@@ -141,25 +155,28 @@ class PlanningService:
                            global_batch=global_batch, **kwargs)
 
     def _make_ticket(self, request: PlanRequest) -> PlanTicket:
-        if request.cluster != self.cluster:
-            raise ValueError(
-                f"request is for cluster {request.cluster.name!r} "
-                f"({request.cluster.n_nodes} nodes) but this service plans "
-                f"for {self.cluster.name!r} ({self.cluster.n_nodes} nodes); "
-                "searches run against this service's profiled matrix, so "
-                "the specs must match exactly"
-            )
-        ticket = PlanTicket(index=self._submitted,
-                            fingerprint=request.fingerprint(),
-                            request=request)
-        self._submitted += 1
-        return ticket
+        with self._lock:
+            if request.cluster != self.cluster:
+                raise ValueError(
+                    f"request is for cluster {request.cluster.name!r} "
+                    f"({request.cluster.n_nodes} nodes) but this service "
+                    f"plans for {self.cluster.name!r} "
+                    f"({self.cluster.n_nodes} nodes); searches run against "
+                    "this service's profiled matrix, so the specs must "
+                    "match exactly"
+                )
+            ticket = PlanTicket(index=self._submitted,
+                                fingerprint=request.fingerprint(),
+                                request=request)
+            self._submitted += 1
+            return ticket
 
     def submit(self, request: PlanRequest) -> PlanTicket:
         """Queue a request; :meth:`drain` answers all queued tickets."""
-        ticket = self._make_ticket(request)
-        self._queue.append(ticket)
-        return ticket
+        with self._lock:
+            ticket = self._make_ticket(request)
+            self._queue.append(ticket)
+            return ticket
 
     def _answer(self, ticket: PlanTicket) -> PlanResponse:
         """Answer one ticket from cache or by searching (may raise)."""
@@ -187,36 +204,43 @@ class PlanningService:
         an ``"error"`` response and the rest of the batch is still
         answered; identical failing tickets share the first failure
         instead of re-raising the same search N times.
+
+        The whole drain runs under the service lock: a concurrent
+        drain (two threads racing the same service) answers an empty
+        batch rather than splitting tickets, and an elastic event
+        waits for the batch to finish rather than rolling the epoch
+        under a search.
         """
-        tickets, self._queue = self._queue, []
-        answered: "dict[str, PlanResponse]" = {}
-        failed: "dict[str, str]" = {}
-        responses = []
-        for ticket in tickets:
-            t0 = time.perf_counter()
-            known = answered.get(ticket.fingerprint)
-            if known is not None:
-                responses.append(PlanResponse(
-                    ticket=ticket, result=known.result, status="deduped",
-                    elapsed_s=time.perf_counter() - t0))
-                continue
-            failure = failed.get(ticket.fingerprint)
-            if failure is not None:
-                responses.append(PlanResponse(
-                    ticket=ticket, result=None, status="error",
-                    elapsed_s=time.perf_counter() - t0, error=failure))
-                continue
-            try:
-                response = self._answer(ticket)
-            except (ValueError, RuntimeError) as exc:
-                failed[ticket.fingerprint] = str(exc)
-                responses.append(PlanResponse(
-                    ticket=ticket, result=None, status="error",
-                    elapsed_s=time.perf_counter() - t0, error=str(exc)))
-                continue
-            answered[ticket.fingerprint] = response
-            responses.append(response)
-        return responses
+        with self._lock:
+            tickets, self._queue = self._queue, []
+            answered: "dict[str, PlanResponse]" = {}
+            failed: "dict[str, str]" = {}
+            responses = []
+            for ticket in tickets:
+                t0 = time.perf_counter()
+                known = answered.get(ticket.fingerprint)
+                if known is not None:
+                    responses.append(PlanResponse(
+                        ticket=ticket, result=known.result, status="deduped",
+                        elapsed_s=time.perf_counter() - t0))
+                    continue
+                failure = failed.get(ticket.fingerprint)
+                if failure is not None:
+                    responses.append(PlanResponse(
+                        ticket=ticket, result=None, status="error",
+                        elapsed_s=time.perf_counter() - t0, error=failure))
+                    continue
+                try:
+                    response = self._answer(ticket)
+                except (ValueError, RuntimeError) as exc:
+                    failed[ticket.fingerprint] = str(exc)
+                    responses.append(PlanResponse(
+                        ticket=ticket, result=None, status="error",
+                        elapsed_s=time.perf_counter() - t0, error=str(exc)))
+                    continue
+                answered[ticket.fingerprint] = response
+                responses.append(response)
+            return responses
 
     def plan(self, request: PlanRequest) -> PlanResponse:
         """Answer one request immediately.
@@ -225,7 +249,8 @@ class PlanningService:
         queued for their own :meth:`drain`.  Errors raise rather than
         coming back as ``"error"`` responses.
         """
-        return self._answer(self._make_ticket(request))
+        with self._lock:
+            return self._answer(self._make_ticket(request))
 
     def _search(self, request: PlanRequest) -> PipetteResult:
         if request.cluster != self.cluster:
@@ -264,14 +289,15 @@ class PlanningService:
         cluster and let later requests re-plan on demand.  Returns the
         number of retired plans.
         """
-        keep = surviving_gpus(self.cluster, failed_nodes)
-        self.cluster = shrink_cluster(self.cluster, failed_nodes)
-        self.bandwidth = self.bandwidth.restrict(keep)
-        self.bandwidth_fp = self.bandwidth.fingerprint()
-        retired = len(self.cache)
-        self.cache.clear()
-        self._profiles.clear()
-        return retired
+        with self._lock:
+            keep = surviving_gpus(self.cluster, failed_nodes)
+            self.cluster = shrink_cluster(self.cluster, failed_nodes)
+            self.bandwidth = self.bandwidth.restrict(keep)
+            self.bandwidth_fp = self.bandwidth.fingerprint()
+            retired = len(self.cache)
+            self.cache.clear()
+            self._profiles.clear()
+            return retired
 
     def update_bandwidth(self, new_bandwidth: BandwidthMatrix,
                          drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
@@ -288,17 +314,18 @@ class PlanningService:
         rolls the epoch, and drops every cached plan searched against
         the old fabric.  Returns the number of retired plans.
         """
-        if new_bandwidth.n_gpus != self.cluster.n_gpus:
-            raise ValueError(
-                f"new matrix covers {new_bandwidth.n_gpus} GPUs but the "
-                f"cluster has {self.cluster.n_gpus}"
-            )
-        if not drift_exceeds(self.bandwidth, new_bandwidth,
-                             drift_threshold):
-            return 0
-        self.bandwidth = new_bandwidth
-        self.bandwidth_fp = new_bandwidth.fingerprint()
-        return self.cache.invalidate_epoch(self.bandwidth_fp)
+        with self._lock:
+            if new_bandwidth.n_gpus != self.cluster.n_gpus:
+                raise ValueError(
+                    f"new matrix covers {new_bandwidth.n_gpus} GPUs but the "
+                    f"cluster has {self.cluster.n_gpus}"
+                )
+            if not drift_exceeds(self.bandwidth, new_bandwidth,
+                                 drift_threshold):
+                return 0
+            self.bandwidth = new_bandwidth
+            self.bandwidth_fp = new_bandwidth.fingerprint()
+            return self.cache.invalidate_epoch(self.bandwidth_fp)
 
     def replan(self, request: PlanRequest, event: ClusterEvent,
                new_bandwidth: BandwidthMatrix | None = None,
@@ -319,43 +346,50 @@ class PlanningService:
         pre-failure cluster get ``"error"`` responses at drain rather
         than being answered with a stale plan.
         """
-        previous = self.plan(request).best
-        if previous is None:
-            raise RuntimeError("no feasible previous plan to warm-start from")
-        report = replan(
-            self.cluster, request.model, self.bandwidth,
-            self.profile_for(request.model), previous, event,
-            memory_estimator=self.memory_estimator,
-            options=request.options,
-            new_bandwidth=new_bandwidth,
-            memory_limit_bytes=request.memory_limit_bytes,
-            micro_batches=list(request.micro_batches)
-            if request.micro_batches is not None else None,
-            executor=self.executor,
-            run_cold=run_cold,
-        )
-        if event.kind == "node_failure":
-            self.cluster = report.cluster
-            self.bandwidth = report.bandwidth
-            self.bandwidth_fp = report.bandwidth.fingerprint()
-            self.cache.clear()
-            self._profiles.clear()
-        else:
-            self.bandwidth = report.bandwidth
-            self.bandwidth_fp = report.bandwidth.fingerprint()
-            self.cache.invalidate_epoch(self.bandwidth_fp)
-            if report.cold_result is not None:
-                # The cold search is exactly what a fresh plan() of
-                # this request would compute — don't pay for it twice.
-                self.cache.put(request.fingerprint(), self.bandwidth_fp,
-                               report.cold_result)
-        return report
+        with self._lock:
+            previous = self.plan(request).best
+            if previous is None:
+                raise RuntimeError(
+                    "no feasible previous plan to warm-start from")
+            report = replan(
+                self.cluster, request.model, self.bandwidth,
+                self.profile_for(request.model), previous, event,
+                memory_estimator=self.memory_estimator,
+                options=request.options,
+                new_bandwidth=new_bandwidth,
+                memory_limit_bytes=request.memory_limit_bytes,
+                micro_batches=list(request.micro_batches)
+                if request.micro_batches is not None else None,
+                executor=self.executor,
+                run_cold=run_cold,
+            )
+            if event.kind == "node_failure":
+                self.cluster = report.cluster
+                self.bandwidth = report.bandwidth
+                self.bandwidth_fp = report.bandwidth.fingerprint()
+                self.cache.clear()
+                self._profiles.clear()
+            else:
+                self.bandwidth = report.bandwidth
+                self.bandwidth_fp = report.bandwidth.fingerprint()
+                self.cache.invalidate_epoch(self.bandwidth_fp)
+                if report.cold_result is not None:
+                    # The cold search is exactly what a fresh plan() of
+                    # this request would compute — don't pay for it
+                    # twice.
+                    self.cache.put(request.fingerprint(),
+                                   self.bandwidth_fp, report.cold_result)
+            return report
 
     # ---------------------------------------------------------------- stats
 
     @property
     def stats(self) -> dict:
         """Operational counters of cache, queue, and executor."""
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
         out = {
             "requests_submitted": self._submitted,
             "cache_entries": len(self.cache),

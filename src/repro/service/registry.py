@@ -14,6 +14,12 @@ routes work to them:
   question over every registered cluster (each search reusing the
   shared :class:`~repro.service.executor.CandidateExecutor`) and
   returns the feasible plan with the lowest estimated latency;
+* work can be *queued* instead of answered inline —
+  :meth:`ClusterRegistry.submit` routes a ticket onto its cluster's
+  queue and :meth:`ClusterRegistry.drain_all` answers every cluster's
+  backlog — so elastic events land between batches, fenced against
+  in-flight searches, and the async gateway
+  (:mod:`repro.service.gateway`) can drain clusters concurrently;
 * elastic events — a re-profiled matrix, a node failure — are
   propagated to exactly one named cluster, leaving every sibling's
   cache and epoch untouched.
@@ -25,6 +31,7 @@ restarted registry remembers every cluster's plans.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -35,7 +42,7 @@ from repro.core.memory_estimator import MemoryEstimator
 from repro.model.transformer import TransformerConfig
 from repro.service.cache import PlanCache, PlanRequest
 from repro.service.executor import CandidateExecutor
-from repro.service.planner import PlanningService, PlanResponse
+from repro.service.planner import PlanningService, PlanResponse, PlanTicket
 from repro.service.replan import DEFAULT_DRIFT_THRESHOLD
 
 
@@ -62,6 +69,17 @@ class RoutedResponse:
         return self.response.status
 
 
+def cheapest_rank_key(best: RankedConfig, name: str) -> tuple:
+    """Fleet-wide ranking key for cheapest-feasible routing.
+
+    Memory-fitting plans first, then estimated latency, then the
+    *cluster name* — one definition shared by every cheapest-feasible
+    path (:meth:`ClusterRegistry.plan_cheapest`, the ``serve``
+    front end's broadcast), so they can never rank ties differently.
+    """
+    return (not best.memory_ok, best.estimated_latency_s, name)
+
+
 class ClusterRegistry:
     """Front door owning one planning service per named cluster.
 
@@ -75,26 +93,38 @@ class ClusterRegistry:
     def __init__(self, executor: CandidateExecutor | None = None) -> None:
         self.executor = executor
         self._services: "OrderedDict[str, PlanningService]" = OrderedDict()
+        # Guards membership only.  Routing and draining take a snapshot
+        # of the table and then rely on each service's own lock, so a
+        # long drain on one cluster never blocks registering another.
+        self._lock = threading.RLock()
 
     # ---------------------------------------------------------- membership
 
     def __len__(self) -> int:
-        return len(self._services)
+        with self._lock:
+            return len(self._services)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._services
+        with self._lock:
+            return name in self._services
 
     @property
     def names(self) -> list[str]:
         """Registered cluster names, in registration order."""
-        return list(self._services)
+        with self._lock:
+            return list(self._services)
+
+    def _snapshot(self) -> "list[tuple[str, PlanningService]]":
+        with self._lock:
+            return list(self._services.items())
 
     def register(self, name: str, service: PlanningService) -> PlanningService:
         """Adopt an existing service under ``name``."""
-        if name in self._services:
-            raise ValueError(f"cluster {name!r} is already registered")
-        self._services[name] = service
-        return service
+        with self._lock:
+            if name in self._services:
+                raise ValueError(f"cluster {name!r} is already registered")
+            self._services[name] = service
+            return service
 
     def add_cluster(self, name: str, cluster: ClusterSpec,
                     bandwidth: BandwidthMatrix,
@@ -113,16 +143,18 @@ class ClusterRegistry:
 
     def unregister(self, name: str) -> PlanningService:
         """Remove and return the named service (its cache is untouched)."""
-        if name not in self._services:
-            self._raise_unknown(name)
-        return self._services.pop(name)
+        with self._lock:
+            if name not in self._services:
+                self._raise_unknown(name)
+            return self._services.pop(name)
 
     def service(self, name: str) -> PlanningService:
         """The service planning for the named cluster."""
-        service = self._services.get(name)
-        if service is None:
-            self._raise_unknown(name)
-        return service
+        with self._lock:
+            service = self._services.get(name)
+            if service is None:
+                self._raise_unknown(name)
+            return service
 
     def _raise_unknown(self, name: str):
         raise ValueError(
@@ -138,7 +170,7 @@ class ClusterRegistry:
         was built for); with duplicate specs the earliest registration
         wins, matching LRU-style stability.
         """
-        for name, service in self._services.items():
+        for name, service in self._snapshot():
             if service.cluster == request.cluster:
                 return name
         raise ValueError(
@@ -153,6 +185,38 @@ class ClusterRegistry:
         name = cluster if cluster is not None else self.route(request)
         return RoutedResponse(cluster_name=name,
                               response=self.service(name).plan(request))
+
+    # ------------------------------------------------------------- queueing
+
+    def submit(self, request: PlanRequest,
+               cluster: str | None = None) -> "tuple[str, PlanTicket]":
+        """Queue one request on its cluster's service; drain later.
+
+        Routing matches :meth:`plan` — pinned by name or matched by
+        spec — but the ticket waits for :meth:`drain` /
+        :meth:`drain_all` instead of being answered now.  Queueing at
+        the registry level is what lets an elastic event *fence*
+        pending work: :meth:`fail_nodes` between submit and drain
+        makes the stale tickets drain as ``"error"`` responses instead
+        of answering them with plans that map onto dead GPUs.
+        """
+        name = cluster if cluster is not None else self.route(request)
+        return name, self.service(name).submit(request)
+
+    def drain(self, name: str) -> "list[PlanResponse]":
+        """Answer every ticket queued on the named cluster."""
+        return self.service(name).drain()
+
+    def drain_all(self) -> "dict[str, list[PlanResponse]]":
+        """Drain every registered cluster, in registration order.
+
+        Each cluster's drain runs under its own service lock; the
+        registry stays open for membership changes and sibling drains
+        while one cluster searches.  Returns per-cluster responses
+        keyed by cluster name (clusters with empty queues included,
+        with empty lists, so callers can account for every cluster).
+        """
+        return {name: service.drain() for name, service in self._snapshot()}
 
     def plan_on(self, name: str, model: TransformerConfig,
                 global_batch: int, **kwargs) -> RoutedResponse:
@@ -170,15 +234,21 @@ class ClusterRegistry:
         Each registered cluster answers its own cluster-bound copy of
         the question — independent searches over the shared executor,
         each hitting its own cache on repeats.  Plans that fit memory
-        outrank best-effort (``memory_ok=False``) ones; ties break by
-        registration order.  Clusters with no feasible configuration
-        are skipped; if none can serve, the collected errors raise.
+        outrank best-effort (``memory_ok=False``) ones; latency ties
+        break by *cluster name*, not registration order, so the winner
+        is a property of the fleet rather than of the order an
+        operator happened to register it in (a restarted registry that
+        rebuilds its table in a different order keeps routing the same
+        requests to the same cluster).  Clusters with no feasible
+        configuration are skipped; if none can serve, the collected
+        errors raise.
         """
-        if not self._services:
+        services = self._snapshot()
+        if not services:
             raise ValueError("no clusters registered")
         candidates: "list[tuple[tuple, RoutedResponse]]" = []
         errors: "list[str]" = []
-        for rank, (name, service) in enumerate(self._services.items()):
+        for name, service in services:
             try:
                 response = service.plan(service.request(model, global_batch,
                                                         **kwargs))
@@ -190,7 +260,7 @@ class ClusterRegistry:
                 errors.append(f"{name}: no feasible configuration")
                 continue
             candidates.append((
-                (not best.memory_ok, best.estimated_latency_s, rank),
+                cheapest_rank_key(best, name),
                 RoutedResponse(cluster_name=name, response=response)))
         if not candidates:
             raise RuntimeError(
@@ -225,4 +295,4 @@ class ClusterRegistry:
     def stats(self) -> dict:
         """Per-cluster operational counters, keyed by cluster name."""
         return {name: service.stats
-                for name, service in self._services.items()}
+                for name, service in self._snapshot()}

@@ -18,7 +18,9 @@ keeps the cache mirrored on disk:
   cache's ``_record_*`` hooks.  Rehydration compacts the log down to
   the live entries.
 
-The store is single-writer: one planning service owns one path.  A
+The store is single-writer: one planning service owns one path,
+enforced by an advisory ``fcntl`` lock held across every append and
+compaction (:class:`PlanStoreLockedError` when contended).  A
 restarted service built over the same path answers every request it
 had already planned as a cache ``"hit"`` with the identical plan —
 see ``benchmarks/bench_store_restart.py`` for the proof.
@@ -28,8 +30,15 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX host: no advisory locking available
+    fcntl = None
 
 from repro.core.configurator import PipetteResult
 from repro.service.cache import CacheStats, PlanCache
@@ -43,12 +52,19 @@ class PlanStoreError(RuntimeError):
     """The on-disk plan log is unreadable or from another schema."""
 
 
+class PlanStoreLockedError(PlanStoreError):
+    """Another process holds the store's advisory write lock."""
+
+
 class PlanStore:
     """Append-only JSON-lines log mirroring one plan cache.
 
     Args:
         path: log file location; parent directories are created.  A
             missing file is an empty store.
+        lock_timeout_s: how long a writer waits for the advisory
+            cross-process lock before giving up with
+            :class:`PlanStoreLockedError`.
 
     Records are one JSON object per line.  The first line is a header
     stamping :data:`SCHEMA_VERSION`; after it come ``put`` records
@@ -56,11 +72,68 @@ class PlanStore:
     :meth:`~repro.core.configurator.PipetteResult.to_payload` payload),
     ``drop`` records (eviction/staleness/invalidation tombstones), and
     ``clear`` records (the cache was emptied, e.g. by a node failure).
+
+    The log is **single-writer**, and that is now enforced rather than
+    assumed: every append and compaction holds an advisory ``fcntl``
+    lock on a ``<path>.lock`` sidecar, so two planner processes
+    pointed at the same path fail fast with a clear
+    :class:`PlanStoreLockedError` instead of interleaving half-written
+    JSON lines into each other's log.  (On hosts without ``fcntl`` the
+    guard degrades to the old honor system.)
     """
 
-    def __init__(self, path: "str | os.PathLike[str]") -> None:
+    def __init__(self, path: "str | os.PathLike[str]",
+                 lock_timeout_s: float = 5.0) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.lock_timeout_s = float(lock_timeout_s)
+        self._lock_path = self.path.with_name(self.path.name + ".lock")
+        self._lock_depth = 0
+
+    # ------------------------------------------------------------- locking
+
+    @contextmanager
+    def lock(self):
+        """Hold the store's cross-process advisory lock.
+
+        Reentrant within one store instance, so a caller can pin the
+        lock across a compound ``load`` + ``compact`` sequence (as
+        :class:`DurablePlanCache` does at rehydration) without
+        deadlocking the individual operations' own acquisitions.
+        Raises :class:`PlanStoreLockedError` — a message, not a
+        traceback's worth of mystery — when another process still
+        holds the lock after ``lock_timeout_s``.
+        """
+        if fcntl is None or self._lock_depth > 0:
+            self._lock_depth += 1
+            try:
+                yield
+            finally:
+                self._lock_depth -= 1
+            return
+        fh = open(self._lock_path, "a+b")
+        deadline = time.monotonic() + self.lock_timeout_s
+        while True:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    fh.close()
+                    raise PlanStoreLockedError(
+                        f"{self.path}: another process holds the plan-store "
+                        f"lock ({self._lock_path}); plan stores are "
+                        "single-writer — give each planner its own "
+                        "--store-path, or retry once the other writer exits"
+                    ) from None
+                time.sleep(0.02)
+        self._lock_depth = 1
+        try:
+            yield
+        finally:
+            self._lock_depth = 0
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            fh.close()
 
     # ------------------------------------------------------------- writing
 
@@ -96,17 +169,18 @@ class PlanStore:
         """Durably append ``records`` in one open + one fsync."""
         if not records:
             return
-        try:
-            fh = open(self.path, "r+b")
-        except FileNotFoundError:
-            fh = open(self.path, "x+b")
-        with fh:
-            self._repair_torn_tail(fh)
-            fh.write(b"".join(
-                (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
-                for record in records))
-            fh.flush()
-            os.fsync(fh.fileno())
+        with self.lock():
+            try:
+                fh = open(self.path, "r+b")
+            except FileNotFoundError:
+                fh = open(self.path, "x+b")
+            with fh:
+                self._repair_torn_tail(fh)
+                fh.write(b"".join(
+                    (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+                    for record in records))
+                fh.flush()
+                os.fsync(fh.fileno())
 
     def record_put(self, key: str, bandwidth_fp: str,
                    result: PipetteResult) -> None:
@@ -157,6 +231,15 @@ class PlanStore:
                 raise PlanStoreError(
                     f"{self.path}:{lineno + 1}: corrupt record ({exc})"
                 ) from exc
+            if not isinstance(record, dict):
+                # Valid JSON but not a record object (a stray number,
+                # string, or list — e.g. the wrong file entirely):
+                # ``record.get`` below would crash with AttributeError
+                # instead of the schema error callers catch.
+                raise PlanStoreError(
+                    f"{self.path}:{lineno + 1}: not a plan-store record "
+                    f"({type(record).__name__} instead of an object)"
+                )
             kind = record.get("kind")
             if lineno == 0:
                 if kind != "header":
@@ -197,16 +280,19 @@ class PlanStore:
         live plan.
         """
         tmp = self.path.with_name(self.path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps({"kind": "header",
-                                 "schema": SCHEMA_VERSION}) + "\n")
-            for key, bandwidth_fp, result in entries:
-                fh.write(json.dumps(
-                    {"kind": "put", "key": key, "bandwidth_fp": bandwidth_fp,
-                     "result": result.to_payload()}, sort_keys=True) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.path)
+        with self.lock():
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps({"kind": "header",
+                                     "schema": SCHEMA_VERSION}) + "\n")
+                for key, bandwidth_fp, result in entries:
+                    fh.write(json.dumps(
+                        {"kind": "put", "key": key,
+                         "bandwidth_fp": bandwidth_fp,
+                         "result": result.to_payload()},
+                        sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
 
 
 class DurablePlanCache(PlanCache):
@@ -231,11 +317,15 @@ class DurablePlanCache(PlanCache):
         if not isinstance(store, PlanStore):
             store = PlanStore(store)
         self._backend: PlanStore | None = None  # silence hooks on replay
-        for key, (bandwidth_fp, result) in store.load().items():
-            self.put(key, bandwidth_fp, result)
-        self.rehydrated = len(self)
-        self.stats = CacheStats()
-        store.compact(self.entries())
+        # One lock hold across replay + compaction: a second writer
+        # squeezing an append between our load and our rewrite would
+        # have its acknowledged record silently erased by the compact.
+        with store.lock():
+            for key, (bandwidth_fp, result) in store.load().items():
+                self.put(key, bandwidth_fp, result)
+            self.rehydrated = len(self)
+            self.stats = CacheStats()
+            store.compact(self.entries())
         self._backend = store
 
     @property

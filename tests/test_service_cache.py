@@ -137,6 +137,58 @@ class TestPlanCache:
             PlanCache(max_entries=0)
 
 
+class TestStaleLookupRecency:
+    """A stale lookup must never count as "recent use".
+
+    Regression guard for the LRU/staleness interaction: an epoch-stale
+    entry found by ``get`` leaves the store outright.  If the lookup
+    instead refreshed the key's recency (``move_to_end``) on its way
+    out — or worse, left the refreshed entry behind — the dead plan
+    would displace a *live* sibling at the next capacity eviction.
+    """
+
+    def test_stale_lookup_drops_entry_without_touching_siblings(self):
+        cache = PlanCache(max_entries=2)
+        cache.put("stale", "old-epoch", _result())
+        cache.put("live", "epoch", _result())
+        assert cache.get("stale", "epoch") is None
+        assert "stale" not in cache
+        # "live" must still be resident and must survive the next put
+        # (capacity 2, one slot now free) — a recency-refreshed ghost
+        # of "stale" would have pushed it out instead.
+        cache.put("new", "epoch", _result())
+        assert "live" in cache and "new" in cache
+        assert cache.stats.evictions == 0
+
+    def test_stale_lookup_keeps_lru_order_of_survivors(self):
+        cache = PlanCache(max_entries=2)
+        cache.put("a", "epoch", _result())
+        cache.put("b", "old-epoch", _result())
+        cache.get("a", "epoch")                 # real hit: "a" is MRU
+        assert cache.get("b", "epoch") is None  # stale drop, no refresh
+        cache.put("c", "epoch", _result())      # fills b's slot: [a, c]
+        cache.put("d", "epoch", _result())      # evicts the true LRU
+        assert "a" not in cache
+        assert "c" in cache and "d" in cache
+        assert cache.stats.evictions == 1
+
+    def test_stale_lookup_stats_are_exact(self):
+        cache = PlanCache()
+        cache.put("k", "old-epoch", _result())
+        assert cache.get("k", "epoch") is None
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 1
+        assert cache.stats.stale_drops == 1
+        assert cache.stats.evictions == 0
+        assert len(cache) == 0
+        # Re-planting under the new epoch behaves like any fresh entry.
+        cache.put("k", "epoch", _result())
+        assert cache.get("k", "epoch") is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stale_drops == 1
+
+
 class TestBandwidthFingerprint:
     def test_identical_matrices_share_fingerprint(self, tiny_network):
         bw = tiny_network.bandwidth

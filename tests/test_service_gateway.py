@@ -1,0 +1,563 @@
+"""The async gateway: coalescing, lanes, backpressure, fenced events.
+
+The concurrency *identity* contract is the backbone of this module:
+whatever N async clients observe through the gateway must be
+byte-identical (via ``to_payload``) to what a fresh single-caller
+service computes for the same requests — concurrency is allowed to
+change wall-clock, never answers.
+"""
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import Fabric, HeterogeneityModel, NetworkProfiler
+from repro.cluster.fabric import BandwidthMatrix
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.core import PipetteOptions
+from repro.service import (
+    ClusterRegistry,
+    GatewayOverloadedError,
+    PlanGateway,
+    PlanningService,
+)
+from repro.units import GIB
+
+FAST = PipetteOptions(use_worker_dedication=False)
+
+
+def _cluster(name: str, n_nodes: int = 2, flops: float = 10e12) -> ClusterSpec:
+    gpu = GpuSpec(name=f"{name}-GPU", memory_bytes=4 * GIB, peak_flops=flops,
+                  achievable_fraction=0.5, hbm_gb_s=500.0)
+    node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                    intra_link=LinkSpec("NVL", 100.0, alpha_s=1e-6))
+    return ClusterSpec(name=name, n_nodes=n_nodes, node=node,
+                      inter_link=LinkSpec("IB", 10.0, alpha_s=1e-5))
+
+
+def _bandwidth(cluster: ClusterSpec, seed: int) -> BandwidthMatrix:
+    fabric = Fabric(cluster, heterogeneity=HeterogeneityModel(), seed=seed)
+    return NetworkProfiler(n_rounds=2).profile(fabric, seed=seed).bandwidth
+
+
+def _registry() -> ClusterRegistry:
+    registry = ClusterRegistry()
+    for name, seed in (("alpha", 1), ("beta", 2)):
+        cluster = _cluster(name)
+        registry.add_cluster(name, cluster, _bandwidth(cluster, seed))
+    return registry
+
+
+def _fresh_service(registry: ClusterRegistry, name: str) -> PlanningService:
+    """A single-caller twin of a registered service (its own cache)."""
+    service = registry.service(name)
+    return PlanningService(service.cluster, service.bandwidth)
+
+
+#: ``to_payload`` fields that are stopwatch readings of the search
+#: itself, not part of the plan: two equal searches time differently.
+_STOPWATCH_FIELDS = ("memory_check_s", "annealing_s", "total_s")
+
+
+def _payload_bytes(result) -> str:
+    payload = result.to_payload()
+    for field in _STOPWATCH_FIELDS:
+        payload.pop(field, None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _wait_for(predicate, timeout_s: float = 5.0) -> None:
+    for _ in range(int(timeout_s / 0.01)):
+        if predicate():
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError("condition not reached in time")
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_share_one_search(self, toy_model):
+        registry = _registry()
+        request = registry.service("alpha").request(toy_model, 32,
+                                                    options=FAST)
+
+        async def scenario():
+            async with PlanGateway(registry) as gateway:
+                return await asyncio.gather(
+                    *(gateway.plan(request) for _ in range(5)))
+
+        answers = run(scenario())
+        statuses = sorted(a.status for a in answers)
+        assert statuses == ["coalesced"] * 4 + ["miss"]
+        first = answers[0].result
+        assert all(a.result is first for a in answers)
+        stats = registry.service("alpha").stats
+        assert stats["cache_misses"] == 1  # exactly one search ran
+
+    def test_coalesced_counts_are_exact(self, toy_model):
+        registry = _registry()
+        alpha = registry.service("alpha").request(toy_model, 32, options=FAST)
+        beta = registry.service("beta").request(toy_model, 32, options=FAST)
+
+        async def scenario(gateway):
+            return await asyncio.gather(
+                gateway.plan(alpha), gateway.plan(alpha), gateway.plan(alpha),
+                gateway.plan(beta), gateway.plan(beta))
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                answers = await scenario(gateway)
+                return answers, gateway.stats
+
+        answers, stats = run(main())
+        # One leader per unique (cluster, fingerprint); everyone else
+        # coalesced.  Followers share the leader's PipetteResult.
+        assert stats.submitted == 2
+        assert stats.coalesced == 3
+        assert stats.rejected == 0
+        assert stats.answered == 2
+        by_cluster = {}
+        for answer in answers:
+            by_cluster.setdefault(answer.cluster_name, []).append(answer)
+        assert len(by_cluster["alpha"]) == 3
+        assert len(by_cluster["beta"]) == 2
+        for group in by_cluster.values():
+            assert len({id(a.result) for a in group}) == 1
+
+    def test_sequential_repeats_hit_cache_not_coalesce(self, toy_model):
+        registry = _registry()
+        request = registry.service("alpha").request(toy_model, 32,
+                                                    options=FAST)
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                first = await gateway.plan(request)
+                second = await gateway.plan(request)
+                return first, second
+
+        first, second = run(main())
+        assert first.status == "miss"
+        assert second.status == "hit"
+        assert second.result is first.result
+
+
+class TestConcurrencyIdentity:
+    def test_async_clients_match_serial_drains_byte_for_byte(self,
+                                                             toy_model):
+        registry = _registry()
+        requests = []
+        for name in ("alpha", "beta"):
+            service = registry.service(name)
+            for batch in (16, 32, 16, 64, 32):  # overlapping fingerprints
+                requests.append((name, service.request(toy_model, batch,
+                                                       options=FAST)))
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                return await asyncio.gather(
+                    *(gateway.plan(request, cluster=name)
+                      for name, request in requests))
+
+        answers = run(main())
+        # Serial reference: a fresh single-caller service per cluster,
+        # draining the same tickets in submission order.
+        references = {}
+        for name in ("alpha", "beta"):
+            serial = _fresh_service(registry, name)
+            for req_name, request in requests:
+                if req_name == name:
+                    serial.submit(request)
+            for response in serial.drain():
+                references[(name, response.ticket.fingerprint)] = \
+                    _payload_bytes(response.result)
+        assert len(answers) == len(requests)
+        for (name, request), answer in zip(requests, answers):
+            assert answer.best is not None
+            expected = references[(name, request.fingerprint())]
+            assert _payload_bytes(answer.result) == expected
+
+    def test_unique_fingerprints_searched_exactly_once(self, toy_model):
+        registry = _registry()
+        service = registry.service("alpha")
+        requests = [service.request(toy_model, batch, options=FAST)
+                    for batch in (16, 32, 16, 16, 32, 64)]
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                answers = await asyncio.gather(
+                    *(gateway.plan(request) for request in requests))
+                return answers, gateway.stats
+
+        answers, stats = run(main())
+        unique = {request.fingerprint() for request in requests}
+        # Exactly one miss per unique fingerprint, whether the sharing
+        # happened by coalescing (gateway) or in-drain dedup (service).
+        assert service.stats["cache_misses"] == len(unique)
+        misses = [a for a in answers if a.status == "miss"]
+        assert len(misses) == len(unique)
+        assert stats.submitted + stats.coalesced == len(requests)
+
+
+class TestBackpressure:
+    def _gated_registry(self, monkeypatch, toy_model):
+        """A registry whose alpha searches block until released."""
+        registry = _registry()
+        service = registry.service("alpha")
+        started = threading.Event()
+        release = threading.Event()
+        real_search = service._search
+
+        def gated_search(request):
+            started.set()
+            assert release.wait(timeout=10), "test forgot to release"
+            return real_search(request)
+
+        monkeypatch.setattr(service, "_search", gated_search)
+        return registry, service, started, release
+
+    def test_reject_policy_sheds_over_limit_clients(self, monkeypatch,
+                                                    toy_model):
+        registry, service, started, release = \
+            self._gated_registry(monkeypatch, toy_model)
+        first = service.request(toy_model, 16, options=FAST)
+        second = service.request(toy_model, 32, options=FAST)
+
+        async def main():
+            async with PlanGateway(registry, max_queue_depth=1,
+                                   overflow="reject") as gateway:
+                leader = asyncio.ensure_future(gateway.plan(first))
+                await _wait_for(started.is_set)
+                with pytest.raises(GatewayOverloadedError,
+                                   match="in flight"):
+                    await gateway.plan(second)
+                rejected = gateway.stats.rejected
+                release.set()
+                answer = await leader
+                return answer, rejected
+
+        answer, rejected = run(main())
+        assert answer.status == "miss"
+        assert rejected == 1
+
+    def test_coalescing_bypasses_the_admission_bound(self, monkeypatch,
+                                                     toy_model):
+        # A full lane must still coalesce identical requests — they
+        # consume no new slot and no new search.
+        registry, service, started, release = \
+            self._gated_registry(monkeypatch, toy_model)
+        request = service.request(toy_model, 16, options=FAST)
+
+        async def main():
+            async with PlanGateway(registry, max_queue_depth=1,
+                                   overflow="reject") as gateway:
+                leader = asyncio.ensure_future(gateway.plan(request))
+                await _wait_for(started.is_set)
+                follower = asyncio.ensure_future(gateway.plan(request))
+                await asyncio.sleep(0.02)
+                release.set()
+                return await asyncio.gather(leader, follower)
+
+        leader, follower = run(main())
+        assert leader.status == "miss"
+        assert follower.status == "coalesced"
+        assert follower.result is leader.result
+
+    def test_wait_policy_parks_then_answers(self, monkeypatch, toy_model):
+        registry, service, started, release = \
+            self._gated_registry(monkeypatch, toy_model)
+        first = service.request(toy_model, 16, options=FAST)
+        second = service.request(toy_model, 32, options=FAST)
+
+        async def main():
+            async with PlanGateway(registry, max_queue_depth=1,
+                                   overflow="wait") as gateway:
+                leader = asyncio.ensure_future(gateway.plan(first))
+                await _wait_for(started.is_set)
+                waiter = asyncio.ensure_future(gateway.plan(second))
+                await asyncio.sleep(0.02)
+                assert not waiter.done()  # parked on the lane slot
+                release.set()
+                return await asyncio.gather(leader, waiter)
+
+        leader, waiter = run(main())
+        assert leader.status == "miss"
+        assert waiter.status == "miss"
+        assert waiter.best is not None
+
+
+class TestElasticFencing:
+    def test_event_waits_for_inflight_drain(self, monkeypatch, toy_model,
+                                            tiny_network):
+        registry = _registry()
+        service = registry.service("alpha")
+        started = threading.Event()
+        release = threading.Event()
+        real_search = service._search
+
+        def gated_search(request):
+            started.set()
+            assert release.wait(timeout=10)
+            return real_search(request)
+
+        monkeypatch.setattr(service, "_search", gated_search)
+        request = service.request(toy_model, 32, options=FAST)
+        degraded = service.bandwidth.matrix.copy()
+        degraded[np.isfinite(degraded)] *= 0.5
+        np.fill_diagonal(degraded, np.inf)
+        moved = BandwidthMatrix(matrix=degraded,
+                                alpha=service.bandwidth.alpha)
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                leader = asyncio.ensure_future(gateway.plan(request))
+                await _wait_for(started.is_set)
+                event = asyncio.ensure_future(
+                    gateway.update_bandwidth("alpha", moved))
+                await asyncio.sleep(0.05)
+                # The fence holds the event out of the running batch.
+                assert not event.done()
+                release.set()
+                answer = await leader
+                retired = await event
+                return answer, retired
+
+        answer, retired = run(main())
+        # The in-flight client was answered by its own (pre-event)
+        # epoch's search, and that plan was then retired by the event.
+        assert answer.status == "miss"
+        assert retired == 1
+
+    def test_post_event_requests_never_see_pre_event_plans(self, toy_model):
+        registry = _registry()
+        service = registry.service("alpha")
+        request = service.request(toy_model, 32, options=FAST)
+        degraded = service.bandwidth.matrix.copy()
+        degraded[np.isfinite(degraded)] *= 0.5
+        np.fill_diagonal(degraded, np.inf)
+        moved = BandwidthMatrix(matrix=degraded,
+                                alpha=service.bandwidth.alpha)
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                before = await gateway.plan(request)
+                retired = await gateway.update_bandwidth("alpha", moved)
+                after = await asyncio.gather(gateway.plan(request),
+                                             gateway.plan(request))
+                return before, retired, after
+
+        before, retired, after = run(main())
+        assert retired == 1
+        # The post-event epoch never hands out the pre-event plan: the
+        # request re-searched (miss + coalesced follower, no hit), and
+        # its answer matches a fresh service built on the new matrix.
+        assert sorted(a.status for a in after) == ["coalesced", "miss"]
+        assert all(a.result is not before.result for a in after)
+        fresh = PlanningService(service.cluster, moved)
+        reference = fresh.plan(fresh.request(toy_model, 32, options=FAST))
+        assert _payload_bytes(after[0].result) == \
+            _payload_bytes(reference.result)
+
+    def test_node_failure_errors_stale_tickets_and_shrinks(self, toy_model):
+        registry = _registry()
+        service = registry.service("alpha")
+        stale = service.request(toy_model, 32, options=FAST)
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                warmup = await gateway.plan(stale)
+                retired = await gateway.fail_nodes("alpha", 1)
+                # The pre-failure request now targets a cluster the
+                # service no longer plans for: submit-time error.
+                with pytest.raises(ValueError, match="re-submit|match"):
+                    await gateway.plan(stale, cluster="alpha")
+                survivor = registry.service("alpha")
+                fresh = await gateway.plan(
+                    survivor.request(toy_model, 32, options=FAST))
+                return warmup, retired, fresh
+
+        warmup, retired, fresh = run(main())
+        assert warmup.status == "miss"
+        assert retired == 1
+        assert fresh.status == "miss"
+        assert fresh.best.config.n_gpus == \
+            registry.service("alpha").cluster.n_gpus
+
+    def test_sibling_lane_unaffected_by_event(self, toy_model):
+        registry = _registry()
+        beta_request = registry.service("beta").request(toy_model, 32,
+                                                        options=FAST)
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                first = await gateway.plan(beta_request)
+                await gateway.fail_nodes("alpha", 0)
+                second = await gateway.plan(beta_request)
+                return first, second
+
+        first, second = run(main())
+        assert first.status == "miss"
+        assert second.status == "hit"
+        assert second.result is first.result
+
+
+class TestErrorPaths:
+    def test_unknown_cluster_raises(self, toy_model):
+        registry = _registry()
+        request = registry.service("alpha").request(toy_model, 16,
+                                                    options=FAST)
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                with pytest.raises(ValueError, match="unknown cluster"):
+                    await gateway.plan(request, cluster="nope")
+
+        run(main())
+
+    def test_search_failure_is_an_error_response(self, monkeypatch,
+                                                 toy_model):
+        registry = _registry()
+        service = registry.service("alpha")
+
+        def exploding_search(request):
+            raise RuntimeError("estimator exploded")
+
+        monkeypatch.setattr(service, "_search", exploding_search)
+        request = service.request(toy_model, 16, options=FAST)
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                answers = await asyncio.gather(gateway.plan(request),
+                                               gateway.plan(request))
+                return answers
+
+        answers = run(main())
+        statuses = sorted(a.status for a in answers)
+        assert statuses == ["coalesced", "error"]
+        assert all(a.result is None for a in answers)
+        assert any("estimator exploded" in (a.response.error or "")
+                   for a in answers)
+
+    def test_closed_gateway_refuses_work(self, toy_model):
+        registry = _registry()
+        request = registry.service("alpha").request(toy_model, 16,
+                                                    options=FAST)
+
+        async def main():
+            gateway = PlanGateway(registry)
+            async with gateway:
+                await gateway.plan(request)
+            with pytest.raises(RuntimeError, match="closed"):
+                await gateway.plan(request)
+
+        run(main())
+
+    def test_invalid_configuration_rejected(self):
+        registry = _registry()
+        with pytest.raises(ValueError, match="overflow"):
+            PlanGateway(registry, overflow="explode")
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            PlanGateway(registry, max_queue_depth=0)
+
+
+class TestResilience:
+    def test_lane_survives_unexpected_drain_failure(self, monkeypatch,
+                                                    toy_model):
+        # Regression: an exception escaping service.drain (e.g. a
+        # durable store whose disk filled) used to kill the lane's
+        # drain task — every later request on that cluster then hung
+        # forever.  The failing batch gets the error; the lane lives.
+        registry = _registry()
+        service = registry.service("alpha")
+        real_drain = service.drain
+        calls = {"n": 0}
+
+        def flaky_drain():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("disk full")
+            return real_drain()
+
+        monkeypatch.setattr(service, "drain", flaky_drain)
+        first = service.request(toy_model, 16, options=FAST)
+        second = service.request(toy_model, 32, options=FAST)
+
+        async def main():
+            async with PlanGateway(registry) as gateway:
+                with pytest.raises(OSError, match="disk full"):
+                    await gateway.plan(first)
+                return await gateway.plan(second)
+
+        answer = run(main())
+        assert answer.best is not None
+        assert calls["n"] >= 2
+
+    def test_cancelled_waiting_leader_does_not_orphan_followers(
+            self, monkeypatch, toy_model):
+        # Regression: cancelling a leader parked on the lane's
+        # admission slot abandoned its coalesced followers on a future
+        # nobody would resolve; a follower must retry as the new
+        # leader instead.
+        registry = _registry()
+        service = registry.service("alpha")
+        started = threading.Event()
+        release = threading.Event()
+        real_search = service._search
+
+        def gated_search(request):
+            started.set()
+            assert release.wait(timeout=10)
+            return real_search(request)
+
+        monkeypatch.setattr(service, "_search", gated_search)
+        blocker = service.request(toy_model, 16, options=FAST)
+        shared = service.request(toy_model, 32, options=FAST)
+
+        async def main():
+            async with PlanGateway(registry, max_queue_depth=1,
+                                   overflow="wait") as gateway:
+                blocking = asyncio.ensure_future(gateway.plan(blocker))
+                await _wait_for(started.is_set)
+                leader = asyncio.ensure_future(gateway.plan(shared))
+                await asyncio.sleep(0.02)   # leader parked on the slot
+                follower = asyncio.ensure_future(gateway.plan(shared))
+                await asyncio.sleep(0.02)   # follower coalesced
+                leader.cancel()
+                await asyncio.sleep(0.02)
+                release.set()
+                blocked_answer = await blocking
+                follower_answer = await follower
+                with pytest.raises(asyncio.CancelledError):
+                    await leader
+                return blocked_answer, follower_answer
+
+        blocked_answer, follower_answer = run(main())
+        assert blocked_answer.status == "miss"
+        assert follower_answer.best is not None
+        assert follower_answer.status == "miss"  # re-led, not orphaned
+
+
+class TestForService:
+    def test_single_service_wrapper(self, tiny_cluster, tiny_network,
+                                    toy_model):
+        service = PlanningService(tiny_cluster, tiny_network.bandwidth)
+        request = service.request(toy_model, 32, options=FAST)
+
+        async def main():
+            async with PlanGateway.for_service(service) as gateway:
+                answers = await asyncio.gather(gateway.plan(request),
+                                               gateway.plan(request))
+                return answers
+
+        answers = run(main())
+        assert sorted(a.status for a in answers) == ["coalesced", "miss"]
+        assert all(a.cluster_name == "default" for a in answers)
+        serial = PlanningService(tiny_cluster, tiny_network.bandwidth)
+        reference = serial.plan(serial.request(toy_model, 32, options=FAST))
+        assert _payload_bytes(answers[0].result) == \
+            _payload_bytes(reference.result)

@@ -206,3 +206,77 @@ class TestStats:
         assert set(stats) == {"slow", "fast"}
         assert stats["slow"]["cache_misses"] == 1
         assert stats["fast"]["cache_misses"] == 0
+
+
+class TestCheapestTieBreak:
+    def _twin_registry(self, order):
+        """Two names over one identical cluster+matrix: a perfect tie."""
+        twin = _cluster("twin", n_nodes=2)
+        bandwidth = _bandwidth(twin, seed=7)
+        reg = ClusterRegistry()
+        for name in order:
+            reg.add_cluster(name, twin, bandwidth)
+        return reg
+
+    def test_tie_breaks_by_cluster_name_not_registration_order(
+            self, toy_model):
+        # Regression: the tie-break used to be registration rank, so
+        # an operator re-registering the same fleet in a different
+        # order silently moved tied workloads to a different cluster.
+        winners = set()
+        for order in (("zeta", "alpha"), ("alpha", "zeta")):
+            reg = self._twin_registry(order)
+            routed = reg.plan_cheapest(toy_model, 16, options=FAST)
+            assert routed.best is not None
+            winners.add(routed.cluster_name)
+        assert winners == {"alpha"}
+
+
+class TestRegistryQueueing:
+    def test_submit_routes_like_plan(self, registry, fast_cluster,
+                                     toy_model):
+        request = PlanRequest(cluster=fast_cluster, model=toy_model,
+                              global_batch=16, options=FAST)
+        name, ticket = registry.submit(request)
+        assert name == "fast"
+        assert ticket.fingerprint == request.fingerprint()
+        responses = registry.drain("fast")
+        assert [r.ticket.index for r in responses] == [ticket.index]
+        assert responses[0].status == "miss"
+        assert registry.drain("slow") == []
+
+    def test_submit_pinned_by_name(self, registry, toy_model):
+        service = registry.service("slow")
+        name, ticket = registry.submit(
+            service.request(toy_model, 16, options=FAST), cluster="slow")
+        assert name == "slow"
+        assert registry.drain("slow")[0].ticket.index == ticket.index
+
+    def test_drain_all_answers_every_cluster(self, registry, toy_model):
+        slow = registry.service("slow")
+        fast = registry.service("fast")
+        registry.submit(slow.request(toy_model, 16, options=FAST))
+        registry.submit(fast.request(toy_model, 16, options=FAST))
+        registry.submit(slow.request(toy_model, 16, options=FAST))
+        drained = registry.drain_all()
+        assert list(drained) == ["slow", "fast"]  # registration order
+        assert [r.status for r in drained["slow"]] == ["miss", "deduped"]
+        assert [r.status for r in drained["fast"]] == ["miss"]
+
+    def test_event_between_submit_and_drain_fences_tickets(self, registry,
+                                                           toy_model):
+        # The ROADMAP's "registry-level request queueing/draining":
+        # a failure landing after submit must not answer the stale
+        # ticket with a plan that maps onto dead GPUs.
+        slow = registry.service("slow")
+        registry.submit(slow.request(toy_model, 16, options=FAST))
+        registry.fail_nodes("slow", 0)
+        responses = registry.drain("slow")
+        assert [r.status for r in responses] == ["error"]
+        assert "re-submit" in responses[0].error
+        # Post-event work plans cleanly on the survivors.
+        survivor = registry.service("slow")
+        registry.submit(survivor.request(toy_model, 16, options=FAST))
+        fresh = registry.drain("slow")
+        assert [r.status for r in fresh] == ["miss"]
+        assert fresh[0].best.config.n_gpus == survivor.cluster.n_gpus

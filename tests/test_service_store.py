@@ -25,6 +25,7 @@ from repro.service import (
     PlanningService,
     PlanStore,
     PlanStoreError,
+    PlanStoreLockedError,
 )
 
 FAST = PipetteOptions(use_worker_dedication=False)
@@ -237,6 +238,20 @@ class TestPlanStore:
         with pytest.raises(PlanStoreError, match="mystery"):
             store.load()
 
+    def test_non_dict_record_is_a_schema_error(self, store):
+        # Regression: a syntactically-valid JSON line that is not an
+        # object (a stray number — e.g. the wrong file) crashed load()
+        # with AttributeError instead of the PlanStoreError the CLI
+        # catches.
+        store.path.write_text('{"kind": "header", "schema": 1}\n42\n')
+        with pytest.raises(PlanStoreError, match="not a plan-store record"):
+            store.load()
+
+    def test_non_dict_header_is_a_schema_error(self, store):
+        store.path.write_text('["not", "a", "header"]\n')
+        with pytest.raises(PlanStoreError, match="not a plan-store record"):
+            store.load()
+
     def test_compact_collapses_log(self, store, a_result):
         for i in range(4):
             store.record_put(f"k{i}", "fp", a_result)
@@ -370,3 +385,93 @@ class TestServiceRestart:
         service = PlanningService(tiny_cluster, tiny_network.bandwidth,
                                   cache=cache)
         assert service.cache is cache
+
+
+# ------------------------------------------------------- cross-process lock
+
+
+class TestStoreLocking:
+    """The advisory fcntl guard behind the single-writer contract.
+
+    ``flock`` locks attach to the open file description, so two
+    PlanStore instances over the same path conflict even inside one
+    test process — exactly the contention a second planner process
+    would produce.
+    """
+
+    def test_contended_append_fails_with_clear_error(self, tmp_path,
+                                                     a_result):
+        path = tmp_path / "plans.jsonl"
+        holder = PlanStore(path)
+        rival = PlanStore(path, lock_timeout_s=0.05)
+        with holder.lock():
+            with pytest.raises(PlanStoreLockedError,
+                               match="single-writer"):
+                rival.record_put("k", "fp", a_result)
+        # Nothing of the rival's attempt reached the log.
+        assert path.exists() is False or "k" not in path.read_text()
+
+    def test_contended_compact_fails_with_clear_error(self, tmp_path,
+                                                      a_result):
+        path = tmp_path / "plans.jsonl"
+        holder = PlanStore(path)
+        holder.record_put("k", "fp", a_result)
+        rival = PlanStore(path, lock_timeout_s=0.05)
+        with holder.lock():
+            with pytest.raises(PlanStoreLockedError):
+                rival.compact([])
+        assert list(holder.load()) == ["k"]
+
+    def test_locked_error_is_a_store_error(self):
+        # The CLI's one-line store-error handler must cover contention.
+        assert issubclass(PlanStoreLockedError, PlanStoreError)
+
+    def test_lock_is_reentrant_within_one_store(self, tmp_path, a_result):
+        store = PlanStore(tmp_path / "plans.jsonl")
+        with store.lock():
+            store.record_put("k1", "fp", a_result)  # append locks again
+            with store.lock():
+                store.record_put("k2", "fp", a_result)
+        assert list(store.load()) == ["k1", "k2"]
+
+    def test_lock_released_after_use(self, tmp_path, a_result):
+        path = tmp_path / "plans.jsonl"
+        first = PlanStore(path)
+        first.record_put("k1", "fp", a_result)
+        second = PlanStore(path, lock_timeout_s=0.05)
+        second.record_put("k2", "fp", a_result)  # no contention left
+        assert list(second.load()) == ["k1", "k2"]
+
+    def test_waiter_acquires_once_holder_releases(self, tmp_path, a_result):
+        import threading as _threading
+
+        path = tmp_path / "plans.jsonl"
+        holder = PlanStore(path)
+        waiter = PlanStore(path, lock_timeout_s=5.0)
+        entered = _threading.Event()
+        done = _threading.Event()
+
+        def hold_briefly():
+            with holder.lock():
+                entered.set()
+                done.wait(timeout=5)
+
+        thread = _threading.Thread(target=hold_briefly)
+        thread.start()
+        assert entered.wait(timeout=5)
+        done.set()  # release while the waiter polls
+        waiter.record_put("k", "fp", a_result)
+        thread.join(timeout=5)
+        assert list(waiter.load()) == ["k"]
+
+    def test_rehydration_holds_lock_across_load_and_compact(self, tmp_path,
+                                                            a_result):
+        path = tmp_path / "plans.jsonl"
+        seed = PlanStore(path)
+        seed.record_put("k", "fp", a_result)
+        rival = PlanStore(path, lock_timeout_s=0.05)
+        with rival.lock():
+            with pytest.raises(PlanStoreLockedError):
+                DurablePlanCache(PlanStore(path, lock_timeout_s=0.05))
+        cache = DurablePlanCache(path)
+        assert cache.rehydrated == 1
