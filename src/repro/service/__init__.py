@@ -19,9 +19,21 @@ a programmable service and PipeTune amortizes tuning across jobs:
   level queueing/draining, per-cluster elastic events;
 * :mod:`repro.service.gateway` — the asyncio front door: concurrent
   clients, in-flight coalescing, bounded per-cluster backpressure,
-  drains off the event loop, elastic events fenced between batches;
+  weighted-fair per-client lanes, drains off the event loop, elastic
+  events fenced between batches;
+* :mod:`repro.service.metrics` — stdlib Prometheus-text-format
+  counters/gauges/histograms, pull-bound to the live stats objects so
+  ``/metrics`` and in-process stats can never disagree;
+* :mod:`repro.service.http` — a hand-rolled asyncio HTTP/1.1 front
+  end over the gateway (``POST /v1/plan``, elastic-event routes,
+  ``GET /healthz``, Prometheus ``GET /metrics``);
 * ``python -m repro.service`` — a small CLI over all of the above
-  (including a JSON-lines ``serve`` front end, stdin or TCP).
+  (including the ``serve`` front ends: JSON lines over stdin or TCP,
+  and HTTP with ``--http PORT``).
+
+``docs/ARCHITECTURE.md`` has the layer diagram and request lifecycle;
+``docs/SERVING.md`` is the operator guide (schemas, metrics catalog,
+tuning).
 """
 
 from repro.service.cache import (
@@ -40,6 +52,20 @@ from repro.service.gateway import (
     GatewayResponse,
     GatewayStats,
     PlanGateway,
+)
+from repro.service.http import (
+    HttpError,
+    HttpPlanServer,
+    answer_payload,
+    plan_response_payload,
+)
+from repro.service.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
 )
 from repro.service.replan import (
     DEFAULT_DRIFT_THRESHOLD,
@@ -82,6 +108,16 @@ __all__ = [
     "GatewayResponse",
     "GatewayStats",
     "PlanGateway",
+    "HttpError",
+    "HttpPlanServer",
+    "answer_payload",
+    "plan_response_payload",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
     "DEFAULT_DRIFT_THRESHOLD",
     "ClusterEvent",
     "ReplanReport",

@@ -11,10 +11,13 @@ use them against physical machines):
   the cold search;
 * ``registry`` — serve several named clusters at once: pinned and
   cheapest-feasible routing, per-cluster failure isolation;
-* ``serve``    — run the async gateway as a long-lived JSON-lines
-  server (stdin/stdout by default, TCP with ``--port``): one request
-  object per line in, one answer object per line out, with in-flight
-  coalescing and per-cluster backpressure across clients.
+* ``serve``    — run the async gateway as a long-lived server: a
+  JSON-lines transport (stdin/stdout by default, TCP with ``--port``)
+  and/or an HTTP/1.1 front end (``--http PORT``) with ``POST
+  /v1/plan``, elastic-event routes, ``GET /healthz``, and a
+  Prometheus ``GET /metrics`` page — with in-flight coalescing,
+  per-cluster backpressure, and weighted-fair per-client lanes
+  across all transports (see ``docs/SERVING.md``).
 
 ``--store-path`` (or the registry's ``--store-dir``) makes the plan
 cache durable: re-running the same command answers previously planned
@@ -42,8 +45,14 @@ from repro.model import MODEL_CATALOG, get_model
 from repro.service.cache import PlanRequest
 from repro.service.executor import CandidateExecutor, available_workers
 from repro.service.gateway import PlanGateway
+from repro.service.http import (
+    HttpPlanServer,
+    answer_payload,
+    plan_response_payload,
+)
+from repro.service.metrics import MetricsRegistry
 from repro.service.planner import PlanningService
-from repro.service.registry import ClusterRegistry, cheapest_rank_key
+from repro.service.registry import ClusterRegistry
 from repro.service.replan import ClusterEvent
 from repro.service.store import DurablePlanCache, PlanStoreError
 from repro.units import GIB
@@ -101,6 +110,7 @@ def _print_plan(response) -> None:
 
 
 def cmd_plan(args) -> int:
+    """Answer one planning request and print the top of the ranking."""
     service = _build_service(args)
     model = get_model(args.model)
     print(f"model:   {model.name}, global batch {args.global_batch}\n")
@@ -111,6 +121,7 @@ def cmd_plan(args) -> int:
 
 
 def cmd_demo(args) -> int:
+    """Serve a queued workload with duplicates (cache/dedup showcase)."""
     service = _build_service(args)
     options = _options(args)
     models = [get_model(name) for name in args.models]
@@ -138,6 +149,7 @@ def cmd_demo(args) -> int:
 
 
 def cmd_replan(args) -> int:
+    """Fail a node and compare warm-started re-planning with cold."""
     service = _build_service(args)
     model = get_model(args.model)
     print(f"model:   {model.name}, global batch {args.global_batch}\n")
@@ -194,6 +206,7 @@ def _build_registry(args) -> ClusterRegistry:
 
 
 def cmd_registry(args) -> int:
+    """Serve several named clusters: routing and failure isolation."""
     registry = _build_registry(args)
     options = _options(args)
     model = get_model(args.model)
@@ -236,77 +249,26 @@ def cmd_registry(args) -> int:
     return 0
 
 
-async def _answer_payload(gateway: PlanGateway, options: PipetteOptions,
-                          payload: dict):
-    """One decoded request object -> one GatewayResponse (may raise)."""
-    if "model" not in payload:
-        raise ValueError("request needs a 'model' (e.g. \"gpt-1.1b\")")
-    model = get_model(str(payload["model"]))
-    global_batch = int(payload.get("global_batch", 64))
-    kwargs: dict = {"options": options}
-    if payload.get("micro_batches") is not None:
-        kwargs["micro_batches"] = tuple(
-            int(m) for m in payload["micro_batches"])
-    if payload.get("memory_limit_gib") is not None:
-        kwargs["memory_limit_bytes"] = \
-            float(payload["memory_limit_gib"]) * GIB
-    registry = gateway.registry
-    name = payload.get("cluster")
-    if name is not None:
-        name = str(name)
-        request = registry.service(name).request(model, global_batch,
-                                                 **kwargs)
-        return await gateway.plan(request, cluster=name)
-    # No cluster named: ask every cluster *concurrently* through the
-    # gateway and keep the cheapest feasible answer (the async twin of
-    # ClusterRegistry.plan_cheapest, same name tie-break).
-    names = registry.names
-    if not names:
-        raise ValueError("no clusters registered")
-    answers = await asyncio.gather(
-        *(gateway.plan(registry.service(n).request(model, global_batch,
-                                                   **kwargs), cluster=n)
-          for n in names),
-        return_exceptions=True)
-    ranked, errors = [], []
-    for n, answer in zip(names, answers):
-        if isinstance(answer, BaseException):
-            errors.append(f"{n}: {answer}")
-        elif answer.best is None:
-            errors.append(f"{n}: {answer.response.error or 'no feasible configuration'}")
-        else:
-            ranked.append((cheapest_rank_key(answer.best, n), answer))
-    if not ranked:
-        raise RuntimeError(
-            "no cluster can serve the request: " + "; ".join(errors))
-    return min(ranked, key=lambda pair: pair[0])[1]
-
-
 async def _handle_line(gateway: PlanGateway, options: PipetteOptions,
                        line: str, default_id, write_line) -> None:
+    """One JSON-lines request -> one answer line, errors included.
+
+    The answering itself (routing, cheapest-feasible fan-out,
+    ``client_id`` fairness) is shared with the HTTP front end via
+    :func:`repro.service.http.answer_payload`.
+    """
     rid = default_id
     try:
         payload = json.loads(line)
         if not isinstance(payload, dict):
             raise ValueError("each request line must be a JSON object")
         rid = payload.get("id", default_id)
-        answer = await _answer_payload(gateway, options, payload)
-        # This caller's own submit-to-answer time — a coalesced
-        # follower must not report its leader's full search time.
-        out = {"id": rid, "cluster": answer.cluster_name,
-               "status": answer.status,
-               "elapsed_ms": round(answer.elapsed_s * 1e3, 3)}
-        best = answer.best
-        if best is None:
-            out["status"] = "error"
-            out["error"] = answer.response.error \
-                or "no feasible configuration"
-        else:
-            out["config"] = best.config.describe()
-            out["latency_s"] = best.estimated_latency_s
-            if best.estimated_memory_bytes is not None:
-                out["memory_gib"] = round(
-                    best.estimated_memory_bytes / GIB, 3)
+        answer = await answer_payload(gateway, options, payload)
+        # plan_response_payload reports this caller's own
+        # submit-to-answer time — a coalesced follower must not
+        # report its leader's full search time.
+        out = plan_response_payload(answer, payload)
+        out["id"] = rid
     except (ValueError, TypeError, RuntimeError, KeyError,
             json.JSONDecodeError) as exc:
         # TypeError included: a wrongly-typed field (e.g. a number for
@@ -371,10 +333,42 @@ async def _serve_connection(gateway, options, reader, writer) -> None:
         writer.close()
 
 
+def _parse_client_weights(entries) -> dict:
+    """``NAME=WEIGHT`` CLI entries -> fair-lane weight table."""
+    weights = {}
+    for entry in entries or ():
+        name, sep, weight = entry.partition("=")
+        if not sep or not name:
+            raise ValueError(f"bad client weight {entry!r}; "
+                             "expected NAME=WEIGHT")
+        try:
+            weights[name] = int(weight)
+        except ValueError:
+            raise ValueError(f"bad client weight {entry!r}; "
+                             f"{weight!r} is not an integer") from None
+    return weights
+
+
 async def _serve_async(args, registry: ClusterRegistry,
                        options: PipetteOptions) -> int:
+    metrics = MetricsRegistry()
+    registry.attach_metrics(metrics)
     async with PlanGateway(registry, max_queue_depth=args.max_queue_depth,
-                           overflow=args.overflow) as gateway:
+                           overflow=args.overflow, fairness=args.fairness,
+                           max_batch=args.max_batch,
+                           client_weights=_parse_client_weights(
+                               args.client_weight),
+                           metrics=metrics) as gateway:
+        servers = []
+        if args.http is not None:
+            front = HttpPlanServer(gateway, options, metrics=metrics)
+            server = await asyncio.start_server(
+                front.handle, host=args.host, port=args.http,
+                limit=1 << 16)  # 64 KiB header lines
+            names = ", ".join(str(sock.getsockname())
+                              for sock in server.sockets)
+            print(f"http on {names}", file=sys.stderr, flush=True)
+            servers.append(server)
         if args.port is not None:
             server = await asyncio.start_server(
                 partial(_serve_connection, gateway, options),
@@ -383,8 +377,13 @@ async def _serve_async(args, registry: ClusterRegistry,
             names = ", ".join(str(sock.getsockname())
                               for sock in server.sockets)
             print(f"serving on {names}", file=sys.stderr, flush=True)
-            async with server:
-                await server.serve_forever()
+            servers.append(server)
+        if servers:
+            async with contextlib.AsyncExitStack() as stack:
+                for server in servers:
+                    await stack.enter_async_context(server)
+                await asyncio.gather(
+                    *(server.serve_forever() for server in servers))
         else:
             loop = asyncio.get_running_loop()
 
@@ -412,6 +411,7 @@ def cmd_serve(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``pipette-plan`` argument parser (shared with tests)."""
     parser = argparse.ArgumentParser(
         prog="pipette-plan",
         description="Pipette planning service: cached, parallel, elastic "
@@ -501,10 +501,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory of per-cluster durable stores "
                           "(one <name>.jsonl each)")
     srv.add_argument("--port", type=int, default=None, metavar="PORT",
-                     help="listen on TCP PORT instead of stdin/stdout")
+                     help="listen for JSON lines on TCP PORT instead "
+                          "of stdin/stdout")
+    srv.add_argument("--http", type=int, default=None, metavar="PORT",
+                     help="also (or only) serve HTTP/1.1 on PORT: "
+                          "POST /v1/plan, POST /v1/events/*, "
+                          "GET /healthz, GET /metrics (Prometheus)")
     srv.add_argument("--host", default="127.0.0.1",
-                     help="TCP bind address (with --port; default "
-                          "127.0.0.1)")
+                     help="TCP bind address (with --port/--http; "
+                          "default 127.0.0.1)")
     srv.add_argument("--max-queue-depth", type=int, default=64,
                      help="distinct in-flight requests per cluster "
                           "before the overflow policy applies")
@@ -512,11 +517,24 @@ def build_parser() -> argparse.ArgumentParser:
                      default="wait",
                      help="over-limit callers wait for a slot or get "
                           "an immediate error")
+    srv.add_argument("--fairness", choices=("fair", "fifo"),
+                     default="fair",
+                     help="drain lanes by weighted round-robin over "
+                          "client_id (default) or strict arrival order")
+    srv.add_argument("--max-batch", type=int, default=16,
+                     help="most requests per drain batch; smaller "
+                          "bounds a quiet client's wait behind a "
+                          "chatty one (default 16)")
+    srv.add_argument("--client-weight", action="append", default=None,
+                     metavar="NAME=WEIGHT",
+                     help="round-robin weight for a client_id "
+                          "(repeatable; default 1 each)")
     srv.set_defaults(fn=cmd_serve)
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point: dispatch a subcommand, keep errors friendly."""
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

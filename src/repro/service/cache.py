@@ -141,6 +141,8 @@ class CacheStats:
 
 @dataclass
 class _Entry:
+    """One cached plan and the bandwidth epoch it was searched under."""
+
     bandwidth_fp: str
     result: PipetteResult
 
@@ -248,6 +250,46 @@ class PlanCache:
         with self._lock:
             self._store.clear()
             self._record_clear()
+
+    # ------------------------------------------------------------- metrics
+
+    def attach_metrics(self, metrics, cluster: str) -> None:
+        """Export this cache's counters on a metrics registry.
+
+        Every series is *pull-bound* to the live :class:`CacheStats`
+        fields (and entry count), so a scrape of ``/metrics`` and a
+        read of :attr:`stats` always report the same numbers — there
+        is no second set of counters to fall out of step.  All caches
+        of a fleet share the same families, distinguished by the
+        ``cluster`` label; attaching the same cluster twice raises
+        (two owners must not claim one series).
+
+        Args:
+            metrics: a :class:`repro.service.metrics.MetricsRegistry`.
+            cluster: label value identifying this cache's cluster.
+        """
+        bound = (
+            ("pipette_cache_hits_total",
+             "Plan-cache lookups served from the store.",
+             lambda: self.stats.hits),
+            ("pipette_cache_misses_total",
+             "Plan-cache lookups that found no live entry.",
+             lambda: self.stats.misses),
+            ("pipette_cache_stale_drops_total",
+             "Cached plans retired because their bandwidth epoch "
+             "no longer matched.",
+             lambda: self.stats.stale_drops),
+            ("pipette_cache_evictions_total",
+             "Cached plans displaced by the LRU capacity bound.",
+             lambda: self.stats.evictions),
+        )
+        for name, documentation, fn in bound:
+            metrics.counter(name, documentation,
+                            ("cluster",)).labels(cluster=cluster).bind(fn)
+        metrics.gauge(
+            "pipette_cache_entries", "Live plans in the cache.",
+            ("cluster",)).labels(cluster=cluster).set_function(
+                lambda: len(self))
 
     # ------------------------------------------------- persistence hooks
 

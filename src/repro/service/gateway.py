@@ -33,7 +33,21 @@ serializing the fleet:
 * **fenced elastic events** — :meth:`PlanGateway.update_bandwidth` and
   :meth:`PlanGateway.fail_nodes` acquire the lane's fence, so an
   epoch roll lands *between* drain batches, never under one, and the
-  service's own lock makes the adoption atomic.
+  service's own lock makes the adoption atomic;
+* **per-client fairness** — each lane's queue is a weighted
+  round-robin over per-client sub-queues (:class:`_FairQueue`), and
+  drain batches are bounded by ``max_batch``: a chatty client that
+  floods a lane with distinct requests fills *its own* sub-queue, and
+  every batch still interleaves the other clients' work at their
+  weights, so a quiet client's tail latency is bounded by a couple of
+  batch times instead of the chatty client's whole backlog (see
+  ``benchmarks/bench_http.py`` for the measured bound);
+* **metrics** — constructed with a
+  :class:`~repro.service.metrics.MetricsRegistry`, the gateway exports
+  per-cluster request outcomes, plan-latency histograms, lane queue
+  depths, and elastic-event counts; the ``GatewayStats`` counters are
+  pull-bound, so ``/metrics`` and :attr:`PlanGateway.stats` always
+  agree (the catalog lives in ``docs/SERVING.md``).
 
 Use as an async context manager::
 
@@ -46,6 +60,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
@@ -53,6 +68,7 @@ from functools import partial
 from repro.cluster.fabric import BandwidthMatrix
 from repro.core.configurator import PipetteResult, RankedConfig
 from repro.service.cache import PlanRequest
+from repro.service.metrics import MetricsRegistry
 from repro.service.planner import PlanningService, PlanResponse
 from repro.service.registry import ClusterRegistry
 from repro.service.replan import DEFAULT_DRIFT_THRESHOLD
@@ -123,15 +139,157 @@ class GatewayResponse:
         return self.response.result
 
 
+class _FairQueue:
+    """Weighted round-robin queue over per-client FIFO sub-queues.
+
+    Items enqueue under a client id; :meth:`get_nowait` serves clients
+    in rotation, each getting up to its weight of consecutive items
+    per visit before the rotation moves on.  Within one client, order
+    stays FIFO.  With ``fairness="fifo"`` every item lands in a single
+    sub-queue and the structure degenerates to a plain FIFO — the
+    pre-fairness gateway behaviour, kept selectable so the two
+    policies can be A/B'd under the same load.
+
+    Single-event-loop use only (the gateway's); no internal locking.
+    """
+
+    def __init__(self, weights: "dict[str, int] | None" = None,
+                 fairness: str = "fair") -> None:
+        self._weights = {str(k): int(v) for k, v in (weights or {}).items()}
+        self._fair = fairness == "fair"
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+        self._rotation: "deque[str]" = deque()
+        self._credit = 0
+        self._size = 0
+        self._getters: "deque[asyncio.Future]" = deque()
+
+    def qsize(self) -> int:
+        """Items currently queued across all clients."""
+        return self._size
+
+    def _weight(self, client: str) -> int:
+        return max(1, self._weights.get(client, 1))
+
+    def put_nowait(self, item, client: str = "") -> None:
+        """Enqueue ``item`` under ``client``'s sub-queue."""
+        if not self._fair:
+            client = ""
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = deque()
+            self._queues[client] = queue
+            self._rotation.append(client)
+            if len(self._rotation) == 1:
+                self._credit = self._weight(client)
+        queue.append(item)
+        self._size += 1
+        self._wake_next()
+
+    def get_nowait(self):
+        """The next item by weighted round-robin (or ``QueueEmpty``)."""
+        if self._size == 0:
+            raise asyncio.QueueEmpty
+        client = self._rotation[0]
+        queue = self._queues[client]
+        item = queue.popleft()
+        self._size -= 1
+        self._credit -= 1
+        if not queue:
+            # An idle client leaves the rotation entirely — it must
+            # not be visited (or keep credit) while it has nothing
+            # queued, and it re-enters at the back when it returns.
+            del self._queues[client]
+            self._rotation.popleft()
+            if self._rotation:
+                self._credit = self._weight(self._rotation[0])
+        elif self._credit <= 0:
+            self._rotation.rotate(-1)
+            self._credit = self._weight(self._rotation[0])
+        return item
+
+    async def get(self):
+        """Wait for and return the next item (round-robin order)."""
+        while self._size == 0:
+            getter = asyncio.get_running_loop().create_future()
+            self._getters.append(getter)
+            try:
+                await getter
+            except BaseException:
+                getter.cancel()
+                try:
+                    self._getters.remove(getter)
+                except ValueError:
+                    pass
+                if self._size and not getter.cancelled():
+                    # This getter was woken and then cancelled: pass
+                    # the wakeup on so the put is not lost.
+                    self._wake_next()
+                raise
+        return self.get_nowait()
+
+    def _wake_next(self) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.done():
+                getter.set_result(None)
+                break
+
+
 class _Lane:
     """Per-cluster queue, admission bound, fence, and drain task."""
 
-    def __init__(self, name: str, max_depth: int) -> None:
+    def __init__(self, name: str, max_depth: int,
+                 weights: "dict[str, int] | None" = None,
+                 fairness: str = "fair") -> None:
         self.name = name
-        self.queue: "asyncio.Queue" = asyncio.Queue()
+        self.queue = _FairQueue(weights, fairness)
         self.slots = asyncio.Semaphore(max_depth)
         self.fence = asyncio.Lock()
         self.task: "asyncio.Task | None" = None
+
+
+class _GatewayInstruments:
+    """The gateway's exported series on one metrics registry.
+
+    ``GatewayStats`` counters are pull-bound (``/metrics`` reads the
+    same integers :attr:`PlanGateway.stats` holds); per-request
+    outcomes and latency are event-driven because no stats object
+    records them.
+    """
+
+    def __init__(self, metrics: MetricsRegistry,
+                 stats: GatewayStats) -> None:
+        self.requests = metrics.counter(
+            "pipette_requests_total",
+            "Plan requests answered through the gateway, by cluster "
+            "and outcome (hit/miss/deduped/coalesced/error/rejected/"
+            "failed).",
+            ("cluster", "outcome"))
+        self.latency = metrics.histogram(
+            "pipette_plan_latency_seconds",
+            "Per-caller submit-to-answer wall time through the "
+            "gateway, queue wait included.",
+            ("cluster",))
+        self.queue_depth = metrics.gauge(
+            "pipette_lane_queue_depth",
+            "Requests queued on the cluster's lane, not yet in a "
+            "drain batch.",
+            ("cluster",))
+        self.events = metrics.counter(
+            "pipette_events_total",
+            "Elastic events applied through the gateway, by kind "
+            "(bandwidth/failure).",
+            ("cluster", "kind"))
+        self.retired = metrics.counter(
+            "pipette_plans_retired_total",
+            "Cached plans retired by elastic events.",
+            ("cluster",))
+        for field in ("submitted", "coalesced", "rejected", "batches",
+                      "answered"):
+            metrics.counter(
+                f"pipette_gateway_{field}_total",
+                f"GatewayStats.{field}, exported live.",
+            ).bind(partial(getattr, stats, field))
 
 
 class PlanGateway:
@@ -149,21 +307,54 @@ class PlanGateway:
         drain_workers: threads for running synchronous drains; at
             least one per concurrently-busy cluster to keep lanes
             independent.  Defaults to 8.
+        fairness: ``"fair"`` (default) drains each lane by weighted
+            round-robin over ``client_id``\\ s, so one chatty client
+            cannot starve a lane; ``"fifo"`` restores strict arrival
+            order.
+        max_batch: most requests a single drain batch may carry.
+            Smaller batches answer sooner and interleave clients more
+            finely (fairness bites *between* batches — every future in
+            a batch resolves when the whole batch's drain returns);
+            larger batches amortize drain overhead.
+        client_weights: round-robin weight per ``client_id`` (default
+            1 each); a weight-3 client gets up to three consecutive
+            items per rotation visit.
+        metrics: a :class:`~repro.service.metrics.MetricsRegistry` to
+            export gateway series on; ``None`` disables metrics.
     """
 
     def __init__(self, registry: ClusterRegistry, *,
                  max_queue_depth: int = 64, overflow: str = "wait",
-                 drain_workers: int | None = None) -> None:
+                 drain_workers: int | None = None, fairness: str = "fair",
+                 max_batch: int = 16,
+                 client_weights: "dict[str, int] | None" = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if overflow not in ("wait", "reject"):
             raise ValueError(f"unknown overflow policy {overflow!r}; "
                              "choose 'wait' or 'reject'")
         if max_queue_depth < 1:
             raise ValueError(
                 f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if fairness not in ("fair", "fifo"):
+            raise ValueError(f"unknown fairness policy {fairness!r}; "
+                             "choose 'fair' or 'fifo'")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        for client, weight in (client_weights or {}).items():
+            if int(weight) < 1:
+                raise ValueError(
+                    f"client weight must be >= 1, got {weight} "
+                    f"for {client!r}")
         self.registry = registry
         self.max_queue_depth = int(max_queue_depth)
         self.overflow = overflow
+        self.fairness = fairness
+        self.max_batch = int(max_batch)
+        self.client_weights = dict(client_weights or {})
         self.stats = GatewayStats()
+        self.metrics = metrics
+        self._instruments = None if metrics is None else \
+            _GatewayInstruments(metrics, self.stats)
         self._drain_workers = drain_workers
         self._lanes: "dict[str, _Lane]" = {}
         self._inflight: "dict[tuple[str, str, str], asyncio.Future]" = {}
@@ -181,7 +372,8 @@ class PlanGateway:
     # ------------------------------------------------------------ planning
 
     async def plan(self, request: PlanRequest,
-                   cluster: str | None = None) -> GatewayResponse:
+                   cluster: str | None = None,
+                   client_id: str | None = None) -> GatewayResponse:
         """Answer one request; safe to call from many tasks at once.
 
         Routing matches :meth:`ClusterRegistry.plan` (pinned name or
@@ -195,6 +387,12 @@ class PlanGateway:
         :meth:`PlanningService.plan`; search failures inside a drain
         come back as ``"error"`` responses, like
         :meth:`PlanningService.drain`.
+
+        ``client_id`` is *transport* identity, not plan identity: it
+        selects the caller's fair-queue sub-queue (and round-robin
+        weight) but is deliberately absent from the request
+        fingerprint, so two clients asking the same question still
+        share one cache entry and coalesce onto one search.
         """
         if self._closed:
             raise RuntimeError("gateway is closed")
@@ -222,6 +420,10 @@ class PlanGateway:
                         self.stats.coalesced -= 1
                         continue
                     raise  # this caller itself was cancelled
+                except BaseException:
+                    self._record(name, "failed", None)
+                    raise
+                self._record(name, "coalesced", t0)
                 return GatewayResponse(
                     cluster_name=name, response=response, coalesced=True,
                     elapsed_s=time.perf_counter() - t0)
@@ -231,6 +433,7 @@ class PlanGateway:
             try:
                 if self.overflow == "reject" and lane.slots.locked():
                     self.stats.rejected += 1
+                    self._record(name, "rejected", None)
                     raise GatewayOverloadedError(
                         f"cluster {name!r} already has "
                         f"{self.max_queue_depth} requests in flight and "
@@ -244,13 +447,32 @@ class PlanGateway:
                 # never-enqueued future so it can re-lead.
                 future.cancel()
                 raise
-            lane.queue.put_nowait((request, key, future))
+            lane.queue.put_nowait((request, key, future),
+                                  "" if client_id is None else str(client_id))
             self.stats.submitted += 1
-            # Shielded so a cancelled leader does not cancel the shared
-            # future out from under coalesced followers.
-            response = await asyncio.shield(future)
+            try:
+                # Shielded so a cancelled leader does not cancel the
+                # shared future out from under coalesced followers.
+                response = await asyncio.shield(future)
+            except asyncio.CancelledError:
+                raise
+            except BaseException:
+                self._record(name, "failed", None)
+                raise
+            self._record(name, response.status, t0)
             return GatewayResponse(cluster_name=name, response=response,
                                    elapsed_s=time.perf_counter() - t0)
+
+    def _record(self, cluster: str, outcome: str,
+                t0: "float | None") -> None:
+        """Count one answered (or refused) request on the metrics."""
+        if self._instruments is None:
+            return
+        self._instruments.requests.labels(cluster=cluster,
+                                          outcome=outcome).inc()
+        if t0 is not None:
+            self._instruments.latency.labels(cluster=cluster).observe(
+                time.perf_counter() - t0)
 
     # ------------------------------------------------------------- elastic
 
@@ -266,9 +488,11 @@ class PlanGateway:
         actually trusted.  Returns the number of retired plans.
         """
         async with self._lane(name).fence:
-            return await self._run(partial(
+            retired = await self._run(partial(
                 self.registry.update_bandwidth, name, new_bandwidth,
                 drift_threshold=drift_threshold))
+        self._record_event(name, "bandwidth", retired)
+        return retired
 
     async def fail_nodes(self, name: str, *failed_nodes: int) -> int:
         """Apply a node failure to one cluster, fenced like above.
@@ -279,8 +503,16 @@ class PlanGateway:
         plans.
         """
         async with self._lane(name).fence:
-            return await self._run(partial(
+            retired = await self._run(partial(
                 self.registry.fail_nodes, name, *failed_nodes))
+        self._record_event(name, "failure", retired)
+        return retired
+
+    def _record_event(self, cluster: str, kind: str, retired: int) -> None:
+        if self._instruments is None:
+            return
+        self._instruments.events.labels(cluster=cluster, kind=kind).inc()
+        self._instruments.retired.labels(cluster=cluster).inc(retired)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -316,10 +548,15 @@ class PlanGateway:
         self.registry.service(name)  # unknown names fail fast
         lane = self._lanes.get(name)
         if lane is None:
-            lane = _Lane(name, self.max_queue_depth)
+            lane = _Lane(name, self.max_queue_depth,
+                         weights=self.client_weights,
+                         fairness=self.fairness)
             lane.task = asyncio.get_running_loop().create_task(
                 self._drain_lane(lane))
             self._lanes[name] = lane
+            if self._instruments is not None:
+                self._instruments.queue_depth.labels(
+                    cluster=name).set_function(lane.queue.qsize)
         return lane
 
     def _drain_pool(self) -> ThreadPoolExecutor:
@@ -338,6 +575,12 @@ class PlanGateway:
     async def _drain_lane(self, lane: _Lane) -> None:
         """One cluster's drain loop: batch, fence, drain, resolve.
 
+        Batches are formed by the lane queue's weighted round-robin
+        and bounded by ``max_batch`` — both matter for fairness: every
+        future in a batch resolves only when the whole batch's drain
+        returns, so a bounded batch is what keeps one client's backlog
+        from riding along with (and delaying) everyone else's answers.
+
         The loop must outlive any single batch: whatever goes wrong
         mid-batch is delivered to that batch's futures, and the lane
         keeps draining — a dead lane would strand every later request
@@ -346,7 +589,7 @@ class PlanGateway:
         """
         while True:
             items = [await lane.queue.get()]
-            while True:
+            while len(items) < self.max_batch:
                 try:
                     items.append(lane.queue.get_nowait())
                 except asyncio.QueueEmpty:
@@ -359,9 +602,6 @@ class PlanGateway:
             except BaseException as exc:
                 for _, key, future in items:
                     self._resolve(lane, key, future, exc=exc)
-            finally:
-                for _ in items:
-                    lane.queue.task_done()
 
     async def _drain_batch(self, lane: _Lane, items: list) -> None:
         try:

@@ -1,0 +1,492 @@
+"""HTTP/1.1 front end over the planning gateway, stdlib only.
+
+The JSON-lines ``serve`` transport is fine for piping requests from a
+script, but production callers — schedulers, dashboards, a Prometheus
+scraper — speak HTTP.  :class:`HttpPlanServer` exposes the
+:class:`~repro.service.gateway.PlanGateway` over a small, hand-rolled
+HTTP/1.1 server (asyncio streams, no web framework, mirroring the
+hand-rolled JSON-lines protocol next door in ``__main__``):
+
+====================  =====================================================
+Route                 Meaning
+====================  =====================================================
+``POST /v1/plan``     answer one planning request (same JSON schema as
+                      the line protocol, plus ``"detail": true`` for the
+                      full result payload)
+``POST /v1/events/bandwidth``  adopt a re-profiled matrix on one cluster
+``POST /v1/events/failure``    apply a node failure to one cluster
+``GET /healthz``      liveness + registered clusters
+``GET /metrics``      Prometheus text exposition of the serving metrics
+====================  =====================================================
+
+Request/response schemas, curl examples, and the full metrics catalog
+live in ``docs/SERVING.md``; the layer diagram in
+``docs/ARCHITECTURE.md``.
+
+Design constraints, in order:
+
+* **same answers as the gateway** — ``POST /v1/plan`` goes through
+  :func:`answer_payload`, the exact routine the JSON-lines server
+  uses, so a plan fetched over HTTP is byte-identical (net of
+  stopwatch fields) to a direct :meth:`PlanGateway.plan` call
+  (``benchmarks/bench_http.py`` holds the proof);
+* **bounded inputs** — request bodies are capped (``413`` beyond
+  ``max_body_bytes``), header counts are capped, and chunked bodies
+  are refused (``501``) rather than buffered unbounded;
+* **errors are answers** — malformed JSON, unknown models, and
+  unknown clusters come back as JSON error bodies with proper status
+  codes (400/404/405/413/503), never a dropped connection;
+* **keep-alive** — HTTP/1.1 connections serve many requests; each
+  connection handles its requests sequentially while separate
+  connections proceed concurrently through the gateway's lanes.
+
+``client_id`` in a plan payload feeds the gateway's weighted-fair
+lanes.  It is transport identity, not plan identity: it never enters
+the request fingerprint, so two clients asking the same question
+still share one cache entry and one search.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+import numpy as np
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.core import PipetteOptions
+from repro.model import get_model
+from repro.service.gateway import GatewayOverloadedError, PlanGateway
+from repro.service.metrics import MetricsRegistry
+from repro.service.registry import cheapest_rank_key
+from repro.units import GIB
+
+__all__ = ["HttpError", "HttpPlanServer", "answer_payload",
+           "plan_response_payload", "MAX_BODY_BYTES"]
+
+#: Default request-body cap; a plan request is a few hundred bytes,
+#: and even a full bandwidth matrix for a large fleet fits well under
+#: this.  Raise per-server via ``max_body_bytes`` if yours does not.
+MAX_BODY_BYTES = 1 << 20
+
+_JSON = "application/json; charset=utf-8"
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+
+class HttpError(Exception):
+    """An HTTP-level failure with a status code and a safe message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+# --------------------------------------------------------------- protocol
+
+
+async def answer_payload(gateway: PlanGateway, options: PipetteOptions,
+                         payload: dict):
+    """One decoded request object -> one GatewayResponse (may raise).
+
+    The single request-answering routine shared by every transport
+    (JSON lines over stdin/TCP, HTTP): a request pinned to a
+    ``"cluster"`` goes to that lane; an unpinned request is fanned
+    concurrently over every cluster and answered with the cheapest
+    feasible plan (the async twin of
+    :meth:`~repro.service.registry.ClusterRegistry.plan_cheapest`,
+    same name tie-break).  ``"client_id"`` selects the caller's
+    fair-queue lane on every path.
+    """
+    if "model" not in payload:
+        raise ValueError("request needs a 'model' (e.g. \"gpt-1.1b\")")
+    model = get_model(str(payload["model"]))
+    global_batch = int(payload.get("global_batch", 64))
+    client_id = payload.get("client_id")
+    if client_id is not None:
+        client_id = str(client_id)
+    kwargs: dict = {"options": options}
+    if payload.get("micro_batches") is not None:
+        kwargs["micro_batches"] = tuple(
+            int(m) for m in payload["micro_batches"])
+    if payload.get("memory_limit_gib") is not None:
+        kwargs["memory_limit_bytes"] = \
+            float(payload["memory_limit_gib"]) * GIB
+    registry = gateway.registry
+    name = payload.get("cluster")
+    if name is not None:
+        name = str(name)
+        request = registry.service(name).request(model, global_batch,
+                                                 **kwargs)
+        return await gateway.plan(request, cluster=name,
+                                  client_id=client_id)
+    names = registry.names
+    if not names:
+        raise ValueError("no clusters registered")
+    answers = await asyncio.gather(
+        *(gateway.plan(registry.service(n).request(model, global_batch,
+                                                   **kwargs),
+                       cluster=n, client_id=client_id)
+          for n in names),
+        return_exceptions=True)
+    ranked, errors = [], []
+    for n, answer in zip(names, answers):
+        if isinstance(answer, BaseException):
+            errors.append(f"{n}: {answer}")
+        elif answer.best is None:
+            errors.append(
+                f"{n}: {answer.response.error or 'no feasible configuration'}")
+        else:
+            ranked.append((cheapest_rank_key(answer.best, n), answer))
+    if not ranked:
+        raise RuntimeError(
+            "no cluster can serve the request: " + "; ".join(errors))
+    return min(ranked, key=lambda pair: pair[0])[1]
+
+
+def plan_response_payload(answer, payload: dict) -> dict:
+    """The JSON answer body for one GatewayResponse.
+
+    ``elapsed_ms`` is this caller's own submit-to-answer time — a
+    coalesced follower must not report its leader's full search time.
+    With ``"detail": true`` in the request, the full
+    :meth:`~repro.core.configurator.PipetteResult.to_payload` rides
+    along under ``"result"``, which is what makes byte-identity
+    through the transport testable.
+    """
+    out = {"cluster": answer.cluster_name,
+           "status": answer.status,
+           "elapsed_ms": round(answer.elapsed_s * 1e3, 3)}
+    best = answer.best
+    if best is None:
+        out["status"] = "error"
+        out["error"] = answer.response.error or "no feasible configuration"
+    else:
+        out["config"] = best.config.describe()
+        out["latency_s"] = best.estimated_latency_s
+        if best.estimated_memory_bytes is not None:
+            out["memory_gib"] = round(best.estimated_memory_bytes / GIB, 3)
+        if payload.get("detail") and answer.result is not None:
+            out["result"] = answer.result.to_payload()
+    return out
+
+
+# ----------------------------------------------------------- HTTP parsing
+
+
+async def _read_request(reader: asyncio.StreamReader, max_body: int):
+    """Parse one request off the stream.
+
+    Returns ``(method, path, version, headers, body)`` or ``None`` on
+    a clean EOF between requests; raises :class:`HttpError` for
+    malformed or over-limit input and lets connection-level failures
+    (``IncompleteReadError``, resets) propagate to the caller.
+    """
+    try:
+        request_line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise HttpError(400, f"unreadable request line ({exc})") from None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(505, f"unsupported protocol {version}")
+    headers: "dict[str, str]" = {}
+    header_lines = 0
+    while True:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as exc:
+            raise HttpError(431, f"unreadable header line ({exc})") from None
+        if line in (b"\r\n", b"\n", b""):
+            break
+        # Count header *lines*, not dict entries: duplicate names
+        # overwrite one key, and the cap must bound what a client can
+        # make us read, not what we happen to keep.
+        header_lines += 1
+        if header_lines > 100:
+            raise HttpError(431, "too many header fields")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {name.strip()!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "chunked request bodies are not supported; "
+                             "send Content-Length")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length") from None
+    if length < 0:
+        raise HttpError(400, "negative Content-Length")
+    if length > max_body:
+        raise HttpError(413, f"request body of {length} bytes exceeds "
+                             f"the {max_body}-byte limit")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target.split("?", 1)[0], version, headers, body
+
+
+def _keep_alive(version: str, headers: "dict[str, str]") -> bool:
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.0":
+        return connection == "keep-alive"
+    return connection != "close"
+
+
+def _write_response(writer: asyncio.StreamWriter, status: int, body: bytes,
+                    content_type: str, keep_alive: bool,
+                    allow: str | None = None) -> None:
+    head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    if allow is not None:
+        head.append(f"Allow: {allow}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+
+
+def _json_body(out: dict) -> bytes:
+    return json.dumps(out, sort_keys=True).encode("utf-8")
+
+
+# ------------------------------------------------------------- the server
+
+
+class HttpPlanServer:
+    """The HTTP front end: routes, dispatch, and HTTP metrics.
+
+    Args:
+        gateway: the (already entered) gateway to answer through.
+        options: search options applied to every request, like the
+            JSON-lines server.
+        metrics: registry rendered by ``GET /metrics``; created fresh
+            (and then reachable via :attr:`metrics`) when ``None``.
+            Pass the registry the gateway and cluster registry are
+            attached to, or the page will only show HTTP series.
+        max_body_bytes: request-body cap (``413`` beyond it).
+
+    Instances are handed to :func:`asyncio.start_server` via
+    :meth:`handle`; see ``cmd_serve`` in ``repro.service.__main__``
+    for the wiring, or ``tests/test_service_http.py`` for a minimal
+    in-process setup.
+    """
+
+    def __init__(self, gateway: PlanGateway, options: PipetteOptions,
+                 metrics: MetricsRegistry | None = None,
+                 max_body_bytes: int = MAX_BODY_BYTES) -> None:
+        if max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        self.gateway = gateway
+        self.options = options
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_body_bytes = int(max_body_bytes)
+        self._http_requests = self.metrics.counter(
+            "pipette_http_requests_total",
+            "HTTP requests served, by method, route, and status code.",
+            ("method", "route", "code"))
+        self._routes = {
+            ("POST", "/v1/plan"): self._plan,
+            ("POST", "/v1/events/bandwidth"): self._event_bandwidth,
+            ("POST", "/v1/events/failure"): self._event_failure,
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/metrics"): self._metrics_page,
+        }
+
+    # ------------------------------------------------------- connection
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """Serve one client connection (the start_server callback)."""
+        try:
+            while True:
+                try:
+                    parsed = await _read_request(reader, self.max_body_bytes)
+                except HttpError as exc:
+                    # The offending request (and any half-read body)
+                    # cannot be trusted as a frame boundary: answer
+                    # and close instead of resynchronizing.
+                    self._count("-", "unmatched", exc.status)
+                    _write_response(
+                        writer, exc.status,
+                        _json_body({"status": "error",
+                                    "error": exc.message}),
+                        _JSON, keep_alive=False)
+                    await writer.drain()
+                    break
+                except asyncio.IncompleteReadError:
+                    break
+                if parsed is None:
+                    break
+                method, path, version, headers, body = parsed
+                keep_alive = _keep_alive(version, headers)
+                status, content_type, out, route, allow = \
+                    await self._dispatch(method, path, body)
+                self._count(method, route, status)
+                _write_response(writer, status, out, content_type,
+                                keep_alive, allow=allow)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass  # client went away; nothing left to answer
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _count(self, method: str, route: str, status: int) -> None:
+        self._http_requests.labels(method=method, route=route,
+                                   code=str(status)).inc()
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        """Route one request -> (status, content type, body, route, allow).
+
+        The ``route`` element is the matched route template (or
+        ``"unmatched"``) so the HTTP counter's label cardinality stays
+        bounded no matter what paths clients probe.
+        """
+        handler = self._routes.get((method, path))
+        if handler is None:
+            allowed = sorted(m for m, p in self._routes if p == path)
+            if allowed:
+                return (405, _JSON,
+                        _json_body({"status": "error",
+                                    "error": f"{method} is not allowed on "
+                                             f"{path}"}),
+                        path, ", ".join(allowed))
+            return (404, _JSON,
+                    _json_body({"status": "error",
+                                "error": f"unknown route {path}; serving "
+                                         "/v1/plan, /v1/events/bandwidth, "
+                                         "/v1/events/failure, /healthz, "
+                                         "/metrics"}),
+                    "unmatched", None)
+        try:
+            status, content_type, out = await handler(body)
+        except HttpError as exc:
+            status, content_type, out = exc.status, _JSON, _json_body(
+                {"status": "error", "error": exc.message})
+        except GatewayOverloadedError as exc:
+            status, content_type, out = 503, _JSON, _json_body(
+                {"status": "error", "error": str(exc)})
+        except (ValueError, TypeError, KeyError, RuntimeError,
+                json.JSONDecodeError) as exc:
+            # Bad operands (unknown model/cluster, wrongly-typed
+            # fields, no feasible cluster) are the caller's problem.
+            status, content_type, out = 400, _JSON, _json_body(
+                {"status": "error", "error": str(exc)})
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — the 500 boundary
+            status, content_type, out = 500, _JSON, _json_body(
+                {"status": "error",
+                 "error": f"internal error: {exc}"})
+        return status, content_type, out, path, None
+
+    def _json_payload(self, body: bytes) -> dict:
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"request body is not JSON: {exc}") \
+                from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+    # ----------------------------------------------------------- routes
+
+    async def _plan(self, body: bytes):
+        payload = self._json_payload(body)
+        answer = await answer_payload(self.gateway, self.options, payload)
+        out = plan_response_payload(answer, payload)
+        if "id" in payload:
+            out["id"] = payload["id"]
+        return 200, _JSON, _json_body(out)
+
+    async def _event_bandwidth(self, body: bytes):
+        payload = self._json_payload(body)
+        name = self._cluster_name(payload)
+        service = self.gateway.registry.service(name)
+        if "matrix" in payload:
+            matrix = np.asarray(payload["matrix"], dtype=float)
+            alpha = np.asarray(payload["alpha"], dtype=float) \
+                if "alpha" in payload else service.bandwidth.alpha.copy()
+            new = BandwidthMatrix(matrix=matrix, alpha=alpha)
+        elif "scale" in payload:
+            factor = float(payload["scale"])
+            if not factor > 0:
+                raise HttpError(400, f"scale must be positive, got {factor}")
+            matrix = service.bandwidth.matrix.copy()
+            finite = np.isfinite(matrix)
+            matrix[finite] *= factor
+            new = BandwidthMatrix(matrix=matrix,
+                                  alpha=service.bandwidth.alpha.copy())
+        else:
+            raise HttpError(400, "bandwidth event needs a full 'matrix' "
+                                 "(GB/s, Inf diagonal) or a 'scale' factor")
+        kwargs = {}
+        if payload.get("drift_threshold") is not None:
+            kwargs["drift_threshold"] = float(payload["drift_threshold"])
+        epoch_before = service.bandwidth_fp
+        retired = await self.gateway.update_bandwidth(name, new, **kwargs)
+        # Adoption is an epoch roll, nothing else: a sub-threshold
+        # re-profile is discarded as measurement wiggle (retired == 0
+        # AND the fingerprint stayed put), while an adopted matrix
+        # over an empty cache also retires nothing but *does* roll.
+        return 200, _JSON, _json_body(
+            {"cluster": name, "retired": retired,
+             "adopted": service.bandwidth_fp != epoch_before,
+             "epoch": service.bandwidth_fp})
+
+    async def _event_failure(self, body: bytes):
+        payload = self._json_payload(body)
+        name = self._cluster_name(payload)
+        nodes = payload.get("nodes")
+        if nodes is None:
+            raise HttpError(400, "failure event needs 'nodes' "
+                                 "(a node index or list of them)")
+        if isinstance(nodes, (int, float)):
+            nodes = [nodes]
+        failed = [int(n) for n in nodes]
+        retired = await self.gateway.fail_nodes(name, *failed)
+        service = self.gateway.registry.service(name)
+        return 200, _JSON, _json_body(
+            {"cluster": name, "failed_nodes": failed, "retired": retired,
+             "surviving_nodes": service.cluster.n_nodes,
+             "epoch": service.bandwidth_fp})
+
+    def _cluster_name(self, payload: dict) -> str:
+        name = payload.get("cluster")
+        if name is None:
+            raise HttpError(400, "event needs a 'cluster' name")
+        return str(name)
+
+    async def _healthz(self, body: bytes):
+        stats = self.gateway.stats
+        return 200, _JSON, _json_body(
+            {"status": "ok",
+             "clusters": self.gateway.registry.names,
+             "submitted": stats.submitted,
+             "coalesced": stats.coalesced,
+             "rejected": stats.rejected})
+
+    async def _metrics_page(self, body: bytes):
+        return (200, MetricsRegistry.CONTENT_TYPE,
+                self.metrics.render().encode("utf-8"))

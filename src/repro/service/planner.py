@@ -381,6 +381,39 @@ class PlanningService:
                                    self.bandwidth_fp, report.cold_result)
             return report
 
+    # --------------------------------------------------------------- metrics
+
+    def attach_metrics(self, metrics, cluster: str) -> None:
+        """Export this service's counters on a metrics registry.
+
+        Attaches the plan cache (:meth:`PlanCache.attach_metrics`) and
+        the service's own series under the ``cluster`` label.  All
+        series are pull-bound to the live state, so ``/metrics`` and
+        :attr:`stats` cannot disagree.
+
+        Args:
+            metrics: a :class:`repro.service.metrics.MetricsRegistry`.
+            cluster: label value identifying this cluster.
+        """
+        self.cache.attach_metrics(metrics, cluster)
+        metrics.counter(
+            "pipette_service_submitted_total",
+            "Plan tickets issued by the planning service "
+            "(inline plans included).",
+            ("cluster",)).labels(cluster=cluster).bind(
+                lambda: self._submitted)
+        metrics.gauge(
+            "pipette_profiled_models",
+            "Per-model compute profiles held by the service.",
+            ("cluster",)).labels(cluster=cluster).set_function(
+                lambda: len(self._profiles))
+        metrics.gauge(
+            "pipette_cluster_gpus",
+            "GPUs the service currently plans for (shrinks on "
+            "node failure).",
+            ("cluster",)).labels(cluster=cluster).set_function(
+                lambda: self.cluster.n_gpus)
+
     # ---------------------------------------------------------------- stats
 
     @property

@@ -93,6 +93,7 @@ class ClusterRegistry:
     def __init__(self, executor: CandidateExecutor | None = None) -> None:
         self.executor = executor
         self._services: "OrderedDict[str, PlanningService]" = OrderedDict()
+        self._metrics = None
         # Guards membership only.  Routing and draining take a snapshot
         # of the table and then rely on each service's own lock, so a
         # long drain on one cluster never blocks registering another.
@@ -119,10 +120,20 @@ class ClusterRegistry:
             return list(self._services.items())
 
     def register(self, name: str, service: PlanningService) -> PlanningService:
-        """Adopt an existing service under ``name``."""
+        """Adopt an existing service under ``name``.
+
+        If metrics were attached (:meth:`attach_metrics`), the new
+        service is exported immediately under its cluster name — and
+        *before* the membership mutation, so a failed attach (e.g.
+        re-registering a name whose series are still bound to an
+        unregistered predecessor) leaves the registry unchanged
+        instead of half-registered.
+        """
         with self._lock:
             if name in self._services:
                 raise ValueError(f"cluster {name!r} is already registered")
+            if self._metrics is not None:
+                service.attach_metrics(self._metrics, name)
             self._services[name] = service
             return service
 
@@ -288,6 +299,28 @@ class ClusterRegistry:
         Returns the number of retired plans.
         """
         return self.service(name).apply_failure(*failed_nodes)
+
+    # ------------------------------------------------------------- metrics
+
+    def attach_metrics(self, metrics) -> None:
+        """Export every registered service on a metrics registry.
+
+        Each service attaches under its registered name as the
+        ``cluster`` label (:meth:`PlanningService.attach_metrics`);
+        services registered *after* this call attach automatically.
+        Unregistering a cluster does not retract its series — they
+        keep reporting the detached service's last state, matching
+        Prometheus' convention that series disappear on restart, not
+        mid-flight.
+
+        Args:
+            metrics: a :class:`repro.service.metrics.MetricsRegistry`.
+        """
+        with self._lock:
+            self._metrics = metrics
+            items = list(self._services.items())
+        for name, service in items:
+            service.attach_metrics(metrics, name)
 
     # --------------------------------------------------------------- stats
 

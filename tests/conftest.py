@@ -8,6 +8,8 @@ integration tests that need them.
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.cluster import Fabric, HeterogeneityModel, NetworkProfiler
@@ -70,3 +72,48 @@ def tiny_network(tiny_fabric):
 def tiny_compute(tiny_cluster) -> ComputeTimeModel:
     """Compute-time model of the tiny cluster's GPU."""
     return ComputeTimeModel(gpu=tiny_cluster.node.gpu)
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> dict:
+    """Prometheus text format -> ``{(name, labels frozenset): value}``.
+
+    Deliberately strict: every non-comment line must be a well-formed
+    sample, every sample's metric must have been declared by ``# TYPE``
+    first (histogram ``_bucket``/``_sum``/``_count`` suffixes resolve
+    to their family), so a test that parses the page also validates
+    the exposition format.
+    """
+    declared: "set[str]" = set()
+    samples: dict = {}
+    for line in text.splitlines():
+        if not line.strip():
+            raise AssertionError("blank line inside exposition")
+        if line.startswith("# TYPE "):
+            declared.add(line.split()[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name, labels, value = match.groups()
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in declared or family in declared, \
+            f"sample {name} has no preceding # TYPE"
+        pairs = frozenset(
+            (label, raw.replace('\\"', '"').replace("\\n", "\n")
+             .replace("\\\\", "\\"))
+            for label, raw in _LABEL_PAIR_RE.findall(labels or ""))
+        key = (name, pairs)
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = float(value.replace("+Inf", "inf"))
+    return samples
+
+
+def metric_value(samples: dict, name: str, **labels) -> float:
+    """One sample from :func:`parse_prometheus` output (0.0 if absent)."""
+    return samples.get((name, frozenset(labels.items())), 0.0)

@@ -1,0 +1,59 @@
+"""Docs stay navigable: every relative link in the tree must resolve.
+
+Markdown links rot silently — a renamed file or a moved doc breaks
+readers without breaking any code.  This check walks README.md and
+everything under docs/ and asserts that each relative link target
+(file or directory) exists, so tier-1 tests (and the CI link-check
+step) catch the rot at the PR that introduces it.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Inline markdown links: [text](target).  Reference-style links and
+#: autolinks are rare enough here not to bother with.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _doc_files() -> "list[Path]":
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return files
+
+
+def _relative_links(path: Path) -> "list[str]":
+    return [target for target in _LINK_RE.findall(path.read_text())
+            if not target.startswith(_EXTERNAL_PREFIXES)]
+
+
+def test_docs_tree_exists():
+    for path in _doc_files():
+        assert path.exists(), f"missing doc {path.relative_to(ROOT)}"
+
+
+@pytest.mark.parametrize("doc", _doc_files(),
+                         ids=lambda p: str(p.relative_to(ROOT)))
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _relative_links(doc):
+        resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, \
+        f"{doc.relative_to(ROOT)} has broken relative links: {broken}"
+
+
+def test_docs_actually_link_each_other():
+    # The docs tree is one tree, not islands: the README links both
+    # docs, and each doc links its sibling.
+    readme_links = _relative_links(ROOT / "README.md")
+    assert "docs/ARCHITECTURE.md" in readme_links
+    assert "docs/SERVING.md" in readme_links
+    assert "SERVING.md" in _relative_links(ROOT / "docs" / "ARCHITECTURE.md")
+    assert "ARCHITECTURE.md" in _relative_links(ROOT / "docs" / "SERVING.md")

@@ -542,6 +542,157 @@ class TestResilience:
         assert follower_answer.status == "miss"  # re-led, not orphaned
 
 
+class TestFairQueue:
+    def _drain(self, queue):
+        items = []
+        while True:
+            try:
+                items.append(queue.get_nowait())
+            except asyncio.QueueEmpty:
+                return items
+
+    def test_round_robin_interleaves_clients(self):
+        from repro.service.gateway import _FairQueue
+
+        queue = _FairQueue()
+        for i in range(3):
+            queue.put_nowait(f"a{i}", "a")
+        for i in range(3):
+            queue.put_nowait(f"b{i}", "b")
+        assert self._drain(queue) == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_weights_give_proportional_share(self):
+        from repro.service.gateway import _FairQueue
+
+        queue = _FairQueue(weights={"vip": 2})
+        for i in range(4):
+            queue.put_nowait(f"v{i}", "vip")
+            queue.put_nowait(f"p{i}", "pleb")
+        assert self._drain(queue) == [
+            "v0", "v1", "p0", "v2", "v3", "p1", "p2", "p3"]
+
+    def test_fifo_mode_keeps_arrival_order(self):
+        from repro.service.gateway import _FairQueue
+
+        queue = _FairQueue(fairness="fifo")
+        queue.put_nowait("a0", "a")
+        queue.put_nowait("a1", "a")
+        queue.put_nowait("b0", "b")
+        queue.put_nowait("a2", "a")
+        assert self._drain(queue) == ["a0", "a1", "b0", "a2"]
+
+    def test_idle_client_leaves_rotation_and_rejoins_at_back(self):
+        from repro.service.gateway import _FairQueue
+
+        queue = _FairQueue()
+        queue.put_nowait("a0", "a")
+        queue.put_nowait("b0", "b")
+        assert queue.get_nowait() == "a0"  # "a" is now idle
+        queue.put_nowait("c0", "c")
+        queue.put_nowait("a1", "a")        # rejoins *behind* b and c
+        assert self._drain(queue) == ["b0", "c0", "a1"]
+
+    def test_async_get_waits_for_put(self):
+        from repro.service.gateway import _FairQueue
+
+        async def main():
+            queue = _FairQueue()
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0.01)
+            assert not getter.done()
+            queue.put_nowait("x", "a")
+            return await asyncio.wait_for(getter, timeout=1)
+
+        assert run(main()) == "x"
+
+
+class TestFairness:
+    def _stubbed_registry(self, toy_model, search_s=0.03):
+        """One cluster whose searches cost a fixed, known duration."""
+        registry = _registry()
+        registry.unregister("beta")
+        service = registry.service("alpha")
+        result = service.plan(service.request(toy_model, 8,
+                                              options=FAST)).result
+        import time as _time
+
+        def stub_search(request):
+            _time.sleep(search_s)
+            return result
+
+        service._search = stub_search
+        return registry, service
+
+    def test_quiet_client_not_starved_by_chatty_one(self, toy_model):
+        # A chatty client floods the lane with 12 distinct requests;
+        # a quiet client then asks one question.  Under weighted
+        # round-robin with bounded batches the quiet request rides one
+        # of the next two batches instead of waiting for the whole
+        # hostile backlog — so strictly fewer batches run before its
+        # answer than under FIFO.
+        def scenario(fairness):
+            registry, service = self._stubbed_registry(toy_model)
+            answered_before = []
+
+            async def main():
+                async with PlanGateway(registry, fairness=fairness,
+                                       max_batch=2) as gateway:
+                    chatty = [
+                        asyncio.ensure_future(gateway.plan(
+                            service.request(toy_model, 16 + 8 * i,
+                                            options=FAST),
+                            client_id="chatty"))
+                        for i in range(12)]
+                    await asyncio.sleep(0.02)  # flood is queued/draining
+                    quiet = await gateway.plan(
+                        service.request(toy_model, 2048, options=FAST),
+                        client_id="quiet")
+                    answered_before.append(gateway.stats.answered)
+                    await asyncio.gather(*chatty)
+                    assert quiet.best is not None
+                    return gateway.stats
+
+            stats = run(main())
+            assert stats.answered == 13  # everyone got a real answer
+            return answered_before[0]
+
+        fair_position = scenario("fair")
+        fifo_position = scenario("fifo")
+        # FIFO answers (nearly) the whole flood first; fair answers the
+        # quiet client within roughly two bounded batches of joining.
+        assert fifo_position >= 12
+        assert fair_position <= 6
+        assert fair_position < fifo_position
+
+    def test_fair_and_fifo_answer_identically(self, toy_model):
+        # Fairness reorders *when* answers arrive, never *what* they
+        # are: both policies must produce byte-identical plans.
+        def collect(fairness):
+            registry = _registry()
+            requests = [registry.service("alpha").request(
+                toy_model, batch, options=FAST) for batch in (16, 32, 64)]
+
+            async def main():
+                async with PlanGateway(registry, fairness=fairness,
+                                       max_batch=2) as gateway:
+                    return await asyncio.gather(*(
+                        gateway.plan(request, client_id=f"c{i}")
+                        for i, request in enumerate(requests)))
+
+            return [_payload_bytes(a.result) for a in run(main())]
+
+        assert collect("fair") == collect("fifo")
+
+    def test_invalid_fairness_configuration_rejected(self):
+        registry = _registry()
+        with pytest.raises(ValueError, match="fairness"):
+            PlanGateway(registry, fairness="random")
+        with pytest.raises(ValueError, match="max_batch"):
+            PlanGateway(registry, max_batch=0)
+        with pytest.raises(ValueError, match="client weight"):
+            PlanGateway(registry, client_weights={"a": 0})
+
+
 class TestForService:
     def test_single_service_wrapper(self, tiny_cluster, tiny_network,
                                     toy_model):

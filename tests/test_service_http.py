@@ -1,0 +1,427 @@
+"""The HTTP front end: routes, edge cases, identity, keep-alive.
+
+The identity contract extends the gateway's: a plan fetched through
+``POST /v1/plan`` (with ``"detail": true``) must be byte-identical —
+via ``to_payload``, net of stopwatch fields — to a serial drain of a
+fresh single-caller service.  HTTP is a transport; it must never
+change answers.
+"""
+
+import asyncio
+import json
+
+import pytest
+from conftest import metric_value, parse_prometheus
+
+from repro.cluster import Fabric, HeterogeneityModel, NetworkProfiler
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.core import PipetteOptions
+from repro.service import (
+    ClusterRegistry,
+    HttpPlanServer,
+    MetricsRegistry,
+    PlanGateway,
+    PlanningService,
+)
+from repro.units import GIB
+
+FAST = PipetteOptions(use_worker_dedication=False)
+
+_STOPWATCH_FIELDS = ("memory_check_s", "annealing_s", "total_s")
+
+
+def _payload_bytes(payload: dict) -> str:
+    payload = dict(payload)
+    for field in _STOPWATCH_FIELDS:
+        payload.pop(field, None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def _cluster(name: str, n_nodes: int = 2) -> ClusterSpec:
+    gpu = GpuSpec(name=f"{name}-GPU", memory_bytes=4 * GIB,
+                  peak_flops=10e12, achievable_fraction=0.5, hbm_gb_s=500.0)
+    node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                    intra_link=LinkSpec("NVL", 100.0, alpha_s=1e-6))
+    return ClusterSpec(name=name, n_nodes=n_nodes, node=node,
+                       inter_link=LinkSpec("IB", 10.0, alpha_s=1e-5))
+
+
+def _registry() -> ClusterRegistry:
+    registry = ClusterRegistry()
+    for name, seed in (("alpha", 1), ("beta", 2)):
+        cluster = _cluster(name)
+        fabric = Fabric(cluster, heterogeneity=HeterogeneityModel(),
+                        seed=seed)
+        bandwidth = NetworkProfiler(n_rounds=2).profile(
+            fabric, seed=seed).bandwidth
+        registry.add_cluster(name, cluster, bandwidth)
+    return registry
+
+
+class _Server:
+    """An in-process HTTP front end over a fresh gateway."""
+
+    def __init__(self, registry: ClusterRegistry, *,
+                 max_body_bytes: int = 1 << 20, **gateway_kwargs) -> None:
+        self.registry = registry
+        self.metrics = MetricsRegistry()
+        self.registry.attach_metrics(self.metrics)
+        self._gateway_kwargs = gateway_kwargs
+        self._max_body_bytes = max_body_bytes
+        self.port = None
+
+    async def __aenter__(self) -> "_Server":
+        self.gateway = PlanGateway(self.registry, metrics=self.metrics,
+                                   **self._gateway_kwargs)
+        await self.gateway.__aenter__()
+        front = HttpPlanServer(self.gateway, FAST, metrics=self.metrics,
+                               max_body_bytes=self._max_body_bytes)
+        self.server = await asyncio.start_server(
+            front.handle, host="127.0.0.1", port=0)
+        self.port = self.server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.server.close()
+        await self.server.wait_closed()
+        await self.gateway.__aexit__(*exc)
+
+
+async def _read_response(reader) -> "tuple[int, dict, bytes]":
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return status, headers, body
+
+
+async def _request(port: int, method: str, path: str, body=None,
+                   raw_body: bytes | None = None):
+    """One-shot request over its own connection -> (status, headers, body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = raw_body if raw_body is not None else (
+        b"" if body is None else json.dumps(body).encode("utf-8"))
+    writer.write((f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+                  f"Content-Length: {len(data)}\r\n"
+                  "Connection: close\r\n\r\n").encode() + data)
+    await writer.drain()
+    try:
+        return await _read_response(reader)
+    finally:
+        writer.close()
+
+
+def _json(body: bytes) -> dict:
+    return json.loads(body.decode("utf-8"))
+
+
+class TestRoutes:
+    def test_healthz(self):
+        async def main():
+            async with _Server(_registry()) as server:
+                return await _request(server.port, "GET", "/healthz")
+
+        status, headers, body = asyncio.run(main())
+        assert status == 200
+        assert headers["content-type"].startswith("application/json")
+        out = _json(body)
+        assert out["status"] == "ok"
+        assert out["clusters"] == ["alpha", "beta"]
+
+    def test_plan_pinned_then_cached(self, toy_model):
+        payload = {"model": "gpt-toy", "global_batch": 32,
+                   "cluster": "alpha", "id": "job-9"}
+
+        async def main():
+            async with _Server(_registry()) as server:
+                first = await _request(server.port, "POST", "/v1/plan",
+                                       payload)
+                second = await _request(server.port, "POST", "/v1/plan",
+                                        payload)
+                return first, second
+
+        (s1, _, b1), (s2, _, b2) = asyncio.run(main())
+        assert s1 == s2 == 200
+        first, second = _json(b1), _json(b2)
+        assert first["status"] == "miss"
+        assert second["status"] == "hit"
+        assert first["id"] == "job-9"
+        assert first["cluster"] == "alpha"
+        assert first["config"] == second["config"]
+        assert "latency_s" in first
+
+    def test_unpinned_plan_fans_to_cheapest(self, toy_model):
+        async def main():
+            async with _Server(_registry()) as server:
+                return await _request(server.port, "POST", "/v1/plan",
+                                      {"model": "gpt-toy",
+                                       "global_batch": 32})
+
+        status, _, body = asyncio.run(main())
+        assert status == 200
+        assert _json(body)["cluster"] in ("alpha", "beta")
+
+    def test_failure_event_shrinks_cluster(self, toy_model):
+        async def main():
+            async with _Server(_registry()) as server:
+                await _request(server.port, "POST", "/v1/plan",
+                               {"model": "gpt-toy", "global_batch": 32,
+                                "cluster": "alpha"})
+                status, _, body = await _request(
+                    server.port, "POST", "/v1/events/failure",
+                    {"cluster": "alpha", "nodes": [1]})
+                after = await _request(
+                    server.port, "POST", "/v1/plan",
+                    {"model": "gpt-toy", "global_batch": 32,
+                     "cluster": "alpha", "detail": True})
+                return (status, _json(body)), after
+
+        (status, event), (after_status, _, after_body) = asyncio.run(main())
+        assert status == 200
+        assert event["retired"] == 1
+        assert event["surviving_nodes"] == 1
+        assert after_status == 200
+        after = _json(after_body)
+        assert after["status"] == "miss"  # pre-failure plan was retired
+        assert after["result"]["cluster"]["n_nodes"] == 1  # survivor world
+
+    def test_bandwidth_event_scale_retires_plans(self, toy_model):
+        async def main():
+            async with _Server(_registry()) as server:
+                await _request(server.port, "POST", "/v1/plan",
+                               {"model": "gpt-toy", "global_batch": 32,
+                                "cluster": "alpha"})
+                status, _, body = await _request(
+                    server.port, "POST", "/v1/events/bandwidth",
+                    {"cluster": "alpha", "scale": 0.5})
+                return status, _json(body)
+
+        status, event = asyncio.run(main())
+        assert status == 200
+        assert event["retired"] == 1
+        assert event["adopted"] is True
+
+    def test_sub_threshold_bandwidth_event_reports_not_adopted(self,
+                                                               toy_model):
+        # Regression: "adopted" must mean the epoch actually rolled.
+        # A 1% wiggle is discarded by the drift threshold — reporting
+        # it as adopted would tell an operator the fleet is using a
+        # matrix it threw away.
+        async def main():
+            async with _Server(_registry()) as server:
+                service = server.registry.service("alpha")
+                epoch = service.bandwidth_fp
+                status, _, body = await _request(
+                    server.port, "POST", "/v1/events/bandwidth",
+                    {"cluster": "alpha", "scale": 0.99})
+                return status, _json(body), epoch, service.bandwidth_fp
+
+        status, event, before, after = asyncio.run(main())
+        assert status == 200
+        assert event["adopted"] is False
+        assert event["retired"] == 0
+        assert before == after == event["epoch"]
+
+    def test_metrics_page_parses_with_nonzero_counters(self, toy_model):
+        async def main():
+            async with _Server(_registry()) as server:
+                await _request(server.port, "POST", "/v1/plan",
+                               {"model": "gpt-toy", "global_batch": 32,
+                                "cluster": "alpha"})
+                return await _request(server.port, "GET", "/metrics")
+
+        status, headers, body = asyncio.run(main())
+        assert status == 200
+        assert headers["content-type"] == \
+            "text/plain; version=0.0.4; charset=utf-8"
+        samples = parse_prometheus(body.decode("utf-8"))
+        assert metric_value(samples, "pipette_requests_total",
+                            cluster="alpha", outcome="miss") == 1
+        assert metric_value(samples, "pipette_http_requests_total",
+                            method="POST", route="/v1/plan",
+                            code="200") == 1
+        assert metric_value(samples, "pipette_plan_latency_seconds_count",
+                            cluster="alpha") == 1
+        assert metric_value(samples, "pipette_cache_misses_total",
+                            cluster="alpha") == 1
+
+
+class TestEdgeCases:
+    def test_malformed_json_body_is_400(self):
+        async def main():
+            async with _Server(_registry()) as server:
+                return await _request(server.port, "POST", "/v1/plan",
+                                      raw_body=b"{broken json")
+
+        status, _, body = asyncio.run(main())
+        assert status == 400
+        assert "not JSON" in _json(body)["error"]
+
+    def test_non_object_json_body_is_400(self):
+        async def main():
+            async with _Server(_registry()) as server:
+                return await _request(server.port, "POST", "/v1/plan",
+                                      body=["not", "an", "object"])
+
+        status, _, body = asyncio.run(main())
+        assert status == 400
+        assert "JSON object" in _json(body)["error"]
+
+    def test_unknown_route_is_404(self):
+        async def main():
+            async with _Server(_registry()) as server:
+                return await _request(server.port, "GET", "/nope")
+
+        status, _, body = asyncio.run(main())
+        assert status == 404
+        assert "unknown route" in _json(body)["error"]
+
+    def test_wrong_method_is_405_with_allow(self):
+        async def main():
+            async with _Server(_registry()) as server:
+                return await _request(server.port, "GET", "/v1/plan")
+
+        status, headers, body = asyncio.run(main())
+        assert status == 405
+        assert headers["allow"] == "POST"
+
+    def test_oversized_body_is_413(self):
+        async def main():
+            async with _Server(_registry(), max_body_bytes=256) as server:
+                return await _request(server.port, "POST", "/v1/plan",
+                                      raw_body=b"x" * 1000)
+
+        status, _, body = asyncio.run(main())
+        assert status == 413
+        assert "exceeds" in _json(body)["error"]
+
+    def test_unknown_model_and_cluster_are_400(self):
+        async def main():
+            async with _Server(_registry()) as server:
+                bad_model = await _request(
+                    server.port, "POST", "/v1/plan",
+                    {"model": "no-such-model"})
+                bad_cluster = await _request(
+                    server.port, "POST", "/v1/plan",
+                    {"model": "gpt-toy", "cluster": "nope"})
+                bad_event = await _request(
+                    server.port, "POST", "/v1/events/failure",
+                    {"nodes": [0]})
+                return bad_model, bad_cluster, bad_event
+
+        (s1, _, b1), (s2, _, b2), (s3, _, b3) = asyncio.run(main())
+        assert s1 == s2 == s3 == 400
+        assert "unknown model" in _json(b1)["error"]
+        assert "unknown cluster" in _json(b2)["error"]
+        assert "'cluster'" in _json(b3)["error"]
+
+    def test_duplicate_header_flood_hits_the_cap(self):
+        # Regression: the header cap must count parsed *lines*, not
+        # dict entries — duplicate names overwrite one key, so a flood
+        # of repeated headers used to stream past the bound forever.
+        async def main():
+            async with _Server(_registry()) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"GET /healthz HTTP/1.1\r\nHost: t\r\n")
+                writer.write(b"x-flood: y\r\n" * 200)
+                writer.write(b"\r\n")
+                await writer.drain()
+                try:
+                    return await _read_response(reader)
+                finally:
+                    writer.close()
+
+        status, _, body = asyncio.run(main())
+        assert status == 431
+        assert "too many header fields" in _json(body)["error"]
+
+    def test_http_errors_are_counted_with_bounded_route_label(self):
+        async def main():
+            async with _Server(_registry()) as server:
+                await _request(server.port, "GET", "/probe/one")
+                await _request(server.port, "GET", "/probe/two")
+                _, _, body = await _request(server.port, "GET", "/metrics")
+                return body
+
+        samples = parse_prometheus(asyncio.run(main()).decode("utf-8"))
+        # Probed paths collapse into one "unmatched" label value, so a
+        # port scan cannot explode the series cardinality.
+        assert metric_value(samples, "pipette_http_requests_total",
+                            method="GET", route="unmatched",
+                            code="404") == 2
+
+
+class TestKeepAlive:
+    def test_two_requests_one_connection(self, toy_model):
+        payload = json.dumps({"model": "gpt-toy", "global_batch": 32,
+                              "cluster": "alpha"}).encode()
+
+        async def main():
+            async with _Server(_registry()) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                request = (b"POST /v1/plan HTTP/1.1\r\nHost: t\r\n"
+                           b"Content-Length: %d\r\n\r\n" % len(payload)
+                           ) + payload
+                writer.write(request)
+                await writer.drain()
+                first = await _read_response(reader)
+                writer.write(request)  # same connection, still open
+                await writer.drain()
+                second = await _read_response(reader)
+                writer.close()
+                return first, second
+
+        (s1, h1, b1), (s2, _, b2) = asyncio.run(main())
+        assert s1 == s2 == 200
+        assert h1["connection"] == "keep-alive"
+        assert _json(b1)["status"] == "miss"
+        assert _json(b2)["status"] == "hit"
+
+
+class TestIdentity:
+    def test_concurrent_http_clients_match_serial_drains(self, toy_model):
+        registry = _registry()
+        jobs = []
+        for name in ("alpha", "beta"):
+            for batch in (16, 32, 16, 64):  # overlapping fingerprints
+                jobs.append((name, batch))
+
+        async def main():
+            async with _Server(registry) as server:
+                return await asyncio.gather(*(
+                    _request(server.port, "POST", "/v1/plan",
+                             {"model": "gpt-toy", "global_batch": batch,
+                              "cluster": name, "detail": True,
+                              "client_id": f"client-{i % 3}"})
+                    for i, (name, batch) in enumerate(jobs)))
+
+        answers = asyncio.run(main())
+        # Serial reference: a fresh single-caller service per cluster,
+        # draining the same tickets in submission order.
+        references = {}
+        for name in ("alpha", "beta"):
+            source = registry.service(name)
+            serial = PlanningService(source.cluster, source.bandwidth)
+            for job_name, batch in jobs:
+                if job_name == name:
+                    serial.submit(serial.request(toy_model, batch,
+                                                 options=FAST))
+            for response in serial.drain():
+                references[(name, response.ticket.fingerprint)] = \
+                    _payload_bytes(response.result.to_payload())
+        assert len(answers) == len(jobs)
+        for (name, batch), (status, _, body) in zip(jobs, answers):
+            assert status == 200
+            out = _json(body)
+            request = registry.service(name).request(toy_model, batch,
+                                                     options=FAST)
+            assert _payload_bytes(out["result"]) == \
+                references[(name, request.fingerprint())]
