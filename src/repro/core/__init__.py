@@ -2,6 +2,8 @@
 
 * :mod:`repro.core.latency_model` — the refined critical-path latency
   model (Eqs. 3-6) and the prior-art model (Eq. 1) it improves on;
+* :mod:`repro.core.latency_kernel` — the vectorized, bit-identical
+  compilation of that model the annealer's hot loop evaluates;
 * :mod:`repro.core.annealing` — simulated-annealing worker dedication
   with the paper's migration/swap/reverse move set (§IV);
 * :mod:`repro.core.memory_estimator` — the MLP-based memory estimator
@@ -16,10 +18,12 @@ from repro.core.latency_model import (
     prior_art_latency,
     latency_with_options,
 )
+from repro.core.latency_kernel import LatencyKernel, pipette_kernel
 from repro.core.annealing import (
     SAOptions,
     SAResult,
     anneal_mapping,
+    anneal_mapping_reference,
     anneal_mapping_with_restarts,
 )
 from repro.core.memory_dataset import MemoryDataset, build_memory_dataset
@@ -38,9 +42,12 @@ __all__ = [
     "pipette_latency",
     "prior_art_latency",
     "latency_with_options",
+    "LatencyKernel",
+    "pipette_kernel",
     "SAOptions",
     "SAResult",
     "anneal_mapping",
+    "anneal_mapping_reference",
     "anneal_mapping_with_restarts",
     "MemoryDataset",
     "build_memory_dataset",

@@ -16,6 +16,18 @@ The annealer works on the *block* permutation (TP groups over GPU
 slots; see :mod:`repro.parallel.mapping`), uses the temperature decay
 ``alpha = 0.999`` of the paper, and stops on an iteration budget or a
 wall-clock limit (the paper uses 10 s per candidate configuration).
+
+The loop itself operates on raw permutation arrays: moves are proposed
+into a reusable scratch buffer (no ``np.delete``/``np.insert``
+allocation pair per proposal) and a :class:`Mapping` is materialized
+only for the returned best.  When the objective is a
+:class:`~repro.core.latency_kernel.LatencyKernel` (anything exposing
+``evaluate_perm``), no ``Mapping`` is ever built inside the loop; a
+plain ``Callable[[Mapping], float]`` objective still works and sees
+one mapping per evaluation, exactly as before.  Either way the RNG
+stream and the floating-point trajectory are identical to
+:func:`anneal_mapping_reference`, the pre-kernel implementation kept
+as an executable specification.
 """
 
 from __future__ import annotations
@@ -33,6 +45,11 @@ from repro.utils.rng import resolve_rng
 #: The paper's move set.
 DEFAULT_MOVES: tuple[str, ...] = ("migrate", "swap", "reverse")
 
+#: The wall-clock budget is polled once per this many iterations; with
+#: the vectorized kernel an objective call is microseconds, so paying a
+#: ``perf_counter`` syscall per move would be measurable overhead.
+TIME_CHECK_INTERVAL: int = 32
+
 
 @dataclass(frozen=True)
 class SAOptions:
@@ -40,7 +57,9 @@ class SAOptions:
 
     Attributes:
         time_limit_s: wall-clock budget; ``None`` disables it.  The
-            paper uses 10 seconds.
+            paper uses 10 seconds.  The clock is polled every
+            :data:`TIME_CHECK_INTERVAL` iterations, so runs overshoot
+            the limit by at most that many moves.
         max_iterations: iteration budget; ``None`` disables it.  At
             least one of the two budgets must be set.
         alpha: multiplicative temperature decay per iteration (0.999
@@ -118,31 +137,67 @@ class SAResult:
         return 1.0 - self.value / self.initial_value
 
 
-def _propose(perm: np.ndarray, move: str, rng: np.random.Generator) -> np.ndarray:
-    """Apply one move to a copy of the permutation."""
+def _propose_into(out: np.ndarray, perm: np.ndarray, move: str,
+                  rng: np.random.Generator) -> None:
+    """Apply one move of ``perm`` into the scratch buffer ``out``.
+
+    ``out`` must be a distinct buffer of the same shape; it is fully
+    overwritten.  Draws from ``rng`` in exactly the order the original
+    copy-returning implementation did, so move streams are
+    reproducible across both.
+    """
     n = len(perm)
-    out = perm.copy()
+    out[:] = perm
     if n < 2:
-        return out
+        return
     if move == "swap":
         i, j = rng.choice(n, size=2, replace=False)
-        out[i], out[j] = out[j], out[i]
+        out[i], out[j] = perm[j], perm[i]
     elif move == "migrate":
+        # Remove the element at ``i`` and reinsert it at position ``j``
+        # of the shortened string — realized as two slice shifts into
+        # the scratch buffer instead of an np.delete + np.insert
+        # allocation pair.
         i = int(rng.integers(n))
         j = int(rng.integers(n - 1))
-        val = out[i]
-        out = np.delete(out, i)
-        out = np.insert(out, j, val)
+        if j >= i:
+            out[i:j] = perm[i + 1:j + 1]
+        else:
+            out[j + 1:i + 1] = perm[j:i]
+        out[j] = perm[i]
     elif move == "reverse":
         i, j = sorted(rng.choice(n + 1, size=2, replace=False))
         if j - i >= 2:
-            out[i:j] = out[i:j][::-1]
+            out[i:j] = perm[i:j][::-1]
         else:
             i2, j2 = rng.choice(n, size=2, replace=False)
-            out[i2], out[j2] = out[j2], out[i2]
+            out[i2], out[j2] = perm[j2], perm[i2]
     else:
         raise ValueError(f"unknown move {move!r}")
+
+
+def _propose(perm: np.ndarray, move: str, rng: np.random.Generator) -> np.ndarray:
+    """Apply one move to a copy of the permutation (allocating form)."""
+    out = np.empty_like(perm)
+    _propose_into(out, perm, move, rng)
     return out
+
+
+#: Probe moves drawn when deriving a starting temperature.
+TEMPERATURE_PROBES: int = 16
+
+
+def _temperature_from_spread(deltas: "list[float]", base: float) -> float:
+    """The probe-spread → starting-temperature formula.
+
+    Shared by the fast loop and the reference implementation so the
+    derivation can never drift between them (the seed-identity
+    contract needs both to land the same float).
+    """
+    spread = float(np.mean(deltas)) if deltas else 0.0
+    if spread <= 0.0:
+        spread = max(abs(base), 1.0) * 1e-3
+    return 2.0 * spread
 
 
 def _probe_temperature(initial: Mapping, objective, base: float,
@@ -150,15 +205,12 @@ def _probe_temperature(initial: Mapping, objective, base: float,
                        rng: np.random.Generator) -> float:
     """Derive a starting temperature from the local objective landscape."""
     deltas = []
-    for _ in range(16):
+    for _ in range(TEMPERATURE_PROBES):
         move = moves[int(rng.integers(len(moves)))]
         cand = initial.with_block_permutation(
             _propose(initial.block_to_slot, move, rng))
         deltas.append(abs(objective(cand) - base))
-    spread = float(np.mean(deltas)) if deltas else 0.0
-    if spread <= 0.0:
-        spread = max(abs(base), 1.0) * 1e-3
-    return 2.0 * spread
+    return _temperature_from_spread(deltas, base)
 
 
 def anneal_mapping(initial: Mapping,
@@ -170,6 +222,104 @@ def anneal_mapping(initial: Mapping,
     iteration proposes one move, evaluates the latency estimator, and
     accepts by the Metropolis criterion under a geometrically cooling
     temperature.
+
+    ``objective`` is either a plain callable on mappings or — the fast
+    path — an object exposing ``evaluate_perm(perm) -> float`` such as
+    :class:`repro.core.latency_kernel.LatencyKernel`, in which case the
+    loop never constructs a ``Mapping``.  Both paths draw the identical
+    RNG stream, so for a given seed an iteration-budgeted run's
+    accept/reject trajectory, best mapping, and value match
+    :func:`anneal_mapping_reference` exactly (bit-identical when the
+    kernel's objective values are, which
+    :mod:`repro.core.latency_kernel` guarantees).  Wall-clock-budgeted
+    runs are inherently timing-dependent in both implementations; this
+    loop additionally polls the clock only every
+    :data:`TIME_CHECK_INTERVAL` moves, so it may overshoot the limit
+    by up to that many iterations.
+    """
+    options = options or SAOptions()
+    rng = resolve_rng(options.seed)
+    start = time.perf_counter()
+
+    evaluate_perm = getattr(objective, "evaluate_perm", None)
+    if evaluate_perm is not None:
+        kernel_grid = getattr(objective, "grid", None)
+        if kernel_grid is not None and kernel_grid != initial.grid:
+            raise ValueError(
+                f"objective kernel compiled for grid {kernel_grid} cannot "
+                f"score mappings of grid {initial.grid}"
+            )
+        evaluate = lambda perm: float(evaluate_perm(perm))  # noqa: E731
+    else:
+        def evaluate(perm: np.ndarray) -> float:
+            return float(objective(initial.with_block_permutation(perm.copy())))
+
+    current = np.array(initial.block_to_slot, dtype=np.int64)
+    scratch = np.empty_like(current)
+    current_value = evaluate(current)
+    initial_value = current_value
+    best = current.copy()
+    best_value = current_value
+    history = [best_value]
+
+    temperature = options.initial_temperature
+    if temperature is None:
+        # Probe moves start from ``initial`` each time, replicating
+        # :func:`_probe_temperature` draw for draw on the permutation
+        # arrays (same move stream, same spread formula).
+        deltas = []
+        for _ in range(TEMPERATURE_PROBES):
+            move = options.moves[int(rng.integers(len(options.moves)))]
+            _propose_into(scratch, current, move, rng)
+            deltas.append(abs(evaluate(scratch) - current_value))
+        temperature = _temperature_from_spread(deltas, current_value)
+
+    iterations = accepted = 0
+    while True:
+        if options.max_iterations is not None \
+                and iterations >= options.max_iterations:
+            break
+        if options.time_limit_s is not None \
+                and iterations % TIME_CHECK_INTERVAL == 0 \
+                and time.perf_counter() - start >= options.time_limit_s:
+            break
+        move = options.moves[int(rng.integers(len(options.moves)))]
+        _propose_into(scratch, current, move, rng)
+        value = evaluate(scratch)
+        delta = value - current_value
+        if delta <= 0.0 or (temperature > 0.0
+                            and rng.random() < math.exp(-delta / temperature)):
+            current, scratch = scratch, current
+            current_value = value
+            accepted += 1
+            if value < best_value:
+                best[:] = current
+                best_value = value
+                history.append(best_value)
+        temperature *= options.alpha
+        iterations += 1
+
+    return SAResult(
+        mapping=Mapping(initial.grid, initial.cluster, best.copy()),
+        value=best_value,
+        initial_value=initial_value,
+        iterations=iterations,
+        accepted=accepted,
+        elapsed_s=time.perf_counter() - start,
+        history=history,
+    )
+
+
+def anneal_mapping_reference(initial: Mapping,
+                             objective: Callable[[Mapping], float],
+                             options: SAOptions | None = None) -> SAResult:
+    """The pre-kernel annealing loop, kept as an executable spec.
+
+    One ``Mapping`` per proposal, one ``perf_counter`` per move, the
+    original copy-returning ``_propose`` — exactly the implementation
+    :func:`anneal_mapping` replaced.  The seed-identity tests and
+    ``benchmarks/bench_annealing_kernel.py`` pin the fast path against
+    this function; it is not meant for production callers.
     """
     options = options or SAOptions()
     rng = resolve_rng(options.seed)
@@ -233,11 +383,17 @@ def anneal_mapping_with_restarts(initial: Mapping,
     run always starts from ``initial`` (the framework's default
     placement), so the result can never lose to single-run annealing
     with the same options.
+
+    The reported ``initial_value`` is always the objective of the
+    caller's ``initial`` mapping; it is taken from the first run's own
+    starting evaluation, so ``objective(initial)`` is computed exactly
+    once across the whole restart portfolio.
     """
     if n_restarts < 1:
         raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
     options = options or SAOptions()
     best: SAResult | None = None
+    initial_value: float | None = None
     for k in range(n_restarts):
         run_options = options.with_seed(options.seed + 7919 * k)
         if k == 0:
@@ -247,8 +403,12 @@ def anneal_mapping_with_restarts(initial: Mapping,
             start_mapping = random_block_mapping(
                 initial.grid, initial.cluster, seed=options.seed + 104729 * k)
         result = anneal_mapping(start_mapping, objective, run_options)
+        if k == 0:
+            # Run 0 starts at ``initial``, so its starting evaluation
+            # *is* objective(initial) — no re-evaluation needed.
+            initial_value = result.initial_value
         if best is None or result.value < best.value:
-            # Report the true improvement against the caller's start.
-            result.initial_value = float(objective(initial))
             best = result
+    # Report the true improvement against the caller's start.
+    best.initial_value = float(initial_value)
     return best

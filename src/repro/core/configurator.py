@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 from repro.cluster.fabric import BandwidthMatrix
 from repro.cluster.topology import ClusterSpec
 from repro.core.annealing import SAOptions, anneal_mapping
+from repro.core.latency_kernel import LatencyKernel, pipette_kernel
 from repro.core.latency_model import pipette_latency
 from repro.core.memory_estimator import MemoryEstimator
 from repro.model.transformer import TransformerConfig
@@ -233,9 +234,28 @@ def naive_mapping(ctx: SearchContext, config: ParallelConfig) -> Mapping:
 
 def candidate_latency(ctx: SearchContext, config: ParallelConfig,
                       mapping: Mapping) -> float:
-    """Latency-estimator value of one (configuration, mapping) pair."""
+    """Latency-estimator value of one (configuration, mapping) pair.
+
+    For a single evaluation the reference model is the right tool;
+    callers that score *many* mappings of one configuration (the SA
+    refinement, the warm re-plan polish) should compile a
+    :func:`candidate_kernel` instead and amortize its precomputation.
+    """
     return pipette_latency(ctx.model, config, mapping, ctx.bandwidth,
                            ctx.profile)
+
+
+def candidate_kernel(ctx: SearchContext,
+                     config: ParallelConfig) -> LatencyKernel:
+    """The vectorized objective for ``config``'s mapping search.
+
+    Bit-identical to :func:`candidate_latency` on every mapping (see
+    :mod:`repro.core.latency_kernel`), but evaluations after the one-off
+    precomputation are an order of magnitude cheaper — this is what the
+    annealer's hot loop runs against.
+    """
+    return pipette_kernel(ctx.model, config, ctx.cluster, ctx.bandwidth,
+                          ctx.profile)
 
 
 def memory_check_unit(payload: "tuple[SearchContext, tuple[ParallelConfig, ...]]"
@@ -272,13 +292,18 @@ def refine_unit(payload: "tuple[SearchContext, tuple]"
     the entry's rank in the deterministically sorted leaderboard) makes
     the result independent of which pool worker runs the unit.
     Returns ``(refined entry, annealing seconds)`` pairs.
+
+    Each entry's annealing runs against a compiled
+    :func:`candidate_kernel`; the kernel's bit-identical guarantee
+    keeps serial, thread-pool, and process-pool refinements — and any
+    plans cached from before the kernel existed — byte-identical.
     """
     ctx, items = payload
     out = []
     for entry, seed in items:
         result = anneal_mapping(
             entry.mapping,
-            lambda m, c=entry.config: candidate_latency(ctx, c, m),
+            candidate_kernel(ctx, entry.config),
             ctx.sa.with_seed(seed),
         )
         out.append((RankedConfig(

@@ -1,0 +1,305 @@
+"""Vectorized latency objective for the annealer hot path.
+
+Simulated annealing (§IV, Algorithm 1 lines 9-15) spends its entire
+budget calling the latency estimator: every proposed move pays a full
+:func:`repro.core.latency_model.latency_with_options` evaluation, whose
+reference implementation walks the ``(pp, tp, dp)`` communicator groups
+in nested Python loops and constructs a fresh
+:class:`~repro.parallel.mapping.Mapping` per move.
+
+For a *fixed* ``(model, config, cluster, profile, options)`` tuple,
+almost everything in Eqs. (3)-(6) is independent of the block
+permutation:
+
+* message sizes (``msg_PP``, per-stage ``msg_DP``, the tensor-parallel
+  all-reduce payload) and their alpha-beta coefficients,
+* the profiled compute scalar ``C`` (with its recompute factors),
+* the per-slot TP-group bandwidth minima (a TP group always occupies
+  one slot of ``tp`` consecutive GPUs, whichever block lands there),
+* the slot-pair bandwidth tables ``matrix[s1*tp + y, s2*tp + y]`` that
+  the pipeline-chain and data-parallel terms read through,
+* the slot-GPU and node-of-slot tables and the stage-major block
+  layout (:func:`repro.parallel.mapping.slot_gpu_index`,
+  :func:`repro.parallel.mapping.slot_node_index`,
+  :meth:`repro.parallel.mapping.WorkerGrid.stage_blocks`).
+
+:class:`LatencyKernel` hoists all of that into ``__init__`` and reduces
+one objective evaluation to a handful of NumPy gathers and reductions
+over the raw permutation array — no Python-level group loops, no
+``Mapping`` construction.
+
+**Equivalence guarantee.** The kernel is not merely close to the
+reference model: every floating-point expression mirrors the reference
+implementation's operation order (same products, same quotients, same
+reduction extrema), so ``kernel.evaluate_perm(m.block_to_slot)`` is
+*bit-identical* to ``latency_with_options(..., m, ...)`` for every
+mapping.  That is what lets :func:`repro.core.annealing.anneal_mapping`
+replay the exact accept/reject trajectory of the pre-kernel annealer
+for the same :class:`~repro.core.annealing.SAOptions` seed — cached
+plans, store round-trips, and gateway coalescing see byte-identical
+results, just computed an order of magnitude faster
+(``benchmarks/bench_annealing_kernel.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.cluster.topology import ClusterSpec
+from repro.core.latency_model import LatencyModelOptions
+from repro.model.memory import stage_layer_count
+from repro.model.transformer import TransformerConfig
+from repro.parallel.config import ParallelConfig
+from repro.parallel.mapping import (
+    Mapping,
+    WorkerGrid,
+    check_slot_geometry,
+    slot_gpu_index,
+    slot_node_index,
+)
+from repro.parallel.messages import (
+    TP_ALLREDUCES_PER_LAYER,
+    dp_message_bytes,
+    pp_message_bytes,
+    tp_allreduce_bytes,
+)
+from repro.profiling.profile_run import ComputeProfile
+from repro.units import GB
+
+
+class LatencyKernel:
+    """Compiled latency objective over block permutations.
+
+    One kernel is specialized to a fixed ``(model, config, cluster,
+    bandwidth, profile, options)`` tuple; :meth:`evaluate_perm` then
+    scores any block permutation of that shape.  The instance is also
+    callable on a :class:`~repro.parallel.mapping.Mapping`, making it a
+    drop-in SA objective — :func:`repro.core.annealing.anneal_mapping`
+    detects :meth:`evaluate_perm` and skips ``Mapping`` construction
+    entirely.
+
+    Args:
+        model: architecture being trained.
+        config: the parallelization whose mappings are scored.
+        cluster: physical cluster (defines slot/node geometry).
+        bandwidth: bandwidth matrix the communication terms read.
+        profile: profiled compute times.
+        options: ablation switches; defaults mirror
+            :func:`repro.core.latency_model.latency_with_options`'s.
+    """
+
+    def __init__(self, model: TransformerConfig, config: ParallelConfig,
+                 cluster: ClusterSpec, bandwidth: BandwidthMatrix,
+                 profile: ComputeProfile,
+                 options: LatencyModelOptions | None = None) -> None:
+        options = options or LatencyModelOptions()
+        grid = WorkerGrid(pp=config.pp, tp=config.tp, dp=config.dp)
+        check_slot_geometry(grid, cluster)
+        if bandwidth.n_gpus != cluster.n_gpus:
+            raise ValueError(
+                f"bandwidth matrix covers {bandwidth.n_gpus} GPUs but the "
+                f"cluster has {cluster.n_gpus}"
+            )
+        self.model = model
+        self.config = config
+        self.cluster = cluster
+        self.options = options
+        self.grid = grid
+        pp, tp, dp = config.pp, config.tp, config.dp
+        n_slots = grid.n_blocks
+
+        # ---- permutation-independent scalars -------------------------
+        c = profile.max_stage_compute_time(pp, tp, config.micro_batch)
+        self._tp_factor = 1.0
+        if config.recompute:
+            c *= 4.0 / 3.0
+            self._tp_factor = 1.5
+        self._c = c
+        self._n_mb = config.n_microbatches
+        self._bubble_ratio = config.n_microbatches / pp
+        self._eff = options.collective_efficiency
+
+        matrix = bandwidth.matrix
+        # ``blocked[s1, y1, s2, y2] == matrix[s1*tp + y1, s2*tp + y2]``.
+        blocked = matrix.reshape(n_slots, tp, n_slots, tp)
+
+        self._n_slots = n_slots
+
+        # ---- tensor-parallel term (part of C + T_TP_com) -------------
+        if tp > 1:
+            # Slowest link inside each slot's TP group (the matrix
+            # diagonal is +inf and never wins, matching
+            # ``min_over_group``), gathered through the slot-GPU table.
+            gpus = slot_gpu_index(grid, cluster)       # (n_slots, tp)
+            self._tp_min_bw = matrix[gpus[:, :, None],
+                                     gpus[:, None, :]].min(axis=(1, 2))
+            steps = tp - 1
+            self._tp_coef = 2.0 * (steps / tp) * tp_allreduce_bytes(
+                model, config.micro_batch)
+            self._tp_layers4 = stage_layer_count(model.n_layers, pp, 0) \
+                * TP_ALLREDUCES_PER_LAYER
+            # The reference model inspects stage 0 and the last stage;
+            # these are the positions of their blocks in the permutation.
+            rows = grid.stage_blocks()
+            self._tp_blocks = np.concatenate([rows[0], rows[-1]]) \
+                if pp > 1 else rows[0]
+
+        # ``pair_bw[y, s1, s2]``: bandwidth between tensor rank ``y``'s
+        # GPUs of slots ``s1`` and ``s2`` — the table both the pipeline
+        # chains and the data-parallel rings gather through (flattened
+        # to ``(tp, n_slots**2)`` so hot-loop gathers are single
+        # ``np.take`` calls over ``s1 * n_slots + s2`` indices).
+        if pp > 1 or dp > 1:
+            pair_bw = blocked.diagonal(axis1=1, axis2=3).transpose(2, 0, 1)
+            flat_pair = np.ascontiguousarray(pair_bw.reshape(tp, -1))
+
+        # ---- pipeline-parallel term (Eq. 5) --------------------------
+        if pp > 1:
+            hop_num = 2.0 * pp_message_bytes(model, config.micro_batch)
+            self._pp_hop_flat = hop_num / (flat_pair * GB)
+
+        # ---- data-parallel term (Eq. 6) ------------------------------
+        if dp > 1:
+            self._pair_flat = flat_pair
+            self._node_of_slot = slot_node_index(grid, cluster)
+            self._msg_dp = np.array([dp_message_bytes(model, pp, tp, stage=s)
+                                     for s in range(pp)])
+            self._tril = np.tril(np.ones((dp, dp), dtype=bool), -1)
+            ns = pp if options.dp_exposure_aware else 1
+            self._n_dp_stages = ns
+            self._msg_dp_col = self._msg_dp[:ns, None]
+            self._drain_steps = np.arange(1, ns)
+            # When a slot is a whole node (tp == gpus_per_node, the
+            # Megatron default), every DP group has exactly one member
+            # per node: the intra-node phase vanishes and the leaders
+            # are all ``dp`` members — a much shorter evaluation.
+            self._one_slot_per_node = cluster.gpus_per_node // tp == 1
+            if self._one_slot_per_node:
+                self._inter_num_all = (2.0 * (dp - 1)) * self._msg_dp[:ns]
+
+    # ------------------------------------------------------------- evaluation
+
+    def __call__(self, mapping: Mapping) -> float:
+        """Score a mapping — the drop-in SA objective form."""
+        if mapping.grid != self.grid:
+            raise ValueError(
+                f"kernel compiled for grid {self.grid} got {mapping.grid}"
+            )
+        return self.evaluate_perm(mapping.block_to_slot)
+
+    def evaluate_perm(self, perm: np.ndarray) -> float:
+        """Latency of the block permutation ``perm`` (no validation).
+
+        ``perm`` must be a permutation of ``[0, n_blocks)``; callers in
+        the annealing loop guarantee that by construction (the move set
+        preserves permutations), so no per-call check is paid.
+        """
+        pp, tp, dp = self.grid.pp, self.grid.tp, self.grid.dp
+        perm = np.asarray(perm)
+        slots = perm.reshape(pp, dp)
+        if pp > 1 or dp > 1:
+            scaled = slots * self._n_slots        # s1 * n_slots, by stage
+
+        # C + T_TP_com: the straggler TP group sets the pace.
+        c_tp = self._c
+        if tp > 1:
+            sel = np.take(self._tp_min_bw, np.take(perm, self._tp_blocks))
+            t = self._tp_layers4 * (self._tp_coef / (sel * GB))
+            c_tp = self._c + self._tp_factor * float(t.max())
+
+        # Eq. (5): slowest end-to-end pipeline communication path.  The
+        # running ``add.accumulate`` visits hops in chain order, so the
+        # floating-point sum matches the reference's sequential
+        # accumulation exactly (unlike ``np.sum``'s pairwise blocking).
+        t_pp = 0.0
+        if pp > 1:
+            hop = np.take(self._pp_hop_flat, scaled[:-1] + slots[1:], axis=1)
+            t_pp = float(np.add.accumulate(hop, axis=1)[:, -1].max())
+
+        backward_slack = 2.0 * c_tp / 3.0
+
+        # Eq. (6): hierarchical-ring all-reduce per stage, worst tensor
+        # rank; later stages net of their drain slack when
+        # ``dp_exposure_aware``.
+        t_dp = 0.0
+        if dp > 1:
+            ns = self._n_dp_stages
+            pair = np.take(self._pair_flat,
+                           scaled[:ns, :, None] + slots[:ns, None, :],
+                           axis=1)                                # (tp,ns,dp,dp)
+            if self._one_slot_per_node:
+                # One member per node: no intra phase, every member is
+                # its node's leader, and the group min needs no mask
+                # (the diagonal is +inf and never wins).
+                inter_bw = pair.reshape(tp, ns, -1).min(axis=2)   # (tp, ns)
+                inter = self._inter_num_all[None] \
+                    / ((dp * inter_bw) * GB)
+                stage_t = inter.max(axis=0)                       # (ns,)
+                exposed = float(stage_t[0])
+                if ns > 1:
+                    adj = stage_t[1:] - self._drain_steps * backward_slack
+                    exposed = max(exposed, float(adj.max()))
+                return self._finish(pp, c_tp, t_pp, exposed / self._eff)
+            nodes = np.take(self._node_of_slot, slots[:ns])       # (ns, dp)
+            same = nodes[:, :, None] == nodes[:, None, :]         # (ns, dp, dp)
+
+            # Intra-node phase: per data rank, the slowest link to a
+            # same-node peer; the member attaining the node minimum
+            # reproduces the reference's per-node term, the rest are
+            # dominated.  A data rank's node population is its row sum
+            # of ``same``.  Excluded pairs are masked to +inf, so the
+            # min ranges over exactly the reference's candidate set.
+            rowmin = np.where(same[None], pair, np.inf).min(axis=3)
+            k = same.sum(axis=2)                                  # (ns, dp)
+            intra_num = (4.0 * (k - 1)) * self._msg_dp_col
+            intra = (intra_num[None] / ((k[None] * rowmin) * GB)).max(axis=2)
+
+            # Inter-node phase: leaders are each node's first member in
+            # data-rank order (no earlier same-node occurrence).
+            leader = ~((same & self._tril).any(axis=2))           # (ns, dp)
+            kn = leader.sum(axis=1)                               # (ns,)
+            pairmask = leader[:, :, None] & leader[:, None, :]
+            masked = np.where(pairmask[None], pair, np.inf)
+            inter_bw = masked.reshape(tp, ns, -1).min(axis=2)     # (tp, ns)
+            inter_num = (2.0 * (kn - 1)) * self._msg_dp[:ns]
+            inter = inter_num[None] / ((kn[None] * inter_bw) * GB)
+
+            stage_t = (intra + inter).max(axis=0)                 # (ns,)
+            exposed = float(stage_t[0])
+            if ns > 1:
+                adj = stage_t[1:] - self._drain_steps * backward_slack
+                exposed = max(exposed, float(adj.max()))
+            t_dp = exposed / self._eff
+
+        return self._finish(pp, c_tp, t_pp, t_dp)
+
+    def _finish(self, pp: int, c_tp: float, t_pp: float,
+                t_dp: float) -> float:
+        if self.options.hidden_critical_path:
+            # Eq. (3)-(4): T = T_bubble * (n_mb / pp) + T_straggler + T_DP.
+            t_bubble = pp * c_tp + t_pp
+            t_straggler = (pp - 1) * c_tp
+            return t_bubble * self._bubble_ratio + t_straggler + t_dp
+        # Eq. (1): the inter-stage communication is paid only once.
+        return (self._n_mb - 1) * c_tp + pp * c_tp + t_pp + t_dp
+
+
+def pipette_kernel(model: TransformerConfig, config: ParallelConfig,
+                   cluster: ClusterSpec, bandwidth: BandwidthMatrix,
+                   profile: ComputeProfile) -> LatencyKernel:
+    """A kernel matching :func:`repro.core.latency_model.pipette_latency`.
+
+    Same ablation defaults (hidden critical path, per-link bandwidth,
+    profiled collective efficiency, exposure-aware DP term), so
+    ``pipette_kernel(...)(mapping)`` is bit-identical to
+    ``pipette_latency(model, config, mapping, bandwidth, profile)``.
+    """
+    from repro.sim.engine import DEFAULT_DP_EFFICIENCY
+
+    return LatencyKernel(
+        model, config, cluster, bandwidth, profile,
+        LatencyModelOptions(hidden_critical_path=True,
+                            per_link_bandwidth=True,
+                            collective_efficiency=DEFAULT_DP_EFFICIENCY,
+                            dp_exposure_aware=True))

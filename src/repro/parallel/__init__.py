@@ -7,6 +7,9 @@ from repro.parallel.mapping import (
     sequential_mapping,
     random_block_mapping,
     compact_mapping_after_failure,
+    check_slot_geometry,
+    slot_gpu_index,
+    slot_node_index,
 )
 from repro.parallel.collectives import (
     p2p_time,
@@ -29,6 +32,9 @@ __all__ = [
     "sequential_mapping",
     "random_block_mapping",
     "compact_mapping_after_failure",
+    "check_slot_geometry",
+    "slot_gpu_index",
+    "slot_node_index",
     "p2p_time",
     "ring_allreduce_time",
     "hierarchical_allreduce_time",

@@ -5,7 +5,10 @@ per-candidate work: one memory-estimator forward pass per enumerated
 configuration, one latency evaluation per survivor, and one simulated
 annealing run per leader.  The configurator factors that work into
 pure, picklable units (:mod:`repro.core.configurator`); this module
-supplies the pool that fans the units out.
+supplies the pool that fans the units out.  Inside each refinement
+unit the annealer runs against a compiled
+:class:`~repro.core.latency_kernel.LatencyKernel`, so the pool
+multiplies an already-vectorized per-candidate hot loop.
 
 Determinism is preserved by construction — every unit's outcome is a
 pure function of ``(context, chunk)`` with per-candidate seeds baked

@@ -34,7 +34,7 @@ from repro.core.configurator import (
     PipetteResult,
     RankedConfig,
     SearchContext,
-    candidate_latency,
+    candidate_kernel,
 )
 from repro.core.memory_estimator import MemoryEstimator
 from repro.model.transformer import TransformerConfig
@@ -304,9 +304,12 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
                         profile=profile, memory_estimator=memory_estimator,
                         sa=warm_sa)
     start_mapping = _warm_mapping(event, previous, leader, new_cluster)
+    # The warm polish runs against the compiled latency kernel — same
+    # values as the reference estimator bit for bit, so warm results
+    # remain comparable with (and cacheable alongside) cold searches.
     sa_result = anneal_mapping(
         start_mapping,
-        lambda m, c=leader.config: candidate_latency(ctx, c, m),
+        candidate_kernel(ctx, leader.config),
         warm_sa.with_seed(options.seed),
     )
     warm_search_s = time.perf_counter() - t0

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core.annealing import SAOptions, _propose, anneal_mapping
+from repro.core.annealing import (
+    SAOptions,
+    _propose,
+    _propose_into,
+    anneal_mapping,
+    anneal_mapping_reference,
+    anneal_mapping_with_restarts,
+)
 from repro.parallel import WorkerGrid, sequential_mapping
 from repro.utils.rng import resolve_rng
 
@@ -61,6 +68,36 @@ class TestMoves:
         rng = resolve_rng(0)
         perm = np.array([0])
         assert np.array_equal(_propose(perm, "swap", rng), perm)
+
+    @pytest.mark.parametrize("move", ["migrate", "swap", "reverse"])
+    def test_scratch_form_matches_allocating_form(self, move):
+        """``_propose_into`` draws the same stream and lands the same
+        permutations as the copy-returning ``_propose``."""
+        rng_a = resolve_rng(17)
+        rng_b = resolve_rng(17)
+        perm = resolve_rng(4).permutation(9)
+        scratch = np.empty_like(perm)
+        for _ in range(200):
+            expected = _propose(perm, move, rng_a)
+            _propose_into(scratch, perm, move, rng_b)
+            assert np.array_equal(scratch, expected)
+            perm = expected
+
+    def test_scratch_migrate_never_allocates_views_of_source(self):
+        """The scratch buffer is fully rewritten; the source is untouched."""
+        rng = resolve_rng(0)
+        perm = np.arange(12)
+        before = perm.copy()
+        scratch = np.full(12, -1)
+        for _ in range(100):
+            _propose_into(scratch, perm, "migrate", rng)
+            assert sorted(scratch.tolist()) == list(range(12))
+            assert np.array_equal(perm, before)
+
+    def test_propose_into_rejects_unknown_move(self):
+        with pytest.raises(ValueError, match="unknown move"):
+            _propose_into(np.empty(4, dtype=np.int64), np.arange(4),
+                          "teleport", resolve_rng(0))
 
 
 class TestAnnealing:
@@ -147,3 +184,70 @@ class TestAnnealing:
             mapping, lambda m: float(m.block_to_slot[0]),
             SAOptions(max_iterations=300, moves=("reverse",), seed=0))
         assert result.iterations == 300
+
+    def test_matches_reference_implementation(self, mapping):
+        """Same seed → the fast loop replays the executable spec."""
+        rng = resolve_rng(8)
+        weights = rng.normal(size=(4, 4))
+
+        def objective(m):
+            return float(sum(weights[b, s]
+                             for b, s in enumerate(m.block_to_slot)))
+
+        options = SAOptions(max_iterations=500, seed=6)
+        ref = anneal_mapping_reference(mapping, objective, options)
+        fast = anneal_mapping(mapping, objective, options)
+        assert fast.value == ref.value
+        assert fast.mapping == ref.mapping
+        assert fast.iterations == ref.iterations
+        assert fast.accepted == ref.accepted
+        assert fast.history == ref.history
+
+
+class TestRestarts:
+    def test_initial_objective_evaluated_exactly_once(self, mapping):
+        """Regression: the restart wrapper used to re-evaluate
+        ``objective(initial)`` for every winning restart."""
+        calls = {"n": 0}
+        iterations, restarts = 50, 4
+
+        def objective(m):
+            calls["n"] += 1
+            return float(np.sum(m.block_to_slot * np.arange(4)))
+
+        result = anneal_mapping_with_restarts(
+            mapping, objective,
+            SAOptions(max_iterations=iterations, seed=0,
+                      initial_temperature=1.0),
+            n_restarts=restarts)
+        # Per run: 1 starting evaluation + 1 per iteration; nothing else
+        # (the explicit temperature skips probing, and initial_value is
+        # reused from run 0, not re-evaluated per winner).
+        assert calls["n"] == restarts * (iterations + 1)
+        assert result.initial_value == float(
+            np.sum(mapping.block_to_slot * np.arange(4)))
+
+    def test_probe_budget_counted(self, mapping):
+        """With a derived temperature, each run adds its 16 probes."""
+        calls = {"n": 0}
+        iterations, restarts = 30, 2
+
+        def objective(m):
+            calls["n"] += 1
+            return float(np.sum(m.block_to_slot * np.arange(4)))
+
+        anneal_mapping_with_restarts(
+            mapping, objective,
+            SAOptions(max_iterations=iterations, seed=0),
+            n_restarts=restarts)
+        assert calls["n"] == restarts * (iterations + 1 + 16)
+
+    def test_never_loses_to_single_run(self, mapping):
+        def objective(m):
+            return float(np.sum(m.block_to_slot * np.arange(4)))
+
+        options = SAOptions(max_iterations=200, seed=2)
+        single = anneal_mapping(mapping, objective, options)
+        multi = anneal_mapping_with_restarts(mapping, objective, options,
+                                             n_restarts=3)
+        assert multi.value <= single.value

@@ -1,0 +1,261 @@
+"""The vectorized latency kernel: equivalence, identity, and wiring.
+
+The kernel's contract is stronger than "numerically close": for every
+mapping it must return the *bit-identical* float the reference model
+(:func:`repro.core.latency_model.latency_with_options`) returns, which
+is what makes the fast annealer's accept/reject trajectory — and hence
+every cached plan — indistinguishable from the pre-kernel code path.
+The property suite below checks the 1e-9 acceptance bound and the
+bitwise guarantee across randomized worlds, degenerate parallelism
+axes, and every ablation switch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Fabric, HeterogeneityModel
+from repro.core.annealing import (
+    SAOptions,
+    anneal_mapping,
+    anneal_mapping_reference,
+)
+from repro.core.configurator import SearchContext, candidate_kernel
+from repro.core.latency_kernel import LatencyKernel, pipette_kernel
+from repro.core.latency_model import (
+    LatencyModelOptions,
+    latency_with_options,
+    pipette_latency,
+)
+from repro.model import get_model
+from repro.parallel import (
+    ParallelConfig,
+    WorkerGrid,
+    random_block_mapping,
+    sequential_mapping,
+)
+from repro.profiling import profile_compute
+
+#: Every (pp, tp, dp) factorization of the 16-GPU tiny cluster whose TP
+#: groups fit a 4-GPU node and whose stages fit the toy model's
+#: 4 layers — includes all three degenerate axes.
+TINY_SHAPES = [
+    (1, 4, 4), (2, 4, 2), (4, 4, 1),
+    (1, 2, 8), (2, 2, 4), (4, 2, 2),
+    (1, 1, 16), (2, 1, 8), (4, 1, 4),
+]
+
+#: The ablation corners of the latency model.
+OPTION_DRAWS = [
+    LatencyModelOptions(),
+    LatencyModelOptions(dp_exposure_aware=True),
+    LatencyModelOptions(dp_exposure_aware=True, collective_efficiency=0.88),
+    LatencyModelOptions(hidden_critical_path=False),
+    LatencyModelOptions(hidden_critical_path=False, collective_efficiency=0.7),
+]
+
+
+@pytest.fixture(scope="module")
+def world(tiny_cluster_module):
+    cluster = tiny_cluster_module
+    fabric = Fabric(cluster, heterogeneity=HeterogeneityModel(), seed=11)
+    model = get_model("gpt-toy")
+    profile = profile_compute(model, cluster, noise_sigma=0.01, seed=5)
+    return cluster, model, fabric.bandwidth(), profile
+
+
+@pytest.fixture(scope="module")
+def tiny_cluster_module():
+    # Module-scoped twin of the function-scoped ``tiny_cluster``
+    # fixture, so the property sweep builds its world once.
+    from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+    from repro.units import GIB
+
+    gpu = GpuSpec(name="TestGPU", memory_bytes=4 * GIB, peak_flops=10e12,
+                  achievable_fraction=0.5, hbm_gb_s=500.0)
+    node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                    intra_link=LinkSpec("TestNVLink", 100.0, alpha_s=1e-6))
+    return ClusterSpec(name="tiny", n_nodes=4, node=node,
+                       inter_link=LinkSpec("TestIB", 10.0, alpha_s=1e-5))
+
+
+def _config(pp, tp, dp, micro_batch=2, recompute=False):
+    return ParallelConfig(pp=pp, tp=tp, dp=dp, micro_batch=micro_batch,
+                          global_batch=micro_batch * dp * 4,
+                          recompute=recompute)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("shape", TINY_SHAPES)
+    def test_matches_reference_within_1e9(self, world, shape):
+        """Acceptance bound: ≤ 1e-9 relative across randomized draws."""
+        cluster, model, bw, profile = world
+        pp, tp, dp = shape
+        rng = np.random.default_rng(99)
+        for micro_batch in (1, 2):
+            for recompute in (False, True):
+                config = _config(pp, tp, dp, micro_batch, recompute)
+                for options in OPTION_DRAWS:
+                    kernel = LatencyKernel(model, config, cluster, bw,
+                                           profile, options)
+                    for _ in range(3):
+                        mapping = random_block_mapping(
+                            WorkerGrid(pp, tp, dp), cluster,
+                            seed=int(rng.integers(1 << 31)))
+                        ref = latency_with_options(model, config, mapping,
+                                                   bw, profile, options)
+                        fast = kernel.evaluate_perm(mapping.block_to_slot)
+                        assert math.isclose(fast, ref, rel_tol=1e-9,
+                                            abs_tol=0.0)
+
+    @pytest.mark.parametrize("shape", TINY_SHAPES)
+    def test_bit_identical_to_reference(self, world, shape):
+        """The stronger guarantee the trajectory identity rests on."""
+        cluster, model, bw, profile = world
+        pp, tp, dp = shape
+        config = _config(pp, tp, dp)
+        for options in OPTION_DRAWS:
+            kernel = LatencyKernel(model, config, cluster, bw, profile,
+                                   options)
+            for seed in range(4):
+                mapping = random_block_mapping(WorkerGrid(pp, tp, dp),
+                                               cluster, seed=seed)
+                ref = latency_with_options(model, config, mapping, bw,
+                                           profile, options)
+                assert kernel.evaluate_perm(mapping.block_to_slot) == ref
+                assert kernel(mapping) == ref
+
+    def test_pipette_kernel_matches_pipette_latency(self, world):
+        cluster, model, bw, profile = world
+        config = _config(2, 4, 2)
+        kernel = pipette_kernel(model, config, cluster, bw, profile)
+        for seed in range(5):
+            mapping = random_block_mapping(WorkerGrid(2, 4, 2), cluster,
+                                           seed=seed)
+            assert kernel(mapping) == pipette_latency(model, config, mapping,
+                                                      bw, profile)
+
+    def test_candidate_kernel_matches_candidate_latency(self, world):
+        cluster, model, bw, profile = world
+        config = _config(4, 2, 2)
+        ctx = SearchContext(cluster=cluster, model=model, bandwidth=bw,
+                            profile=profile, memory_estimator=None,
+                            sa=SAOptions(max_iterations=10))
+        kernel = candidate_kernel(ctx, config)
+        mapping = sequential_mapping(WorkerGrid(4, 2, 2), cluster)
+        assert kernel(mapping) == pipette_latency(model, config, mapping,
+                                                  bw, profile)
+
+    def test_nominal_matrix_supported(self, world):
+        """Prior-art style evaluation: any matrix may be handed in."""
+        cluster, model, _, profile = world
+        nominal = Fabric(cluster, seed=0).nominal_bandwidth()
+        config = _config(2, 2, 4)
+        options = LatencyModelOptions(hidden_critical_path=False,
+                                      per_link_bandwidth=False)
+        kernel = LatencyKernel(model, config, cluster, nominal, profile,
+                               options)
+        mapping = sequential_mapping(WorkerGrid(2, 2, 4), cluster)
+        assert kernel(mapping) == latency_with_options(
+            model, config, mapping, nominal, profile, options)
+
+
+class TestKernelValidation:
+    def test_rejects_wrong_gpu_count(self, world):
+        cluster, model, bw, profile = world
+        config = ParallelConfig(pp=2, tp=2, dp=2, micro_batch=1,
+                                global_batch=8)
+        with pytest.raises(ValueError, match="workers"):
+            LatencyKernel(model, config, cluster, bw, profile)
+
+    def test_rejects_straddling_tp(self, world):
+        cluster, model, bw, profile = world
+        # tp=8 > gpus_per_node=4 cannot be built: WorkerGrid is fine but
+        # the slot geometry is not.
+        config = ParallelConfig(pp=1, tp=8, dp=2, micro_batch=1,
+                                global_batch=8)
+        with pytest.raises(ValueError, match="straddle"):
+            LatencyKernel(model, config, cluster, bw, profile)
+
+    def test_rejects_mismatched_bandwidth(self, world):
+        cluster, model, bw, profile = world
+        small = bw.restrict(range(8))
+        with pytest.raises(ValueError, match="bandwidth"):
+            LatencyKernel(model, _config(2, 2, 4), cluster, small, profile)
+
+    def test_rejects_foreign_grid_mapping(self, world):
+        cluster, model, bw, profile = world
+        kernel = LatencyKernel(model, _config(2, 2, 4), cluster, bw, profile)
+        other = sequential_mapping(WorkerGrid(4, 2, 2), cluster)
+        with pytest.raises(ValueError, match="grid"):
+            kernel(other)
+
+
+class TestSeedIdentity:
+    """Old and new annealers, same seed → same trajectory and answer."""
+
+    @pytest.mark.parametrize("shape", [(4, 4, 1), (2, 2, 4), (4, 1, 4)])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_kernel_annealer_replays_reference(self, world, shape, seed):
+        cluster, model, bw, profile = world
+        pp, tp, dp = shape
+        config = _config(pp, tp, dp)
+        initial = sequential_mapping(WorkerGrid(pp, tp, dp), cluster)
+        kernel = pipette_kernel(model, config, cluster, bw, profile)
+
+        def objective(m):
+            return pipette_latency(model, config, m, bw, profile)
+
+        options = SAOptions(max_iterations=600, seed=seed)
+        ref = anneal_mapping_reference(initial, objective, options)
+        fast = anneal_mapping(initial, kernel, options)
+        assert fast.value == ref.value
+        assert fast.mapping == ref.mapping
+        assert fast.initial_value == ref.initial_value
+        assert fast.iterations == ref.iterations
+        assert fast.accepted == ref.accepted
+        assert fast.history == ref.history
+
+    def test_generic_objective_replays_reference(self, world):
+        """The Mapping-callable slow path is also trajectory-identical."""
+        cluster, model, bw, profile = world
+        config = _config(2, 4, 2)
+        initial = sequential_mapping(WorkerGrid(2, 4, 2), cluster)
+
+        def objective(m):
+            return pipette_latency(model, config, m, bw, profile)
+
+        options = SAOptions(max_iterations=400, seed=3)
+        ref = anneal_mapping_reference(initial, objective, options)
+        slow = anneal_mapping(initial, objective, options)
+        assert slow.value == ref.value
+        assert slow.mapping == ref.mapping
+        assert slow.accepted == ref.accepted
+        assert slow.history == ref.history
+
+    def test_explicit_temperature_also_identical(self, world):
+        cluster, model, bw, profile = world
+        config = _config(4, 2, 2)
+        initial = sequential_mapping(WorkerGrid(4, 2, 2), cluster)
+        kernel = pipette_kernel(model, config, cluster, bw, profile)
+        options = SAOptions(max_iterations=300, seed=1,
+                            initial_temperature=1e-3)
+        ref = anneal_mapping_reference(
+            initial, lambda m: pipette_latency(model, config, m, bw, profile),
+            options)
+        fast = anneal_mapping(initial, kernel, options)
+        assert fast.value == ref.value
+        assert fast.mapping == ref.mapping
+
+    def test_kernel_annealer_improves_or_matches_start(self, world):
+        cluster, model, bw, profile = world
+        config = _config(4, 4, 1)
+        initial = sequential_mapping(WorkerGrid(4, 4, 1), cluster)
+        kernel = pipette_kernel(model, config, cluster, bw, profile)
+        result = anneal_mapping(initial, kernel,
+                                SAOptions(max_iterations=800, seed=0))
+        assert result.value <= result.initial_value
+        assert result.mapping.block_to_slot.shape == (4,)
