@@ -119,6 +119,11 @@ class SAResult:
         accepted: moves accepted.
         elapsed_s: wall-clock time spent.
         history: best-so-far objective at each improvement.
+        evaluations: objective calls made — the starting evaluation,
+            the temperature probes (when the temperature was derived),
+            and one per iteration.
+        exit_reason: which budget ended the run — ``"iteration_budget"``
+            or ``"time_limit"``.
     """
 
     mapping: Mapping
@@ -128,6 +133,8 @@ class SAResult:
     accepted: int
     elapsed_s: float
     history: list[float] = field(default_factory=list)
+    evaluations: int = 0
+    exit_reason: str = "iteration_budget"
 
     @property
     def improvement(self) -> float:
@@ -215,7 +222,8 @@ def _probe_temperature(initial: Mapping, objective, base: float,
 
 def anneal_mapping(initial: Mapping,
                    objective: Callable[[Mapping], float],
-                   options: SAOptions | None = None) -> SAResult:
+                   options: SAOptions | None = None,
+                   recorder=None) -> SAResult:
     """Minimize ``objective`` over block permutations starting at ``initial``.
 
     This is the ``SA_NextMap`` loop of Algorithm 1 (lines 9-15): each
@@ -236,6 +244,12 @@ def anneal_mapping(initial: Mapping,
     loop additionally polls the clock only every
     :data:`TIME_CHECK_INTERVAL` moves, so it may overshoot the limit
     by up to that many iterations.
+
+    ``recorder`` is an optional :class:`repro.obs.recorder.
+    FlightRecorder` observing the run.  It draws nothing from the RNG
+    and never touches the mapping, so the trajectory with a recorder
+    attached is bit-identical to the bare run; without one the loop
+    pays a single ``is not None`` test per iteration.
     """
     options = options or SAOptions()
     rng = resolve_rng(options.seed)
@@ -261,6 +275,7 @@ def anneal_mapping(initial: Mapping,
     best = current.copy()
     best_value = current_value
     history = [best_value]
+    setup_evaluations = 1
 
     temperature = options.initial_temperature
     if temperature is None:
@@ -273,8 +288,13 @@ def anneal_mapping(initial: Mapping,
             _propose_into(scratch, current, move, rng)
             deltas.append(abs(evaluate(scratch) - current_value))
         temperature = _temperature_from_spread(deltas, current_value)
+        setup_evaluations += TEMPERATURE_PROBES
+
+    if recorder is not None:
+        recorder.start(initial_value, evaluations=setup_evaluations)
 
     iterations = accepted = 0
+    exit_reason = "iteration_budget"
     while True:
         if options.max_iterations is not None \
                 and iterations >= options.max_iterations:
@@ -282,13 +302,16 @@ def anneal_mapping(initial: Mapping,
         if options.time_limit_s is not None \
                 and iterations % TIME_CHECK_INTERVAL == 0 \
                 and time.perf_counter() - start >= options.time_limit_s:
+            exit_reason = "time_limit"
             break
         move = options.moves[int(rng.integers(len(options.moves)))]
         _propose_into(scratch, current, move, rng)
         value = evaluate(scratch)
         delta = value - current_value
-        if delta <= 0.0 or (temperature > 0.0
-                            and rng.random() < math.exp(-delta / temperature)):
+        accepted_move = delta <= 0.0 or (
+            temperature > 0.0
+            and rng.random() < math.exp(-delta / temperature))
+        if accepted_move:
             current, scratch = scratch, current
             current_value = value
             accepted += 1
@@ -296,9 +319,14 @@ def anneal_mapping(initial: Mapping,
                 best[:] = current
                 best_value = value
                 history.append(best_value)
+        if recorder is not None:
+            recorder.sample(iterations, temperature, best_value,
+                            accepted_move)
         temperature *= options.alpha
         iterations += 1
 
+    if recorder is not None:
+        recorder.finish(exit_reason, best_value)
     return SAResult(
         mapping=Mapping(initial.grid, initial.cluster, best.copy()),
         value=best_value,
@@ -307,12 +335,15 @@ def anneal_mapping(initial: Mapping,
         accepted=accepted,
         elapsed_s=time.perf_counter() - start,
         history=history,
+        evaluations=setup_evaluations + iterations,
+        exit_reason=exit_reason,
     )
 
 
 def anneal_mapping_reference(initial: Mapping,
                              objective: Callable[[Mapping], float],
-                             options: SAOptions | None = None) -> SAResult:
+                             options: SAOptions | None = None,
+                             recorder=None) -> SAResult:
     """The pre-kernel annealing loop, kept as an executable spec.
 
     One ``Mapping`` per proposal, one ``perf_counter`` per move, the
@@ -331,35 +362,49 @@ def anneal_mapping_reference(initial: Mapping,
     best = current.copy()
     best_value = current_value
     history = [best_value]
+    setup_evaluations = 1
 
     temperature = options.initial_temperature
     if temperature is None:
         temperature = _probe_temperature(initial, objective, current_value,
                                          options.moves, rng)
+        setup_evaluations += TEMPERATURE_PROBES
+
+    if recorder is not None:
+        recorder.start(initial_value, evaluations=setup_evaluations)
 
     iterations = accepted = 0
+    exit_reason = "iteration_budget"
     while True:
         if options.max_iterations is not None \
                 and iterations >= options.max_iterations:
             break
         if options.time_limit_s is not None \
                 and time.perf_counter() - start >= options.time_limit_s:
+            exit_reason = "time_limit"
             break
         move = options.moves[int(rng.integers(len(options.moves)))]
         candidate = current.with_block_permutation(
             _propose(current.block_to_slot, move, rng))
         value = float(objective(candidate))
         delta = value - current_value
-        if delta <= 0.0 or (temperature > 0.0
-                            and rng.random() < math.exp(-delta / temperature)):
+        accepted_move = delta <= 0.0 or (
+            temperature > 0.0
+            and rng.random() < math.exp(-delta / temperature))
+        if accepted_move:
             current, current_value = candidate, value
             accepted += 1
             if value < best_value:
                 best, best_value = candidate.copy(), value
                 history.append(best_value)
+        if recorder is not None:
+            recorder.sample(iterations, temperature, best_value,
+                            accepted_move)
         temperature *= options.alpha
         iterations += 1
 
+    if recorder is not None:
+        recorder.finish(exit_reason, best_value)
     return SAResult(
         mapping=best,
         value=best_value,
@@ -368,13 +413,16 @@ def anneal_mapping_reference(initial: Mapping,
         accepted=accepted,
         elapsed_s=time.perf_counter() - start,
         history=history,
+        evaluations=setup_evaluations + iterations,
+        exit_reason=exit_reason,
     )
 
 
 def anneal_mapping_with_restarts(initial: Mapping,
                                  objective: Callable[[Mapping], float],
                                  options: SAOptions | None = None,
-                                 n_restarts: int = 3) -> SAResult:
+                                 n_restarts: int = 3,
+                                 recorder_factory=None) -> SAResult:
     """Multi-restart annealing: best of several independent runs.
 
     Annealing on a rugged mapping landscape occasionally stalls in a
@@ -388,6 +436,12 @@ def anneal_mapping_with_restarts(initial: Mapping,
     caller's ``initial`` mapping; it is taken from the first run's own
     starting evaluation, so ``objective(initial)`` is computed exactly
     once across the whole restart portfolio.
+
+    ``recorder_factory`` optionally instruments each run: it is called
+    with the run's provenance string (``"cold"`` for run 0,
+    ``"restart-k"`` after) and returns a flight recorder — or ``None``
+    — for that run.  The factory owns the recorders it makes; this
+    wrapper only passes them through.
     """
     if n_restarts < 1:
         raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
@@ -402,7 +456,10 @@ def anneal_mapping_with_restarts(initial: Mapping,
             from repro.parallel.mapping import random_block_mapping
             start_mapping = random_block_mapping(
                 initial.grid, initial.cluster, seed=options.seed + 104729 * k)
-        result = anneal_mapping(start_mapping, objective, run_options)
+        recorder = None if recorder_factory is None \
+            else recorder_factory("cold" if k == 0 else f"restart-{k}")
+        result = anneal_mapping(start_mapping, objective, run_options,
+                                recorder=recorder)
         if k == 0:
             # Run 0 starts at ``initial``, so its starting evaluation
             # *is* objective(initial) — no re-evaluation needed.

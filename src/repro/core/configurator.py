@@ -38,6 +38,8 @@ from repro.core.latency_kernel import LatencyKernel, pipette_kernel
 from repro.core.latency_model import pipette_latency
 from repro.core.memory_estimator import MemoryEstimator
 from repro.model.transformer import TransformerConfig
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import TRACER
 from repro.parallel.config import ParallelConfig, enumerate_parallel_configs
 from repro.parallel.mapping import Mapping, WorkerGrid, sequential_mapping
 from repro.profiling.profile_run import ComputeProfile
@@ -216,6 +218,12 @@ class SearchContext:
     Work units receive the context plus a chunk of candidates, so one
     search can fan its candidate set over thread or process pools; the
     context crosses the process boundary once per chunk.
+
+    ``record_flight`` asks :func:`refine_unit` to ride a flight
+    recorder along each candidate's anneal and ship the telemetry
+    payload home.  It is excluded from comparison (``compare=False``)
+    so turning tracing on can never change a request fingerprint or
+    split the plan cache's key space.
     """
 
     cluster: ClusterSpec
@@ -224,6 +232,7 @@ class SearchContext:
     profile: ComputeProfile
     memory_estimator: MemoryEstimator | None
     sa: SAOptions
+    record_flight: bool = field(default=False, compare=False)
 
 
 def naive_mapping(ctx: SearchContext, config: ParallelConfig) -> Mapping:
@@ -285,33 +294,43 @@ def score_unit(payload: "tuple[SearchContext, tuple]") -> list[RankedConfig]:
 
 
 def refine_unit(payload: "tuple[SearchContext, tuple]"
-                ) -> "list[tuple[RankedConfig, float]]":
+                ) -> "list[tuple[RankedConfig, float, dict | None]]":
     """Work unit: SA worker dedication for a chunk of leaders.
 
     Each item is ``(entry, seed)``; the explicit seed (assigned from
     the entry's rank in the deterministically sorted leaderboard) makes
     the result independent of which pool worker runs the unit.
-    Returns ``(refined entry, annealing seconds)`` pairs.
+    Returns ``(refined entry, annealing seconds, flight payload)``
+    triples, where the flight payload is the candidate's
+    :meth:`~repro.obs.recorder.FlightRecorder.to_payload` telemetry
+    when ``ctx.record_flight`` is set and ``None`` otherwise — a plain
+    dict, so it crosses a process pool's pickle boundary like the rest
+    of the result.
 
     Each entry's annealing runs against a compiled
     :func:`candidate_kernel`; the kernel's bit-identical guarantee
     keeps serial, thread-pool, and process-pool refinements — and any
-    plans cached from before the kernel existed — byte-identical.
+    plans cached from before the kernel existed — byte-identical.  The
+    flight recorder observes without touching the RNG, so
+    ``record_flight`` never changes the refined mappings either.
     """
     ctx, items = payload
     out = []
     for entry, seed in items:
+        recorder = FlightRecorder() if ctx.record_flight else None
         result = anneal_mapping(
             entry.mapping,
             candidate_kernel(ctx, entry.config),
             ctx.sa.with_seed(seed),
+            recorder=recorder,
         )
         out.append((RankedConfig(
             config=entry.config, mapping=result.mapping,
             estimated_latency_s=result.value,
             estimated_memory_bytes=entry.estimated_memory_bytes,
             memory_ok=entry.memory_ok,
-        ), result.elapsed_s))
+        ), result.elapsed_s,
+            None if recorder is None else recorder.to_payload()))
     return out
 
 
@@ -383,11 +402,17 @@ class PipetteConfigurator:
     # ------------------------------------------------------------------ api
 
     def context(self) -> SearchContext:
-        """The picklable work-unit context of this configurator."""
+        """The picklable work-unit context of this configurator.
+
+        Flight recording follows the process-wide tracer switch: a
+        traced search asks its refinement units for telemetry, an
+        untraced one runs the unmodified fast path.
+        """
         return SearchContext(
             cluster=self.cluster, model=self.model, bandwidth=self.bandwidth,
             profile=self.profile, memory_estimator=self.memory_estimator,
             sa=self.options.sa,
+            record_flight=TRACER.enabled,
         )
 
     def estimate_latency(self, config: ParallelConfig,
@@ -437,7 +462,10 @@ class PipetteConfigurator:
             survivors = [(config, None, True) for config in configs]
         else:
             t0 = time.perf_counter()
-            predicted = run_units(memory_check_unit, ctx, configs, executor)
+            with TRACER.span("search.memory_check",
+                             candidates=len(configs)):
+                predicted = run_units(memory_check_unit, ctx, configs,
+                                      executor)
             memory_s = time.perf_counter() - t0
             margin = self.memory_estimator.soft_margin
             survivors = [(c, p, True) for c, p in zip(configs, predicted)
@@ -462,7 +490,8 @@ class PipetteConfigurator:
                 survivors = [(c, p, False) for c, p in by_memory[:3]]
 
         # First pass: naive-mapping latency for every survivor.
-        scored = run_units(score_unit, ctx, survivors, executor)
+        with TRACER.span("search.score", candidates=len(survivors)):
+            scored = run_units(score_unit, ctx, survivors, executor)
         scored.sort(key=lambda r: r.sort_key)
 
         # Second pass: fine-grained worker dedication on the leaders.
@@ -472,9 +501,14 @@ class PipetteConfigurator:
                 else min(self.options.sa_top_k, len(scored))
             entries = [(entry, self.options.seed + rank)
                        for rank, entry in enumerate(scored[:n_refine])]
-            refined_pairs = run_units(refine_unit, ctx, entries, executor)
-            annealing_s = sum(elapsed for _, elapsed in refined_pairs)
-            refined = [entry for entry, _ in refined_pairs]
+            with TRACER.span("search.refine",
+                             candidates=len(entries)) as refine_span:
+                refined_rows = run_units(refine_unit, ctx, entries, executor)
+                for entry, elapsed, flight in refined_rows:
+                    self._record_candidate(refine_span, entry, elapsed,
+                                           flight)
+            annealing_s = sum(elapsed for _, elapsed, _ in refined_rows)
+            refined = [entry for entry, _, _ in refined_rows]
             scored = sorted(refined + scored[n_refine:],
                             key=lambda r: r.sort_key)
 
@@ -488,6 +522,29 @@ class PipetteConfigurator:
         )
 
     # ------------------------------------------------------------- internal
+
+    @staticmethod
+    def _record_candidate(refine_span, entry: RankedConfig,
+                          elapsed_s: float, flight: "dict | None") -> None:
+        """Synthesize one candidate's child span from its returned telemetry.
+
+        The anneal itself may have run in another process, so its span
+        cannot be opened there; the work unit reports elapsed time and
+        the flight payload home, and the parent back-dates a
+        ``search.candidate`` span under the refine phase.
+        """
+        attributes = {
+            "config": f"pp{entry.config.pp}·tp{entry.config.tp}"
+                      f"·dp{entry.config.dp}·mb{entry.config.micro_batch}",
+            "estimated_latency_s": entry.estimated_latency_s,
+        }
+        if flight is not None:
+            attributes["anneal_iterations"] = flight["iterations"]
+            attributes["anneal_evaluations"] = flight["evaluations"]
+            attributes["exit_reason"] = flight["exit_reason"]
+            attributes["flight"] = flight
+        TRACER.record_span("search.candidate", elapsed_s,
+                           parent=refine_span, **attributes)
 
     def _sequential(self, config: ParallelConfig) -> Mapping:
         grid = WorkerGrid(pp=config.pp, tp=config.tp, dp=config.dp)

@@ -1,0 +1,30 @@
+"""Observability: tracing, the annealer flight recorder, JSON logs.
+
+Everything here is stdlib-only and near-free when disabled — see
+``docs/OBSERVABILITY.md`` for the span model, the debug endpoints,
+and the measured overhead.
+"""
+
+from repro.obs.logs import JsonFormatter, configure_logging, get_logger
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    TRACER,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "JsonFormatter",
+    "NULL_SPAN",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "configure_logging",
+    "format_traceparent",
+    "get_logger",
+    "parse_traceparent",
+]

@@ -1,0 +1,104 @@
+"""Structured JSON logging for the planning service.
+
+The JSON-lines transport owns stdout — one planning answer per line,
+parsed by machines — so every diagnostic line the service emits must
+go elsewhere or it corrupts the protocol.  This module configures the
+stdlib :mod:`logging` tree to write one JSON object per record to
+**stderr**, carrying the active trace id (when tracing is on) so log
+lines and spans of the same request join on one key.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+from repro.obs.trace import TRACER
+
+__all__ = ["JsonFormatter", "configure_logging", "get_logger"]
+
+#: Root of the service's logger namespace.
+LOGGER_PREFIX = "repro"
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each record as one sorted-key JSON object.
+
+    Fields: ``ts`` (unix seconds), ``level``, ``logger``, ``message``,
+    any extras passed via ``logging``'s ``extra=`` mapping, plus
+    ``trace_id``/``span_id`` when a span is active on the calling
+    context — logs emitted while serving a traced request carry its
+    identity automatically.
+    """
+
+    #: Attributes of a bare LogRecord; anything else came in via ``extra=``.
+    _STANDARD = frozenset(vars(logging.LogRecord(
+        "", 0, "", 0, "", (), None)).keys()) | {"message", "asctime",
+                                                "taskName"}
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span = TRACER.current()
+        if span is not None and span.recording:
+            payload["trace_id"] = span.trace_id
+            payload["span_id"] = span.span_id
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        for key, value in vars(record).items():
+            if key in self._STANDARD or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        return json.dumps(payload, sort_keys=True)
+
+
+def configure_logging(level: str = "info", stream=None) -> logging.Logger:
+    """Point the ``repro`` logger tree at stderr with JSON formatting.
+
+    Idempotent: repeated calls replace the handler rather than stack
+    one per call (a re-served CLI process must not double-log).
+
+    Args:
+        level: standard level name, case-insensitive (``"debug"``,
+            ``"info"``, ``"warning"``, ``"error"``).
+        stream: destination (tests inject a buffer); default stderr.
+
+    Returns:
+        The configured root ``repro`` logger.
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    logger = logging.getLogger(LOGGER_PREFIX)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    _time_anchor(logger)
+    return logger
+
+
+def _time_anchor(logger: logging.Logger) -> None:
+    """Emit one anchor line so relative timestamps can be aligned."""
+    logger.debug("logging configured", extra={"monotonic": time.monotonic()})
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if name.startswith(LOGGER_PREFIX + ".") or name == LOGGER_PREFIX:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_PREFIX}.{name}")

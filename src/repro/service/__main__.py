@@ -1,6 +1,6 @@
 """Command-line front door of the planning service.
 
-Five subcommands, each a small end-to-end story on a simulated
+Six subcommands, each a small end-to-end story on a simulated
 cluster (swap the simulated fabric for a real profiling campaign to
 use them against physical machines):
 
@@ -17,7 +17,12 @@ use them against physical machines):
   /v1/plan``, elastic-event routes, ``GET /healthz``, and a
   Prometheus ``GET /metrics`` page — with in-flight coalescing,
   per-cluster backpressure, and weighted-fair per-client lanes
-  across all transports (see ``docs/SERVING.md``).
+  across all transports (see ``docs/SERVING.md``).  ``--log-level``
+  selects the stderr JSON log threshold; ``--trace``/``--trace-dir``
+  turn on end-to-end plan tracing (``GET /v1/debug/traces``, span
+  dump files — see ``docs/OBSERVABILITY.md``);
+* ``trace``    — pretty-print a span dump written by
+  ``serve --trace-dir`` as indented per-trace timing trees.
 
 ``--store-path`` (or the registry's ``--store-dir``) makes the plan
 cache durable: re-running the same command answers previously planned
@@ -42,6 +47,7 @@ from repro.cluster import NetworkProfiler, make_fabric
 from repro.cluster.presets import high_end_cluster, mid_range_cluster
 from repro.core import PipetteOptions, SAOptions
 from repro.model import MODEL_CATALOG, get_model
+from repro.obs import TRACER, configure_logging, get_logger
 from repro.service.cache import PlanRequest
 from repro.service.executor import CandidateExecutor, available_workers
 from repro.service.gateway import PlanGateway
@@ -353,6 +359,10 @@ async def _serve_async(args, registry: ClusterRegistry,
                        options: PipetteOptions) -> int:
     metrics = MetricsRegistry()
     registry.attach_metrics(metrics)
+    # Span-derived histograms (per-phase latency, anneal iteration and
+    # evaluation counts).  The series exist even while tracing is off —
+    # they just stay at zero observations until it is enabled.
+    TRACER.attach_metrics(metrics)
     async with PlanGateway(registry, max_queue_depth=args.max_queue_depth,
                            overflow=args.overflow, fairness=args.fairness,
                            max_batch=args.max_batch,
@@ -403,11 +413,117 @@ async def _serve_async(args, registry: ClusterRegistry,
 
 
 def cmd_serve(args) -> int:
-    # Registration chatter goes to stderr: in stdin/stdout mode every
+    # Structured JSON logs go to stderr: in stdin/stdout mode every
     # stdout line is a protocol answer, nothing else.
+    configure_logging(args.log_level)
+    log = get_logger("service.cli")
+    trace_file = None
+    if args.trace_dir is not None:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        trace_file = os.path.join(args.trace_dir,
+                                  f"trace-{os.getpid()}.jsonl")
+    tracing = args.trace or trace_file is not None
+    if tracing:
+        TRACER.enable(trace_file=trace_file)
+        log.info("tracing enabled", extra={"trace_file": trace_file})
+    # Registration chatter also goes to stderr.
     with contextlib.redirect_stdout(sys.stderr):
         registry = _build_registry(args)
-    return asyncio.run(_serve_async(args, registry, _options(args)))
+    try:
+        return asyncio.run(_serve_async(args, registry, _options(args)))
+    finally:
+        if tracing:
+            TRACER.disable()  # flushes and closes the span dump file
+
+
+def _load_span_dump(path: str) -> "list[dict]":
+    """Every span payload of one dump file (or directory of them)."""
+    if os.path.isdir(path):
+        paths = sorted(os.path.join(path, name)
+                       for name in os.listdir(path)
+                       if name.endswith(".jsonl"))
+        if not paths:
+            raise ValueError(f"no .jsonl span dumps in {path!r}")
+    else:
+        paths = [path]
+    spans = []
+    for file_path in paths:
+        with open(file_path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    span = json.loads(line)
+                except json.JSONDecodeError:
+                    print(f"skipping unparseable line "
+                          f"{file_path}:{lineno}", file=sys.stderr)
+                    continue
+                if isinstance(span, dict) and "span_id" in span:
+                    spans.append(span)
+    return spans
+
+
+#: Span attributes surfaced inline by ``trace`` (everything else stays
+#: in the JSON dump; these are the ones that answer "why was it slow").
+_TRACE_ATTRS = ("outcome", "cluster", "coalesced", "config",
+                "exit_reason", "event_kind", "status")
+
+
+def _print_span(span: dict, depth: int) -> None:
+    duration = span.get("duration_ms")
+    timing = f"{duration:9.3f} ms" if duration is not None else "      ?   "
+    attrs = span.get("attributes") or {}
+    notes = [f"{key}={attrs[key]}" for key in _TRACE_ATTRS if key in attrs]
+    flight = attrs.get("flight")
+    if isinstance(flight, dict):
+        notes.append(f"anneal={flight.get('iterations')} iters "
+                     f"[{flight.get('provenance')}, "
+                     f"{flight.get('exit_reason')}]")
+    suffix = f"  ({', '.join(notes)})" if notes else ""
+    print(f"  {'  ' * depth}{span.get('name', '?'):<24} {timing}{suffix}")
+    for child in span.get("children", ()):
+        _print_span(child, depth + 1)
+
+
+def cmd_trace(args) -> int:
+    """Pretty-print a span dump as indented per-trace timing trees."""
+    spans = _load_span_dump(args.path)
+    if not spans:
+        print(f"no spans in {args.path}", file=sys.stderr)
+        return 1
+    by_trace: "dict[str, list[dict]]" = {}
+    for span in spans:
+        by_trace.setdefault(str(span.get("trace_id")), []).append(span)
+    if args.trace_id is not None:
+        if args.trace_id not in by_trace:
+            raise ValueError(f"no trace {args.trace_id!r} in {args.path}; "
+                             f"{len(by_trace)} traces in the dump")
+        selected = [args.trace_id]
+    else:
+        selected = list(by_trace)[-args.limit:]
+        if len(by_trace) > len(selected):
+            print(f"showing the last {len(selected)} of {len(by_trace)} "
+                  "traces (--limit, or --trace-id for one)",
+                  file=sys.stderr)
+    for trace_id in selected:
+        rows = by_trace[trace_id]
+        nodes = {row["span_id"]: {**row, "children": []} for row in rows}
+        roots = []
+        for node in nodes.values():
+            parent = nodes.get(node.get("parent_id"))
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        for node in nodes.values():
+            node["children"].sort(key=lambda c: c.get("start_ts") or 0.0)
+        roots.sort(key=lambda r: r.get("start_ts") or 0.0)
+        print(f"trace {trace_id}  ({len(rows)} spans)")
+        for root in roots:
+            _print_span(root, 0)
+        print()
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -529,7 +645,29 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="NAME=WEIGHT",
                      help="round-robin weight for a client_id "
                           "(repeatable; default 1 each)")
+    srv.add_argument("--log-level", default="info",
+                     choices=("debug", "info", "warning", "error"),
+                     help="stderr JSON log threshold (default info)")
+    srv.add_argument("--trace", action="store_true",
+                     help="trace every plan end to end: span trees on "
+                          "GET /v1/debug/traces and 'timing' blocks in "
+                          "detail responses")
+    srv.add_argument("--trace-dir", default=None, metavar="DIR",
+                     help="also append every finished span to "
+                          "DIR/trace-<pid>.jsonl (implies --trace; "
+                          "pretty-print with the 'trace' subcommand)")
     srv.set_defaults(fn=cmd_serve)
+
+    trc = sub.add_parser("trace", help="pretty-print a span dump written "
+                                       "by serve --trace-dir")
+    trc.add_argument("path", metavar="FILE_OR_DIR",
+                     help="a trace-<pid>.jsonl dump, or the --trace-dir "
+                          "holding several")
+    trc.add_argument("--trace-id", default=None, metavar="ID",
+                     help="print only this trace")
+    trc.add_argument("--limit", type=int, default=10,
+                     help="most recent traces to print (default 10)")
+    trc.set_defaults(fn=cmd_trace)
     return parser
 
 
@@ -548,6 +686,13 @@ def main(argv: "list[str] | None" = None) -> int:
         # batch) are user errors, not crashes.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/grep that quit early — routine,
+        # not an error.  Detach stdout so the interpreter does not
+        # complain again while flushing at exit.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ import hashlib
 import json
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 
 from repro.cluster.topology import ClusterSpec
 from repro.core.configurator import PipetteOptions, PipetteResult
@@ -187,6 +187,19 @@ class PlanCache:
             return [(key, entry.bandwidth_fp, entry.result)
                     for key, entry in self._store.items()]
 
+    def stats_snapshot(self) -> CacheStats:
+        """An atomically-consistent copy of :attr:`stats`.
+
+        The live :class:`CacheStats` moves under the cache lock (drain
+        threads bump it mid-lookup) while ``/metrics`` scrapes and
+        service stats reports read it from other threads; copying the
+        fields *under the lock* is what keeps a multi-field read —
+        hits plus misses, a hit rate — from tearing across a
+        concurrent mutation.
+        """
+        with self._lock:
+            return replace(self.stats)
+
     def get(self, key: str, bandwidth_fp: str) -> PipetteResult | None:
         """The cached plan for ``key`` in the current bandwidth epoch.
 
@@ -271,17 +284,17 @@ class PlanCache:
         bound = (
             ("pipette_cache_hits_total",
              "Plan-cache lookups served from the store.",
-             lambda: self.stats.hits),
+             lambda: self.stats_snapshot().hits),
             ("pipette_cache_misses_total",
              "Plan-cache lookups that found no live entry.",
-             lambda: self.stats.misses),
+             lambda: self.stats_snapshot().misses),
             ("pipette_cache_stale_drops_total",
              "Cached plans retired because their bandwidth epoch "
              "no longer matched.",
-             lambda: self.stats.stale_drops),
+             lambda: self.stats_snapshot().stale_drops),
             ("pipette_cache_evictions_total",
              "Cached plans displaced by the LRU capacity bound.",
-             lambda: self.stats.evictions),
+             lambda: self.stats_snapshot().evictions),
         )
         for name, documentation, fn in bound:
             metrics.counter(name, documentation,

@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 def available_workers() -> int:
@@ -114,6 +114,17 @@ class CandidateExecutor:
         if pool is None:
             return [fn(p) for p in payloads]
         return list(pool.map(fn, payloads))
+
+    def stats_snapshot(self) -> ExecutorStats:
+        """An atomically-consistent copy of :attr:`stats`.
+
+        ``map`` bumps both counters under the executor lock from
+        whichever drain thread is searching; readers that report the
+        pair together (service stats, ``/metrics``) copy them under
+        the same lock so the two can never be from different moments.
+        """
+        with self._lock:
+            return replace(self.stats)
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""

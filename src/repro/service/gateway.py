@@ -59,19 +59,24 @@ Use as an async context manager::
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 
 from repro.cluster.fabric import BandwidthMatrix
 from repro.core.configurator import PipetteResult, RankedConfig
+from repro.obs.logs import get_logger
+from repro.obs.trace import TRACER
 from repro.service.cache import PlanRequest
 from repro.service.metrics import MetricsRegistry
 from repro.service.planner import PlanningService, PlanResponse
 from repro.service.registry import ClusterRegistry
 from repro.service.replan import DEFAULT_DRIFT_THRESHOLD
+
+_log = get_logger("service.gateway")
 
 
 class GatewayOverloadedError(RuntimeError):
@@ -91,6 +96,12 @@ class GatewayStats:
         batches: drain batches run on the executor threads.
         answered: tickets answered by those batches.
         max_batch: largest single drain batch.
+
+    Mutations go through :meth:`bump`/:meth:`record_batch` and reads
+    through :meth:`read`/:meth:`snapshot`, all under one lock: the
+    counters move on the event loop while ``/metrics`` scrapes and
+    ``/healthz`` render them from other contexts, and a multi-field
+    report must never interleave with a mutation (snapshot tearing).
     """
 
     submitted: int = 0
@@ -99,6 +110,33 @@ class GatewayStats:
     batches: int = 0
     answered: int = 0
     max_batch: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    #: Fields carried by :meth:`snapshot`, in declaration order.
+    FIELDS = ("submitted", "coalesced", "rejected", "batches", "answered",
+              "max_batch")
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` atomically."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def record_batch(self, size: int) -> None:
+        """Count one drain batch of ``size`` tickets."""
+        with self._lock:
+            self.batches += 1
+            self.max_batch = max(self.max_batch, size)
+
+    def read(self, name: str) -> int:
+        """One counter, read under the lock (metrics pull bindings)."""
+        with self._lock:
+            return getattr(self, name)
+
+    def snapshot(self) -> dict:
+        """All counters as one atomically-consistent mapping."""
+        with self._lock:
+            return {name: getattr(self, name) for name in self.FIELDS}
 
 
 @dataclass
@@ -116,12 +154,17 @@ class GatewayResponse:
             wait included).  Per-caller accounting must not copy the
             leader's search time onto every follower: a follower that
             joined late reports only the wait it actually experienced.
+        trace_id: id of this request's trace when tracing was on
+            (``None`` otherwise); a coalesced follower reports its own
+            trace, which links to the leader's via the
+            ``leader_trace_id`` span attribute.
     """
 
     cluster_name: str
     response: PlanResponse
     coalesced: bool = False
     elapsed_s: float = 0.0
+    trace_id: "str | None" = None
 
     @property
     def status(self) -> str:
@@ -235,6 +278,18 @@ class _FairQueue:
                 break
 
 
+@dataclass
+class _Inflight:
+    """One in-flight leader: its shared future plus trace identity.
+
+    The trace id travels with the future so a coalescing follower can
+    link its own trace to the leader's without awaiting it first.
+    """
+
+    future: asyncio.Future
+    trace_id: "str | None" = None
+
+
 class _Lane:
     """Per-cluster queue, admission bound, fence, and drain task."""
 
@@ -284,12 +339,12 @@ class _GatewayInstruments:
             "pipette_plans_retired_total",
             "Cached plans retired by elastic events.",
             ("cluster",))
-        for field in ("submitted", "coalesced", "rejected", "batches",
-                      "answered"):
+        for name in ("submitted", "coalesced", "rejected", "batches",
+                     "answered"):
             metrics.counter(
-                f"pipette_gateway_{field}_total",
-                f"GatewayStats.{field}, exported live.",
-            ).bind(partial(getattr, stats, field))
+                f"pipette_gateway_{name}_total",
+                f"GatewayStats.{name}, exported live.",
+            ).bind(partial(stats.read, name))
 
 
 class PlanGateway:
@@ -357,7 +412,7 @@ class PlanGateway:
             _GatewayInstruments(metrics, self.stats)
         self._drain_workers = drain_workers
         self._lanes: "dict[str, _Lane]" = {}
-        self._inflight: "dict[tuple[str, str, str], asyncio.Future]" = {}
+        self._inflight: "dict[tuple[str, str, str], _Inflight]" = {}
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
 
@@ -399,69 +454,96 @@ class PlanGateway:
         t0 = time.perf_counter()
         name = cluster if cluster is not None else self.registry.route(request)
         fingerprint = request.fingerprint()
-        while True:
-            service = self.registry.service(name)
-            # The epoch in the key is what fences coalescing across
-            # elastic events: post-event submitters get a fresh key,
-            # hence a fresh search against the post-event matrix —
-            # never the pre-event leader's plan.
-            key = (name, fingerprint, service.bandwidth_fp)
-            existing = self._inflight.get(key)
-            if existing is not None:
-                self.stats.coalesced += 1
+        with TRACER.span("gateway.plan", cluster=name,
+                         fingerprint=fingerprint) as gspan:
+            while True:
+                service = self.registry.service(name)
+                # The epoch in the key is what fences coalescing across
+                # elastic events: post-event submitters get a fresh key,
+                # hence a fresh search against the post-event matrix —
+                # never the pre-event leader's plan.
+                key = (name, fingerprint, service.bandwidth_fp)
+                existing = self._inflight.get(key)
+                if existing is not None:
+                    self.stats.bump("coalesced")
+                    gspan.set_attribute("coalesced", True)
+                    if existing.trace_id is not None:
+                        gspan.set_attribute("leader_trace_id",
+                                            existing.trace_id)
+                    try:
+                        response = await asyncio.shield(existing.future)
+                    except asyncio.CancelledError:
+                        if existing.future.cancelled():
+                            # The leader was cancelled before its request
+                            # was enqueued; this follower retries as the
+                            # new leader instead of hanging on a future
+                            # nobody will resolve.
+                            self.stats.bump("coalesced", -1)
+                            gspan.set_attribute("coalesced", False)
+                            continue
+                        raise  # this caller itself was cancelled
+                    except BaseException:
+                        self._record(name, "failed", None)
+                        raise
+                    self._record(name, "coalesced", t0)
+                    elapsed = time.perf_counter() - t0
+                    _log.debug("plan answered", extra={
+                        "cluster": name, "outcome": "coalesced",
+                        "elapsed_ms": round(elapsed * 1000, 3)})
+                    return GatewayResponse(
+                        cluster_name=name, response=response, coalesced=True,
+                        elapsed_s=elapsed,
+                        trace_id=gspan.trace_id if gspan.recording else None)
+                lane = self._lane(name)
+                future = asyncio.get_running_loop().create_future()
+                self._inflight[key] = _Inflight(
+                    future, gspan.trace_id if gspan.recording else None)
                 try:
-                    response = await asyncio.shield(existing)
+                    if self.overflow == "reject" and lane.slots.locked():
+                        self.stats.bump("rejected")
+                        self._record(name, "rejected", None)
+                        raise GatewayOverloadedError(
+                            f"cluster {name!r} already has "
+                            f"{self.max_queue_depth} requests in flight and "
+                            "the overflow policy is 'reject'; retry later or "
+                            "raise max_queue_depth")
+                    await lane.slots.acquire()
+                except BaseException:
+                    entry = self._inflight.get(key)
+                    if entry is not None and entry.future is future:
+                        del self._inflight[key]
+                    # Wake any follower already coalesced onto this
+                    # never-enqueued future so it can re-lead.
+                    future.cancel()
+                    raise
+                # The wait span ends when the drain picks the item up;
+                # it parents to this caller's gateway span explicitly
+                # because the drain task has its own (unrelated)
+                # context.
+                qspan = TRACER.start_span("queue.wait", parent=gspan,
+                                          cluster=name)
+                lane.queue.put_nowait(
+                    (request, key, future, qspan, gspan),
+                    "" if client_id is None else str(client_id))
+                self.stats.bump("submitted")
+                try:
+                    # Shielded so a cancelled leader does not cancel the
+                    # shared future out from under coalesced followers.
+                    response = await asyncio.shield(future)
                 except asyncio.CancelledError:
-                    if existing.cancelled():
-                        # The leader was cancelled before its request
-                        # was enqueued; this follower retries as the
-                        # new leader instead of hanging on a future
-                        # nobody will resolve.
-                        self.stats.coalesced -= 1
-                        continue
-                    raise  # this caller itself was cancelled
+                    raise
                 except BaseException:
                     self._record(name, "failed", None)
                     raise
-                self._record(name, "coalesced", t0)
+                self._record(name, response.status, t0)
+                elapsed = time.perf_counter() - t0
+                _log.debug("plan answered", extra={
+                    "cluster": name, "outcome": response.status,
+                    "elapsed_ms": round(elapsed * 1000, 3)})
                 return GatewayResponse(
-                    cluster_name=name, response=response, coalesced=True,
-                    elapsed_s=time.perf_counter() - t0)
-            lane = self._lane(name)
-            future = asyncio.get_running_loop().create_future()
-            self._inflight[key] = future
-            try:
-                if self.overflow == "reject" and lane.slots.locked():
-                    self.stats.rejected += 1
-                    self._record(name, "rejected", None)
-                    raise GatewayOverloadedError(
-                        f"cluster {name!r} already has "
-                        f"{self.max_queue_depth} requests in flight and "
-                        "the overflow policy is 'reject'; retry later or "
-                        "raise max_queue_depth")
-                await lane.slots.acquire()
-            except BaseException:
-                if self._inflight.get(key) is future:
-                    del self._inflight[key]
-                # Wake any follower already coalesced onto this
-                # never-enqueued future so it can re-lead.
-                future.cancel()
-                raise
-            lane.queue.put_nowait((request, key, future),
-                                  "" if client_id is None else str(client_id))
-            self.stats.submitted += 1
-            try:
-                # Shielded so a cancelled leader does not cancel the
-                # shared future out from under coalesced followers.
-                response = await asyncio.shield(future)
-            except asyncio.CancelledError:
-                raise
-            except BaseException:
-                self._record(name, "failed", None)
-                raise
-            self._record(name, response.status, t0)
-            return GatewayResponse(cluster_name=name, response=response,
-                                   elapsed_s=time.perf_counter() - t0)
+                    cluster_name=name, response=response,
+                    elapsed_s=elapsed,
+                    trace_id=gspan.trace_id if gspan.recording else None)
 
     def _record(self, cluster: str, outcome: str,
                 t0: "float | None") -> None:
@@ -487,11 +569,15 @@ class PlanGateway:
         response handed out was searched against a matrix its epoch
         actually trusted.  Returns the number of retired plans.
         """
-        async with self._lane(name).fence:
-            retired = await self._run(partial(
-                self.registry.update_bandwidth, name, new_bandwidth,
-                drift_threshold=drift_threshold))
+        with TRACER.span("event.bandwidth", cluster=name) as span:
+            async with self._lane(name).fence:
+                retired = await self._run(partial(
+                    self.registry.update_bandwidth, name, new_bandwidth,
+                    drift_threshold=drift_threshold))
+            span.set_attribute("retired", retired)
         self._record_event(name, "bandwidth", retired)
+        _log.info("bandwidth event", extra={"cluster": name,
+                                            "retired": retired})
         return retired
 
     async def fail_nodes(self, name: str, *failed_nodes: int) -> int:
@@ -502,10 +588,16 @@ class PlanGateway:
         survivor cluster) plan fresh.  Returns the number of retired
         plans.
         """
-        async with self._lane(name).fence:
-            retired = await self._run(partial(
-                self.registry.fail_nodes, name, *failed_nodes))
+        with TRACER.span("event.failure", cluster=name,
+                         failed_nodes=list(failed_nodes)) as span:
+            async with self._lane(name).fence:
+                retired = await self._run(partial(
+                    self.registry.fail_nodes, name, *failed_nodes))
+            span.set_attribute("retired", retired)
         self._record_event(name, "failure", retired)
+        _log.info("node failure", extra={"cluster": name,
+                                         "failed_nodes": list(failed_nodes),
+                                         "retired": retired})
         return retired
 
     def _record_event(self, cluster: str, kind: str, retired: int) -> None:
@@ -521,7 +613,7 @@ class PlanGateway:
         if self._closed:
             return
         self._closed = True
-        pending = list(self._inflight.values())
+        pending = [entry.future for entry in self._inflight.values()]
         if pending:
             await asyncio.gather(*(asyncio.shield(f) for f in pending),
                                  return_exceptions=True)
@@ -600,28 +692,34 @@ class PlanGateway:
             except asyncio.CancelledError:
                 raise
             except BaseException as exc:
-                for _, key, future in items:
+                for _, key, future, qspan, _parent in items:
+                    qspan.end()
                     self._resolve(lane, key, future, exc=exc)
 
     async def _drain_batch(self, lane: _Lane, items: list) -> None:
         try:
             service = self.registry.service(lane.name)
         except ValueError as exc:  # unregistered while queued
-            for _, key, future in items:
+            for _, key, future, qspan, _parent in items:
+                qspan.end()
                 self._resolve(lane, key, future, exc=exc)
             return
         tickets = []
-        for request, key, future in items:
+        for request, key, future, qspan, parent in items:
+            # Queue wait ends here: the drain has picked the item up
+            # and the rest of its life is the service's spans, which
+            # parent to the caller's gateway span via the ticket.
+            qspan.end()
             try:
-                ticket = service.submit(request)
+                ticket = service.submit(request, trace=parent
+                                        if parent.recording else None)
             except (ValueError, RuntimeError) as exc:
                 self._resolve(lane, key, future, exc=exc)
                 continue
             tickets.append((ticket, key, future))
         if not tickets:
             return
-        self.stats.batches += 1
-        self.stats.max_batch = max(self.stats.max_batch, len(tickets))
+        self.stats.record_batch(len(tickets))
         try:
             responses = await self._run(service.drain)
         except asyncio.CancelledError:
@@ -645,7 +743,7 @@ class PlanGateway:
                     f"gateway on cluster {lane.name!r}"))
             else:
                 self._resolve(lane, key, future, response=response)
-                self.stats.answered += 1
+                self.stats.bump("answered")
 
     def _resolve(self, lane: _Lane, key, future,
                  response: PlanResponse | None = None,
@@ -656,7 +754,8 @@ class PlanGateway:
         :meth:`_drain_batch` already resolved; the ``done()`` guard
         keeps the slot release exactly-once per enqueued item.
         """
-        if self._inflight.get(key) is future:
+        entry = self._inflight.get(key)
+        if entry is not None and entry.future is future:
             del self._inflight[key]
         if future.done():
             return

@@ -15,8 +15,10 @@ Route                 Meaning
                       full result payload)
 ``POST /v1/events/bandwidth``  adopt a re-profiled matrix on one cluster
 ``POST /v1/events/failure``    apply a node failure to one cluster
-``GET /healthz``      liveness + registered clusters
+``GET /healthz``      liveness, uptime, version, clusters, store paths
 ``GET /metrics``      Prometheus text exposition of the serving metrics
+``GET /v1/debug/traces``        recent trace summaries (ring buffer)
+``GET /v1/debug/traces/<id>``   one trace's full span tree
 ====================  =====================================================
 
 Request/response schemas, curl examples, and the full metrics catalog
@@ -51,12 +53,21 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import time
 
 import numpy as np
 
+import repro
 from repro.cluster.fabric import BandwidthMatrix
 from repro.core import PipetteOptions
 from repro.model import get_model
+from repro.obs.logs import get_logger
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACER,
+    format_traceparent,
+    parse_traceparent,
+)
 from repro.service.gateway import GatewayOverloadedError, PlanGateway
 from repro.service.metrics import MetricsRegistry
 from repro.service.registry import cheapest_rank_key
@@ -71,6 +82,8 @@ __all__ = ["HttpError", "HttpPlanServer", "answer_payload",
 MAX_BODY_BYTES = 1 << 20
 
 _JSON = "application/json; charset=utf-8"
+
+_log = get_logger("service.http")
 
 _REASONS = {
     200: "OK",
@@ -165,11 +178,18 @@ def plan_response_payload(answer, payload: dict) -> dict:
     With ``"detail": true`` in the request, the full
     :meth:`~repro.core.configurator.PipetteResult.to_payload` rides
     along under ``"result"``, which is what makes byte-identity
-    through the transport testable.
+    through the transport testable.  When tracing is on, the answer
+    additionally carries its ``trace_id``, and detail responses embed
+    the request's own span tree under ``"timing"`` — the per-request
+    twin of ``GET /v1/debug/traces/<id>``, rendered while the trace
+    may still be open.
     """
     out = {"cluster": answer.cluster_name,
            "status": answer.status,
            "elapsed_ms": round(answer.elapsed_s * 1e3, 3)}
+    trace_id = getattr(answer, "trace_id", None)
+    if trace_id is not None:
+        out["trace_id"] = trace_id
     best = answer.best
     if best is None:
         out["status"] = "error"
@@ -181,6 +201,10 @@ def plan_response_payload(answer, payload: dict) -> dict:
             out["memory_gib"] = round(best.estimated_memory_bytes / GIB, 3)
         if payload.get("detail") and answer.result is not None:
             out["result"] = answer.result.to_payload()
+            if trace_id is not None:
+                timing = TRACER.trace(trace_id)
+                if timing is not None:
+                    out["timing"] = timing
     return out
 
 
@@ -251,13 +275,16 @@ def _keep_alive(version: str, headers: "dict[str, str]") -> bool:
 
 def _write_response(writer: asyncio.StreamWriter, status: int, body: bytes,
                     content_type: str, keep_alive: bool,
-                    allow: str | None = None) -> None:
+                    allow: str | None = None,
+                    extra_headers: "dict[str, str] | None" = None) -> None:
     head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
             f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
     if allow is not None:
         head.append(f"Allow: {allow}")
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
 
 
@@ -297,6 +324,7 @@ class HttpPlanServer:
         self.options = options
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.max_body_bytes = int(max_body_bytes)
+        self._started_monotonic = time.monotonic()
         self._http_requests = self.metrics.counter(
             "pipette_http_requests_total",
             "HTTP requests served, by method, route, and status code.",
@@ -307,6 +335,7 @@ class HttpPlanServer:
             ("POST", "/v1/events/failure"): self._event_failure,
             ("GET", "/healthz"): self._healthz,
             ("GET", "/metrics"): self._metrics_page,
+            ("GET", "/v1/debug/traces"): self._traces_index,
         }
 
     # ------------------------------------------------------- connection
@@ -336,11 +365,32 @@ class HttpPlanServer:
                     break
                 method, path, version, headers, body = parsed
                 keep_alive = _keep_alive(version, headers)
-                status, content_type, out, route, allow = \
-                    await self._dispatch(method, path, body)
+                span = self._request_span(method, path, headers)
+                token = TRACER.activate(span) if span.recording else None
+                t0 = time.monotonic()
+                try:
+                    status, content_type, out, route, allow = \
+                        await self._dispatch(method, path, body)
+                    # Logged while the span is still active so the
+                    # record carries this request's trace/span ids.
+                    _log.debug("request", extra={
+                        "method": method, "route": route, "code": status,
+                        "duration_ms":
+                            round((time.monotonic() - t0) * 1000, 3)})
+                finally:
+                    if token is not None:
+                        TRACER.deactivate(token)
+                extra = None
+                if span.recording:
+                    # The response names *this server's* root span, so
+                    # an upstream caller's trace links to our spans.
+                    extra = {"traceparent": format_traceparent(span)}
+                    span.set_attribute("status", status)
+                span.end()
                 self._count(method, route, status)
                 _write_response(writer, status, out, content_type,
-                                keep_alive, allow=allow)
+                                keep_alive, allow=allow,
+                                extra_headers=extra)
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -355,13 +405,48 @@ class HttpPlanServer:
         self._http_requests.labels(method=method, route=route,
                                    code=str(status)).inc()
 
+    #: Paths whose requests are never traced: scrapes and debug reads
+    #: would bury the plan traces they exist to observe.
+    _UNTRACED = ("/metrics", "/healthz", "/v1/debug")
+
+    def _request_span(self, method: str, path: str,
+                      headers: "dict[str, str]"):
+        """The root span of one request (or the null span).
+
+        Honors an incoming W3C ``traceparent`` header, so this
+        request's spans join the remote caller's trace instead of
+        starting a fresh one.
+        """
+        if not TRACER.enabled \
+                or any(path.startswith(p) for p in self._UNTRACED):
+            return NULL_SPAN
+        remote = None
+        header = headers.get("traceparent")
+        if header is not None:
+            remote = parse_traceparent(header)
+        return TRACER.start_span("http.request", remote=remote,
+                                 method=method, path=path)
+
     async def _dispatch(self, method: str, path: str, body: bytes):
         """Route one request -> (status, content type, body, route, allow).
 
         The ``route`` element is the matched route template (or
         ``"unmatched"``) so the HTTP counter's label cardinality stays
-        bounded no matter what paths clients probe.
+        bounded no matter what paths clients probe — the per-trace
+        debug route counts under one ``/v1/debug/traces/{id}``
+        template, never per trace id.
         """
+        if path.startswith("/v1/debug/traces/"):
+            trace_id = path[len("/v1/debug/traces/"):]
+            route = "/v1/debug/traces/{id}"
+            if method != "GET":
+                return (405, _JSON,
+                        _json_body({"status": "error",
+                                    "error": f"{method} is not allowed on "
+                                             f"{path}"}),
+                        route, "GET")
+            status, content_type, out = self._trace_detail(trace_id)
+            return status, content_type, out, route, None
         handler = self._routes.get((method, path))
         if handler is None:
             allowed = sorted(m for m, p in self._routes if p == path)
@@ -376,7 +461,7 @@ class HttpPlanServer:
                                 "error": f"unknown route {path}; serving "
                                          "/v1/plan, /v1/events/bandwidth, "
                                          "/v1/events/failure, /healthz, "
-                                         "/metrics"}),
+                                         "/metrics, /v1/debug/traces"}),
                     "unmatched", None)
         try:
             status, content_type, out = await handler(body)
@@ -479,14 +564,37 @@ class HttpPlanServer:
         return str(name)
 
     async def _healthz(self, body: bytes):
-        stats = self.gateway.stats
+        counters = self.gateway.stats.snapshot()
+        stores = {}
+        for name in self.gateway.registry.names:
+            store = getattr(self.gateway.registry.service(name).cache,
+                            "store", None)
+            stores[name] = str(store.path) if store is not None else None
         return 200, _JSON, _json_body(
             {"status": "ok",
+             "version": repro.__version__,
+             "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
              "clusters": self.gateway.registry.names,
-             "submitted": stats.submitted,
-             "coalesced": stats.coalesced,
-             "rejected": stats.rejected})
+             "stores": stores,
+             "tracing": TRACER.enabled,
+             "submitted": counters["submitted"],
+             "coalesced": counters["coalesced"],
+             "rejected": counters["rejected"]})
 
     async def _metrics_page(self, body: bytes):
         return (200, MetricsRegistry.CONTENT_TYPE,
                 self.metrics.render().encode("utf-8"))
+
+    async def _traces_index(self, body: bytes):
+        return 200, _JSON, _json_body(
+            {"enabled": TRACER.enabled, "traces": TRACER.traces()})
+
+    def _trace_detail(self, trace_id: str):
+        tree = TRACER.trace(trace_id)
+        if tree is None:
+            return (404, _JSON,
+                    _json_body({"status": "error",
+                                "error": f"no trace {trace_id!r}; see "
+                                         "GET /v1/debug/traces for the "
+                                         "retained ids"}))
+        return 200, _JSON, _json_body(tree)

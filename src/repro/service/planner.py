@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.fabric import BandwidthMatrix
 from repro.cluster.topology import ClusterSpec
@@ -33,6 +33,8 @@ from repro.core.configurator import (
 )
 from repro.core.memory_estimator import MemoryEstimator
 from repro.model.transformer import TransformerConfig
+from repro.obs.logs import get_logger
+from repro.obs.trace import TRACER, Span
 from repro.profiling.profile_run import ComputeProfile, profile_compute
 from repro.service.cache import PlanCache, PlanRequest
 from repro.service.executor import CandidateExecutor
@@ -46,14 +48,24 @@ from repro.service.replan import (
     surviving_gpus,
 )
 
+_log = get_logger("service.planner")
+
 
 @dataclass(frozen=True)
 class PlanTicket:
-    """Receipt for one queued request."""
+    """Receipt for one queued request.
+
+    ``trace`` optionally carries the caller's span across the queue:
+    the gateway submits from the event loop but the drain answers in a
+    worker thread, where context-local parenting cannot follow — the
+    ticket itself is the hand-off.  Excluded from comparison and repr;
+    a traced ticket equals its untraced twin.
+    """
 
     index: int
     fingerprint: str
     request: PlanRequest
+    trace: "Span | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -154,7 +166,8 @@ class PlanningService:
         return PlanRequest(cluster=self.cluster, model=model,
                            global_batch=global_batch, **kwargs)
 
-    def _make_ticket(self, request: PlanRequest) -> PlanTicket:
+    def _make_ticket(self, request: PlanRequest,
+                     trace: "Span | None" = None) -> PlanTicket:
         with self._lock:
             if request.cluster != self.cluster:
                 raise ValueError(
@@ -167,26 +180,46 @@ class PlanningService:
                 )
             ticket = PlanTicket(index=self._submitted,
                                 fingerprint=request.fingerprint(),
-                                request=request)
+                                request=request, trace=trace)
             self._submitted += 1
             return ticket
 
-    def submit(self, request: PlanRequest) -> PlanTicket:
-        """Queue a request; :meth:`drain` answers all queued tickets."""
+    def submit(self, request: PlanRequest,
+               trace: "Span | None" = None) -> PlanTicket:
+        """Queue a request; :meth:`drain` answers all queued tickets.
+
+        ``trace`` rides along on the ticket so the spans of the
+        eventual answer parent to the submitting caller's trace even
+        though the drain runs in a different thread.
+        """
         with self._lock:
-            ticket = self._make_ticket(request)
+            ticket = self._make_ticket(request, trace=trace)
             self._queue.append(ticket)
             return ticket
 
     def _answer(self, ticket: PlanTicket) -> PlanResponse:
         """Answer one ticket from cache or by searching (may raise)."""
         t0 = time.perf_counter()
+        lookup = TRACER.start_span("plan.cache_lookup", parent=ticket.trace,
+                                   fingerprint=ticket.fingerprint)
         result = self.cache.get(ticket.fingerprint, self.bandwidth_fp)
+        lookup.set_attribute("outcome",
+                             "miss" if result is None else "hit").end()
         status = "hit"
         if result is None:
-            result = self._search(ticket.request)
+            with TRACER.span("plan.search", parent=ticket.trace,
+                             fingerprint=ticket.fingerprint,
+                             cluster=self.cluster.name):
+                result = self._search(ticket.request)
             self.cache.put(ticket.fingerprint, self.bandwidth_fp, result)
             status = "miss"
+        # The drain thread has no context-local span, so the join key
+        # is spelled out from the ticket's own trace.
+        extra = {"cluster": self.cluster.name, "status": status,
+                 "elapsed_ms": round((time.perf_counter() - t0) * 1000, 3)}
+        if ticket.trace is not None and ticket.trace.recording:
+            extra["trace_id"] = ticket.trace.trace_id
+        _log.debug("ticket answered", extra=extra)
         return PlanResponse(ticket=ticket, result=result, status=status,
                             elapsed_s=time.perf_counter() - t0)
 
@@ -423,19 +456,24 @@ class PlanningService:
             return self._stats_locked()
 
     def _stats_locked(self) -> dict:
+        # Both stats objects are copied atomically under their own
+        # locks — field-by-field reads of live stats can tear against
+        # a drain bumping them in another thread.
+        cache_stats = self.cache.stats_snapshot()
         out = {
             "requests_submitted": self._submitted,
             "cache_entries": len(self.cache),
-            "cache_hits": self.cache.stats.hits,
-            "cache_misses": self.cache.stats.misses,
-            "cache_hit_rate": self.cache.stats.hit_rate,
-            "cache_evictions": self.cache.stats.evictions,
-            "cache_stale_drops": self.cache.stats.stale_drops,
+            "cache_hits": cache_stats.hits,
+            "cache_misses": cache_stats.misses,
+            "cache_hit_rate": cache_stats.hit_rate,
+            "cache_evictions": cache_stats.evictions,
+            "cache_stale_drops": cache_stats.stale_drops,
             "profiled_models": len(self._profiles),
         }
         if self.executor is not None:
+            executor_stats = self.executor.stats_snapshot()
             out["executor_kind"] = self.executor.kind
             out["executor_workers"] = self.executor.n_workers
-            out["executor_batches"] = self.executor.stats.batches
-            out["executor_tasks"] = self.executor.stats.tasks
+            out["executor_batches"] = executor_stats.batches
+            out["executor_tasks"] = executor_stats.tasks
         return out

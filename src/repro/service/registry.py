@@ -40,6 +40,7 @@ from repro.cluster.topology import ClusterSpec
 from repro.core.configurator import PipetteResult, RankedConfig
 from repro.core.memory_estimator import MemoryEstimator
 from repro.model.transformer import TransformerConfig
+from repro.obs.trace import TRACER
 from repro.service.cache import PlanCache, PlanRequest
 from repro.service.executor import CandidateExecutor
 from repro.service.planner import PlanningService, PlanResponse, PlanTicket
@@ -181,14 +182,16 @@ class ClusterRegistry:
         was built for); with duplicate specs the earliest registration
         wins, matching LRU-style stability.
         """
-        for name, service in self._snapshot():
-            if service.cluster == request.cluster:
-                return name
-        raise ValueError(
-            f"no registered cluster matches the request's "
-            f"{request.cluster.name!r} ({request.cluster.n_nodes} nodes); "
-            f"registered: {self.names or 'none'}"
-        )
+        with TRACER.span("registry.route") as span:
+            for name, service in self._snapshot():
+                if service.cluster == request.cluster:
+                    span.set_attribute("cluster", name)
+                    return name
+            raise ValueError(
+                f"no registered cluster matches the request's "
+                f"{request.cluster.name!r} ({request.cluster.n_nodes} "
+                f"nodes); registered: {self.names or 'none'}"
+            )
 
     def plan(self, request: PlanRequest,
              cluster: str | None = None) -> RoutedResponse:

@@ -38,6 +38,8 @@ from repro.core.configurator import (
 )
 from repro.core.memory_estimator import MemoryEstimator
 from repro.model.transformer import TransformerConfig
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import TRACER
 from repro.parallel.mapping import (
     WorkerGrid,
     compact_mapping_after_failure,
@@ -287,52 +289,72 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
         new_cluster = cluster
         new_bw = new_bandwidth
 
-    # Warm path: re-rank the configuration space with naive mappings
-    # only (no annealing), then polish the leader's warm-started
-    # mapping with a short anneal.
-    t0 = time.perf_counter()
-    naive = PipetteConfigurator(
-        new_cluster, model, new_bw, profile, memory_estimator,
-        options=replace(options, use_worker_dedication=False),
-    ).search(global_batch, memory_limit_bytes=memory_limit_bytes,
-             micro_batches=micro_batches, executor=executor)
-    if naive.best is None:
-        raise RuntimeError("no feasible configuration on the post-event "
-                           "cluster; cannot re-plan")
-    leader = naive.best
-    ctx = SearchContext(cluster=new_cluster, model=model, bandwidth=new_bw,
-                        profile=profile, memory_estimator=memory_estimator,
-                        sa=warm_sa)
-    start_mapping = _warm_mapping(event, previous, leader, new_cluster)
-    # The warm polish runs against the compiled latency kernel — same
-    # values as the reference estimator bit for bit, so warm results
-    # remain comparable with (and cacheable alongside) cold searches.
-    sa_result = anneal_mapping(
-        start_mapping,
-        candidate_kernel(ctx, leader.config),
-        warm_sa.with_seed(options.seed),
-    )
-    warm_search_s = time.perf_counter() - t0
-    warm = RankedConfig(
-        config=leader.config, mapping=sa_result.mapping,
-        estimated_latency_s=sa_result.value,
-        estimated_memory_bytes=leader.estimated_memory_bytes,
-        memory_ok=leader.memory_ok,
-    )
+    # The whole re-plan is one span tagged with the triggering event,
+    # so failure-recovery latency is directly measurable per event
+    # kind in traces and the phase-latency histogram.
+    with TRACER.span("replan", event_kind=event.kind,
+                     failed_nodes=list(event.failed_nodes),
+                     event_day=event.day) as replan_span:
+        # Warm path: re-rank the configuration space with naive
+        # mappings only (no annealing), then polish the leader's
+        # warm-started mapping with a short anneal.
+        t0 = time.perf_counter()
+        with TRACER.span("replan.rerank"):
+            naive = PipetteConfigurator(
+                new_cluster, model, new_bw, profile, memory_estimator,
+                options=replace(options, use_worker_dedication=False),
+            ).search(global_batch, memory_limit_bytes=memory_limit_bytes,
+                     micro_batches=micro_batches, executor=executor)
+        if naive.best is None:
+            raise RuntimeError("no feasible configuration on the post-event "
+                               "cluster; cannot re-plan")
+        leader = naive.best
+        ctx = SearchContext(cluster=new_cluster, model=model,
+                            bandwidth=new_bw, profile=profile,
+                            memory_estimator=memory_estimator, sa=warm_sa)
+        start_mapping = _warm_mapping(event, previous, leader, new_cluster)
+        # The warm polish runs against the compiled latency kernel —
+        # same values as the reference estimator bit for bit, so warm
+        # results remain comparable with (and cacheable alongside)
+        # cold searches.  The polish runs inline, so its flight
+        # recorder (provenance "warm-start") lands on the span
+        # directly rather than crossing a pool boundary.
+        recorder = FlightRecorder(provenance="warm-start") \
+            if TRACER.enabled else None
+        with TRACER.span("replan.warm_anneal") as warm_span:
+            sa_result = anneal_mapping(
+                start_mapping,
+                candidate_kernel(ctx, leader.config),
+                warm_sa.with_seed(options.seed),
+                recorder=recorder,
+            )
+            if recorder is not None:
+                warm_span.set_attribute("flight", recorder.to_payload())
+                warm_span.set_attribute("exit_reason", sa_result.exit_reason)
+        warm_search_s = time.perf_counter() - t0
+        warm = RankedConfig(
+            config=leader.config, mapping=sa_result.mapping,
+            estimated_latency_s=sa_result.value,
+            estimated_memory_bytes=leader.estimated_memory_bytes,
+            memory_ok=leader.memory_ok,
+        )
 
-    report = ReplanReport(
-        event=event, cluster=new_cluster, bandwidth=new_bw,
-        previous=previous, warm=warm,
-        warm_start_latency_s=sa_result.initial_value,
-        warm_search_s=warm_search_s,
-    )
-    if run_cold:
-        cold_result = PipetteConfigurator(
-            new_cluster, model, new_bw, profile, memory_estimator,
-            options=options,
-        ).search(global_batch, memory_limit_bytes=memory_limit_bytes,
-                 micro_batches=micro_batches, executor=executor)
-        report.cold = cold_result.best
-        report.cold_search_s = cold_result.total_s
-        report.cold_result = cold_result
-    return report
+        report = ReplanReport(
+            event=event, cluster=new_cluster, bandwidth=new_bw,
+            previous=previous, warm=warm,
+            warm_start_latency_s=sa_result.initial_value,
+            warm_search_s=warm_search_s,
+        )
+        if run_cold:
+            with TRACER.span("replan.cold_search"):
+                cold_result = PipetteConfigurator(
+                    new_cluster, model, new_bw, profile, memory_estimator,
+                    options=options,
+                ).search(global_batch,
+                         memory_limit_bytes=memory_limit_bytes,
+                         micro_batches=micro_batches, executor=executor)
+            report.cold = cold_result.best
+            report.cold_search_s = cold_result.total_s
+            report.cold_result = cold_result
+        replan_span.set_attribute("warm_search_s", warm_search_s)
+        return report

@@ -55,5 +55,13 @@ def test_docs_actually_link_each_other():
     readme_links = _relative_links(ROOT / "README.md")
     assert "docs/ARCHITECTURE.md" in readme_links
     assert "docs/SERVING.md" in readme_links
-    assert "SERVING.md" in _relative_links(ROOT / "docs" / "ARCHITECTURE.md")
-    assert "ARCHITECTURE.md" in _relative_links(ROOT / "docs" / "SERVING.md")
+    assert "docs/OBSERVABILITY.md" in readme_links
+    arch_links = _relative_links(ROOT / "docs" / "ARCHITECTURE.md")
+    assert "SERVING.md" in arch_links
+    assert "OBSERVABILITY.md" in arch_links
+    serving_links = _relative_links(ROOT / "docs" / "SERVING.md")
+    assert "ARCHITECTURE.md" in serving_links
+    assert "OBSERVABILITY.md" in serving_links
+    obs_links = _relative_links(ROOT / "docs" / "OBSERVABILITY.md")
+    assert "SERVING.md" in obs_links
+    assert "ARCHITECTURE.md" in obs_links

@@ -124,6 +124,68 @@ class TestHistogram:
         with pytest.raises(MetricsError, match="ascending"):
             MetricsRegistry().histogram("h", "h", buckets=(2.0, 1.0))
 
+    def test_duplicate_buckets_rejected(self):
+        with pytest.raises(MetricsError, match="ascending"):
+            MetricsRegistry().histogram("h", "h", buckets=(1.0, 1.0, 2.0))
+
+    def test_rendered_buckets_are_monotone(self):
+        # The exposition contract: per series, _bucket counts are
+        # nondecreasing in `le` and the +Inf bucket equals _count.
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("m_seconds", "m", ("cluster",),
+                                 buckets=(0.01, 0.1, 1.0, 10.0))
+        for cluster, values in (("a", (0.005, 0.05, 0.05, 5.0, 50.0)),
+                                ("b", (0.5,))):
+            child = hist.labels(cluster=cluster)
+            for value in values:
+                child.observe(value)
+        samples = parse_prometheus(metrics.render())
+        for cluster, n in (("a", 5), ("b", 1)):
+            counts = [metric_value(samples, "m_seconds_bucket",
+                                   cluster=cluster, le=le)
+                      for le in ("0.01", "0.1", "1", "10", "+Inf")]
+            assert counts == sorted(counts), counts
+            assert counts[-1] == n
+            assert metric_value(samples, "m_seconds_count",
+                                cluster=cluster) == n
+
+
+class TestLabelEscaping:
+    def test_quotes_backslashes_newlines_in_label_values(self):
+        metrics = MetricsRegistry()
+        counter = metrics.counter("esc_total", "e", ("path",))
+        counter.labels(path='say "hi"\\twice\nplease').inc(3)
+        text = metrics.render()
+        line = next(l for l in text.splitlines()
+                    if l.startswith("esc_total{"))
+        # Exposition rules: backslash first, then quote, then newline —
+        # and the raw control characters must never reach the wire.
+        assert '\\"hi\\"' in line
+        assert "\\\\twice" in line
+        assert "\\nplease" in line
+        assert "\n" not in line
+        assert line.endswith(" 3")
+
+    def test_escaped_values_stay_distinct_series(self):
+        # "a\"b" and the literal three characters a"b collide only if
+        # escaping is applied at render time, not at key time.
+        metrics = MetricsRegistry()
+        counter = metrics.counter("dis_total", "d", ("k",))
+        counter.labels(k='a"b').inc()
+        counter.labels(k="a\\\"b").inc(2)
+        lines = [l for l in metrics.render().splitlines()
+                 if l.startswith("dis_total{")]
+        assert len(lines) == 2
+        assert sorted(int(l.rsplit(" ", 1)[1]) for l in lines) == [1, 2]
+
+    def test_help_text_newlines_escaped(self):
+        metrics = MetricsRegistry()
+        metrics.counter("doc_total", "line one\nline two \\ done")
+        help_line = next(l for l in metrics.render().splitlines()
+                         if l.startswith("# HELP doc_total"))
+        assert help_line == \
+            "# HELP doc_total line one\\nline two \\\\ done"
+
 
 class TestRegistry:
     def test_same_name_same_shape_returns_existing_family(self):
