@@ -61,6 +61,18 @@ def main() -> None:
         print(render_gantt(result.timeline, config.pp))
         print()
 
+    # Interleaved 1F1B needs n_mb to be a multiple of pp, so it gets
+    # its own 8-microbatch shape; each device runs two model chunks,
+    # halving the fill/drain bubble at the cost of doubled hops.
+    inter = ParallelConfig(pp=4, tp=8, dp=1, micro_batch=2,
+                           global_batch=16, schedule="interleaved_1f1b")
+    result = simulate_iteration(model, inter, mapping, bw,
+                                jitter_sigma=0.0, record_timeline=True)
+    print(f"--- interleaved 1F1B (2 chunks/device, 8 microbatches): "
+          f"{result.time_s:.3f} s/iter ---")
+    print(render_gantt(result.timeline, inter.pp))
+    print()
+
     # The memory side of the trade-off (Fig. 2's point).
     from repro.sim import simulated_max_memory_bytes
     from repro.units import GIB

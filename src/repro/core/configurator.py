@@ -47,7 +47,15 @@ from repro.profiling.profile_run import ComputeProfile
 #: Schema version of the ``to_payload`` serializations below.  Bump it
 #: whenever a payload's shape changes; readers refuse versions they do
 #: not understand rather than silently mis-deserializing.
-PAYLOAD_VERSION = 1
+#: Version history: 1 — pre-schedule payloads (configs carry no
+#: ``schedule`` key and are implicitly 1F1B); 2 — configs record their
+#: pipeline schedule.
+PAYLOAD_VERSION = 2
+
+#: Payload versions :meth:`PipetteResult.from_payload` can read.
+#: Version-1 configs rehydrate as 1F1B via
+#: :meth:`repro.parallel.config.ParallelConfig.from_payload`.
+READABLE_PAYLOAD_VERSIONS = (1, PAYLOAD_VERSION)
 
 
 @dataclass(frozen=True)
@@ -101,11 +109,12 @@ class RankedConfig:
         """Deterministic ranking key: latency, then configuration shape.
 
         Symmetric clusters produce exact latency ties; breaking them on
-        ``(pp, tp, dp, micro_batch)`` keeps rankings stable across runs
-        and across serial/parallel worker pools.
+        ``(pp, tp, dp, micro_batch, schedule)`` keeps rankings stable
+        across runs and across serial/parallel worker pools.
         """
         return (self.estimated_latency_s, self.config.pp, self.config.tp,
-                self.config.dp, self.config.micro_batch)
+                self.config.dp, self.config.micro_batch,
+                self.config.schedule)
 
     def to_payload(self) -> dict:
         """JSON-serializable form (see :mod:`repro.service.store`).
@@ -186,10 +195,11 @@ class PipetteResult:
     def from_payload(cls, payload: dict) -> "PipetteResult":
         """Inverse of :meth:`to_payload`."""
         version = payload.get("version")
-        if version != PAYLOAD_VERSION:
+        if version not in READABLE_PAYLOAD_VERSIONS:
+            readable = ", ".join(str(v) for v in READABLE_PAYLOAD_VERSIONS)
             raise ValueError(
                 f"unsupported PipetteResult payload version {version!r} "
-                f"(this build reads version {PAYLOAD_VERSION})"
+                f"(this build reads versions {readable})"
             )
         cluster = None if payload["cluster"] is None \
             else ClusterSpec.from_payload(payload["cluster"])
@@ -426,6 +436,7 @@ class PipetteConfigurator:
     def search(self, global_batch: int,
                memory_limit_bytes: float | None = None,
                micro_batches: "list[int] | None" = None,
+               schedules: "tuple[str, ...] | list[str] | None" = None,
                executor=None) -> PipetteResult:
         """Run Algorithm 1 and return the ranked feasible configurations.
 
@@ -435,6 +446,10 @@ class PipetteConfigurator:
                 GPU's physical memory.
             micro_batches: restrict the swept microbatch sizes (the
                 sensitivity studies of Fig. 9 pin ``bs_micro``).
+            schedules: pipeline-schedule names to sweep as an extra
+                search dimension; defaults to 1F1B only (the paper's
+                assumption), which reproduces the pre-schedule search
+                bit for bit.
             executor: optional candidate executor (see
                 :func:`run_units`); fans the memory check, naive
                 scoring and SA refinement over a worker pool.  Results
@@ -449,6 +464,7 @@ class PipetteConfigurator:
             n_layers=self.model.n_layers,
             micro_batches=micro_batches,
             max_micro_batch=self.options.max_micro_batch,
+            schedules=schedules,
         )
         ctx = self.context()
 
@@ -536,6 +552,7 @@ class PipetteConfigurator:
         attributes = {
             "config": f"pp{entry.config.pp}·tp{entry.config.tp}"
                       f"·dp{entry.config.dp}·mb{entry.config.micro_batch}",
+            "schedule": entry.config.schedule,
             "estimated_latency_s": entry.estimated_latency_s,
         }
         if flight is not None:

@@ -117,8 +117,12 @@ class LatencyKernel:
             self._tp_factor = 1.5
         self._c = c
         self._n_mb = config.n_microbatches
-        self._bubble_ratio = config.n_microbatches / pp
         self._eff = options.collective_efficiency
+        # Resolve the schedule's analytic critical-time function once;
+        # ``_finish`` calls it on every objective evaluation.
+        from repro.sim.schedule import schedule_type
+
+        self._critical_time = schedule_type(config.schedule).critical_time
 
         matrix = bandwidth.matrix
         # ``blocked[s1, y1, s2, y2] == matrix[s1*tp + y1, s2*tp + y2]``.
@@ -277,10 +281,12 @@ class LatencyKernel:
     def _finish(self, pp: int, c_tp: float, t_pp: float,
                 t_dp: float) -> float:
         if self.options.hidden_critical_path:
-            # Eq. (3)-(4): T = T_bubble * (n_mb / pp) + T_straggler + T_DP.
-            t_bubble = pp * c_tp + t_pp
-            t_straggler = (pp - 1) * c_tp
-            return t_bubble * self._bubble_ratio + t_straggler + t_dp
+            # Schedule-aware Eq. (3)-(4): the schedule's analytic
+            # critical time plus T_DP.  For 1F1B the resolved function
+            # computes ``T_bubble * (n_mb / pp) + T_straggler``
+            # verbatim, keeping the kernel bit-identical to the
+            # pre-schedule implementation.
+            return self._critical_time(pp, self._n_mb, c_tp, t_pp) + t_dp
         # Eq. (1): the inter-stage communication is paid only once.
         return (self._n_mb - 1) * c_tp + pp * c_tp + t_pp + t_dp
 

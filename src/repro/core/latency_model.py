@@ -188,10 +188,14 @@ def latency_with_options(model: TransformerConfig, config: ParallelConfig,
         / options.collective_efficiency
 
     if options.hidden_critical_path:
-        # Eq. (3)-(4): T = T_bubble * (n_mb / pp) + T_straggler + T_DP.
-        t_bubble = pp * c_tp + t_pp
-        t_straggler = (pp - 1) * c_tp
-        return t_bubble * (n_mb / pp) + t_straggler + t_dp
+        # Eq. (3)-(4) generalized per schedule: the schedule's own
+        # analytic critical time (for 1F1B, verbatim
+        # ``T_bubble * (n_mb / pp) + T_straggler``), plus T_DP.
+        from repro.sim.schedule import pipeline_critical_time
+
+        critical = pipeline_critical_time(config.schedule, pp, n_mb,
+                                          c_tp, t_pp)
+        return critical + t_dp
     # Eq. (1): the inter-stage communication is paid only once.
     return (n_mb - 1) * c_tp + pp * c_tp + t_pp + t_dp
 

@@ -148,9 +148,15 @@ class MemoryEstimator:
 
     @staticmethod
     def _prior_bytes(model: TransformerConfig, config: ParallelConfig) -> float:
+        # The physics prior follows the configuration's own schedule:
+        # interleaved schedules keep more (fractional) activation
+        # chunks in flight than 1F1B, GPipe keeps everything.  The
+        # learned log-ratio on top captures framework overhead, which
+        # is schedule-independent.
         return first_principles_max_bytes(
             model, config.pp, config.tp, config.micro_batch,
-            config.n_microbatches, recompute=config.recompute)
+            config.n_microbatches, recompute=config.recompute,
+            schedule=config.schedule)
 
     def is_runnable(self, model: TransformerConfig, config: ParallelConfig,
                     limit_bytes: float, n_gpus: int | None = None) -> bool:

@@ -102,10 +102,13 @@ def analytic_memory_breakdown(model: TransformerConfig, pp: int, tp: int,
         tp: tensor-parallel ways (parameters and activations divide by it).
         stage: pipeline stage index of this GPU.
         micro_batch: microbatch size ``bs_micro``.
-        in_flight: number of microbatches whose activations are
-            simultaneously alive on this stage; ``min(pp - stage, n_mb)``
-            for the 1F1B schedule and ``n_mb`` for the memory-unaware
-            schedule (Fig. 2).
+        in_flight: effective number of microbatches whose activations
+            are simultaneously alive on this stage; ``min(pp - stage,
+            n_mb)`` for the 1F1B schedule and ``n_mb`` for the
+            memory-unaware schedule (Fig. 2).  May be fractional:
+            interleaved schedules hold *chunks* of ``1 / degree`` of a
+            stage's layers, so their device-stage equivalent is
+            ``peak_chunks / degree``.
         recompute: with activation recomputation only the stage-input
             boundary tensor is retained per in-flight microbatch
             (duplicated across tensor ranks, as in Megatron), plus one
@@ -114,7 +117,10 @@ def analytic_memory_breakdown(model: TransformerConfig, pp: int, tp: int,
     """
     check_positive_int(tp, "tp")
     check_positive_int(micro_batch, "micro_batch")
-    check_positive_int(in_flight, "in_flight")
+    if isinstance(in_flight, bool) or not isinstance(in_flight, (int, float)):
+        raise TypeError(f"in_flight must be a number, got {in_flight!r}")
+    if not in_flight > 0:
+        raise ValueError(f"in_flight must be positive, got {in_flight!r}")
 
     params = stage_parameter_count(model, pp, stage) / tp
     layers = stage_layer_count(model.n_layers, pp, stage)
@@ -141,19 +147,42 @@ def analytic_memory_breakdown(model: TransformerConfig, pp: int, tp: int,
 
 def first_principles_max_bytes(model: TransformerConfig, pp: int, tp: int,
                                micro_batch: int, n_microbatches: int,
-                               recompute: bool = False) -> float:
+                               recompute: bool = False,
+                               schedule: str = "1f1b") -> float:
     """Max-over-stages first-principles memory of a configuration.
 
-    Sums the analytic components under the 1F1B in-flight counts and
-    returns the most-loaded stage.  This is the physics prior the MLP
-    memory estimator refines — it captures everything derivable from
-    the architecture while knowing nothing about framework overhead.
+    Sums the analytic components under the schedule's per-stage
+    in-flight counts and returns the most-loaded stage.  This is the
+    physics prior the MLP memory estimator refines — it captures
+    everything derivable from the architecture while knowing nothing
+    about framework overhead.
+
+    Args:
+        schedule: registered pipeline-schedule name.  The 1F1B default
+            uses the closed-form :func:`one_f_one_b_in_flight` counts;
+            other schedules derive peak activations from their own
+            instruction streams.
     """
+    if schedule == "1f1b":
+        in_flights: "list[int | float]" = [
+            one_f_one_b_in_flight(pp, stage, n_microbatches)
+            for stage in range(pp)
+        ]
+    else:
+        # Imported lazily: ``repro.sim`` depends on this module.
+        from repro.sim.schedule import build_schedule
+
+        sched = build_schedule(schedule, pp, n_microbatches)
+        in_flights = [
+            sched.peak_activation_chunks(stage) if sched.degree == 1
+            else sched.peak_activation_chunks(stage) / sched.degree
+            for stage in range(pp)
+        ]
     worst = 0.0
     for stage in range(pp):
-        in_flight = one_f_one_b_in_flight(pp, stage, n_microbatches)
         parts = analytic_memory_breakdown(model, pp, tp, stage, micro_batch,
-                                          in_flight, recompute=recompute)
+                                          in_flights[stage],
+                                          recompute=recompute)
         worst = max(worst, parts.total_bytes)
     return worst
 

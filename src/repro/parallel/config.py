@@ -2,7 +2,8 @@
 
 A configuration fixes the three parallel ways ``(pp, tp, dp)`` with
 ``pp * tp * dp = G`` plus the microbatch size — the search space of
-Algorithm 1 (lines 3-5).
+Algorithm 1 (lines 3-5) — and, since the schedule-instruction layer,
+the pipeline schedule executing the stages.
 """
 
 from __future__ import annotations
@@ -11,6 +12,9 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.utils.validation import check_positive_int, divisors
+
+#: Schedule assumed by the paper's model and by pre-schedule payloads.
+DEFAULT_SCHEDULE = "1f1b"
 
 
 @dataclass(frozen=True, order=True)
@@ -28,6 +32,9 @@ class ParallelConfig:
             during backward.  Slashes activation memory at roughly a
             third more compute.  Off for Megatron/AMP/Pipette runs in
             the paper; Varuna's runtime relies on it.
+        schedule: name of the pipeline schedule executing the stages
+            (a :mod:`repro.sim.schedule` registry key).  ``"1f1b"`` is
+            the paper's assumption and the default.
     """
 
     pp: int
@@ -36,6 +43,7 @@ class ParallelConfig:
     micro_batch: int
     global_batch: int
     recompute: bool = False
+    schedule: str = DEFAULT_SCHEDULE
 
     def __post_init__(self) -> None:
         for name in ("pp", "tp", "dp", "micro_batch", "global_batch"):
@@ -48,6 +56,11 @@ class ParallelConfig:
             raise ValueError(
                 f"minibatch {self.mini_batch} not divisible by "
                 f"micro_batch={self.micro_batch}"
+            )
+        if not isinstance(self.schedule, str) or not self.schedule:
+            raise ValueError(
+                f"schedule must be a non-empty schedule name, "
+                f"got {self.schedule!r}"
             )
 
     @property
@@ -66,31 +79,57 @@ class ParallelConfig:
         return self.mini_batch // self.micro_batch
 
     def describe(self) -> str:
-        """Compact human-readable form, e.g. ``pp4-tp8-dp4-mb2``."""
+        """Compact human-readable form, e.g. ``pp4-tp8-dp4-mb2``.
+
+        Non-default schedules append a suffix
+        (``pp4-tp8-dp4-mb2-interleaved_1f1b``); the 1F1B default stays
+        suffix-free so pre-schedule RNG streams and log lines are
+        unchanged.
+        """
         tag = f"pp{self.pp}-tp{self.tp}-dp{self.dp}-mb{self.micro_batch}"
-        return tag + "-rc" if self.recompute else tag
+        if self.recompute:
+            tag = tag + "-rc"
+        if self.schedule != DEFAULT_SCHEDULE:
+            tag = f"{tag}-{self.schedule}"
+        return tag
 
     def with_recompute(self) -> "ParallelConfig":
         """The same configuration with activation recomputation on."""
         return ParallelConfig(pp=self.pp, tp=self.tp, dp=self.dp,
                               micro_batch=self.micro_batch,
                               global_batch=self.global_batch,
-                              recompute=True)
+                              recompute=True,
+                              schedule=self.schedule)
+
+    def with_schedule(self, schedule: str) -> "ParallelConfig":
+        """The same configuration under a different pipeline schedule."""
+        return ParallelConfig(pp=self.pp, tp=self.tp, dp=self.dp,
+                              micro_batch=self.micro_batch,
+                              global_batch=self.global_batch,
+                              recompute=self.recompute,
+                              schedule=schedule)
 
     def to_payload(self) -> dict:
         """JSON-serializable form (see :mod:`repro.service.store`)."""
         return {"pp": self.pp, "tp": self.tp, "dp": self.dp,
                 "micro_batch": self.micro_batch,
                 "global_batch": self.global_batch,
-                "recompute": self.recompute}
+                "recompute": self.recompute,
+                "schedule": self.schedule}
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ParallelConfig":
-        """Inverse of :meth:`to_payload`."""
+        """Inverse of :meth:`to_payload`.
+
+        Pre-schedule payloads (schema version 1) carry no
+        ``schedule`` key; they rehydrate as 1F1B, which is what that
+        era's planner assumed.
+        """
         return cls(pp=payload["pp"], tp=payload["tp"], dp=payload["dp"],
                    micro_batch=payload["micro_batch"],
                    global_batch=payload["global_batch"],
-                   recompute=payload.get("recompute", False))
+                   recompute=payload.get("recompute", False),
+                   schedule=payload.get("schedule", DEFAULT_SCHEDULE))
 
 
 def _way_triples(n_gpus: int, max_tp: int, max_pp: int) -> Iterator[tuple[int, int, int]]:
@@ -110,7 +149,9 @@ def enumerate_parallel_configs(n_gpus: int, global_batch: int,
                                n_layers: int | None = None,
                                micro_batches: "list[int] | None" = None,
                                max_micro_batch: int = 8,
-                               tp_power_of_two: bool = True) -> list[ParallelConfig]:
+                               tp_power_of_two: bool = True,
+                               schedules: "tuple[str, ...] | list[str] | None" = None,
+                               ) -> list[ParallelConfig]:
     """Enumerate the legal configuration space of Algorithm 1.
 
     Constraints applied (all standard practice, see §II and §VII):
@@ -123,14 +164,27 @@ def enumerate_parallel_configs(n_gpus: int, global_batch: int,
     * ``pp <= n_layers`` when the model is known — a stage needs at
       least one layer;
     * ``dp`` divides ``global_batch`` and the microbatch divides the
-      resulting minibatch; the paper sweeps microbatch sizes 1-8.
+      resulting minibatch; the paper sweeps microbatch sizes 1-8;
+    * each requested schedule's own feasibility predicate (e.g.
+      interleaved 1F1B needs ``n_mb`` divisible by ``pp`` and
+      ``pp * degree`` layers) prunes shapes that cannot run it.
 
     Args:
         micro_batches: explicit microbatch candidates; defaults to the
             divisors of each minibatch capped at ``max_micro_batch``.
+        schedules: pipeline-schedule names to cross with the shape
+            grid; defaults to 1F1B only, which reproduces the
+            pre-schedule search space exactly.
     """
     check_positive_int(n_gpus, "n_gpus")
     check_positive_int(global_batch, "global_batch")
+    # Imported lazily: ``repro.sim`` imports the engine, which imports
+    # this module.
+    from repro.sim.schedule import schedule_type
+
+    schedule_names = tuple(schedules) if schedules is not None \
+        else (DEFAULT_SCHEDULE,)
+    schedule_types = [(name, schedule_type(name)) for name in schedule_names]
     max_pp = n_layers if n_layers is not None else n_gpus
     configs = []
     for pp, tp, dp in _way_triples(n_gpus, max_tp=gpus_per_node, max_pp=max_pp):
@@ -143,7 +197,13 @@ def enumerate_parallel_configs(n_gpus: int, global_batch: int,
         for micro in candidates:
             if micro > max_micro_batch or mini % micro != 0:
                 continue
-            configs.append(ParallelConfig(pp=pp, tp=tp, dp=dp,
-                                          micro_batch=micro,
-                                          global_batch=global_batch))
+            n_mb = mini // micro
+            for name, sched_type in schedule_types:
+                ok, _ = sched_type.feasible(pp, n_mb, n_layers=n_layers)
+                if not ok:
+                    continue
+                configs.append(ParallelConfig(pp=pp, tp=tp, dp=dp,
+                                              micro_batch=micro,
+                                              global_batch=global_batch,
+                                              schedule=name))
     return configs

@@ -58,6 +58,7 @@ from repro.service.http import (
 )
 from repro.service.metrics import MetricsRegistry
 from repro.service.planner import PlanningService
+from repro.sim.schedule import registered_schedules
 from repro.service.registry import ClusterRegistry
 from repro.service.replan import ClusterEvent
 from repro.service.store import DurablePlanCache, PlanStoreError
@@ -120,9 +121,14 @@ def cmd_plan(args) -> int:
     service = _build_service(args)
     model = get_model(args.model)
     print(f"model:   {model.name}, global batch {args.global_batch}\n")
+    kwargs = {}
+    if args.schedule:
+        kwargs["schedules"] = tuple(args.schedule)
     response = service.plan(service.request(
-        model, args.global_batch, options=_options(args)))
+        model, args.global_batch, options=_options(args), **kwargs))
     _print_plan(response)
+    if response.best is not None:
+        print(f"\nschedule: {response.best.config.schedule}")
     return 0 if response.best is not None else 1
 
 
@@ -565,6 +571,11 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--model", default="gpt-1.1b",
                       choices=sorted(MODEL_CATALOG),
                       help="architecture to plan for")
+    plan.add_argument("--schedule", action="append", default=None,
+                      choices=registered_schedules(), metavar="NAME",
+                      help="pipeline schedule(s) to sweep as a search "
+                           "dimension (repeatable); default sweeps only "
+                           f"1f1b. Registered: {', '.join(registered_schedules())}")
     plan.set_defaults(fn=cmd_plan)
 
     demo = sub.add_parser("demo", help="serve a queued workload "

@@ -66,6 +66,11 @@ class PlanRequest:
             ``[4, 2, 2]`` and ``(2, 4)`` produce one cache entry (and
             one enumeration of each configuration).
         options: search behaviour (annealing budget, top-k, seed, ...).
+        schedules: optional pipeline-schedule names to sweep as an
+            extra search dimension; normalized like ``micro_batches``
+            (sorted, deduplicated) and validated against the schedule
+            registry.  ``None`` sweeps 1F1B only — the paper's
+            assumption and the pre-schedule behaviour.
     """
 
     cluster: ClusterSpec
@@ -74,6 +79,7 @@ class PlanRequest:
     memory_limit_bytes: float | None = None
     micro_batches: "tuple[int, ...] | None" = None
     options: PipetteOptions = field(default_factory=PipetteOptions)
+    schedules: "tuple[str, ...] | None" = None
 
     def __post_init__(self) -> None:
         if self.global_batch < 1:
@@ -97,6 +103,20 @@ class PlanRequest:
                     f"{normalized[0]}"
                 )
             object.__setattr__(self, "micro_batches", normalized)
+        if self.schedules is not None:
+            schedules = tuple(sorted({str(s) for s in self.schedules}))
+            if not schedules:
+                raise ValueError(
+                    "schedules must not be empty; pass None to sweep the "
+                    "default 1F1B schedule"
+                )
+            # Reject unknown names at request time — a typo must fail
+            # the request, not a worker deep inside the search.
+            from repro.sim.schedule import schedule_type
+
+            for name in schedules:
+                schedule_type(name)
+            object.__setattr__(self, "schedules", schedules)
 
     def fingerprint(self) -> str:
         """Stable content hash identifying this request.

@@ -138,6 +138,14 @@ async def answer_payload(gateway: PlanGateway, options: PipetteOptions,
     if payload.get("memory_limit_gib") is not None:
         kwargs["memory_limit_bytes"] = \
             float(payload["memory_limit_gib"]) * GIB
+    if payload.get("schedule") is not None:
+        # ``"schedule"`` accepts one name or a list of names to sweep;
+        # unknown names fail request validation with the registered
+        # list in the message.
+        raw = payload["schedule"]
+        if isinstance(raw, str):
+            raw = [raw]
+        kwargs["schedules"] = tuple(str(s) for s in raw)
     registry = gateway.registry
     name = payload.get("cluster")
     if name is not None:
@@ -196,6 +204,7 @@ def plan_response_payload(answer, payload: dict) -> dict:
         out["error"] = answer.response.error or "no feasible configuration"
     else:
         out["config"] = best.config.describe()
+        out["schedule"] = best.config.schedule
         out["latency_s"] = best.estimated_latency_s
         if best.estimated_memory_bytes is not None:
             out["memory_gib"] = round(best.estimated_memory_bytes / GIB, 3)
@@ -329,6 +338,11 @@ class HttpPlanServer:
             "pipette_http_requests_total",
             "HTTP requests served, by method, route, and status code.",
             ("method", "route", "code"))
+        self._plans_by_schedule = self.metrics.counter(
+            "pipette_plans_by_schedule_total",
+            "Plans answered over HTTP, by cluster and the chosen "
+            "pipeline schedule.",
+            ("cluster", "schedule"))
         self._routes = {
             ("POST", "/v1/plan"): self._plan,
             ("POST", "/v1/events/bandwidth"): self._event_bandwidth,
@@ -501,6 +515,10 @@ class HttpPlanServer:
         payload = self._json_payload(body)
         answer = await answer_payload(self.gateway, self.options, payload)
         out = plan_response_payload(answer, payload)
+        if answer.best is not None:
+            self._plans_by_schedule.labels(
+                cluster=answer.cluster_name,
+                schedule=answer.best.config.schedule).inc()
         if "id" in payload:
             out["id"] = payload["id"]
         return 200, _JSON, _json_body(out)

@@ -306,6 +306,7 @@ class PlanningService:
             request.global_batch,
             memory_limit_bytes=request.memory_limit_bytes,
             micro_batches=micro,
+            schedules=request.schedules,
             executor=self.executor,
         )
 
@@ -393,6 +394,7 @@ class PlanningService:
                 memory_limit_bytes=request.memory_limit_bytes,
                 micro_batches=list(request.micro_batches)
                 if request.micro_batches is not None else None,
+                schedules=request.schedules,
                 executor=self.executor,
                 run_cold=run_cold,
             )

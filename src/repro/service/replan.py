@@ -253,6 +253,7 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
            new_bandwidth: BandwidthMatrix | None = None,
            memory_limit_bytes: float | None = None,
            micro_batches: "list[int] | None" = None,
+           schedules: "tuple[str, ...] | list[str] | None" = None,
            executor=None, run_cold: bool = True) -> ReplanReport:
     """Re-plan after a cluster event, warm-starting from ``previous``.
 
@@ -268,6 +269,8 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
             quarter of the cold budget (:func:`default_warm_sa`).
         micro_batches: microbatch restriction of the original request,
             honored by both the warm re-ranking and the cold search.
+        schedules: pipeline-schedule restriction of the original
+            request, honored the same way.
         executor: optional :class:`~repro.service.executor.CandidateExecutor`
             for both the warm re-ranking and the cold search.
         run_cold: also run the full cold search for comparison.
@@ -304,7 +307,8 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
                 new_cluster, model, new_bw, profile, memory_estimator,
                 options=replace(options, use_worker_dedication=False),
             ).search(global_batch, memory_limit_bytes=memory_limit_bytes,
-                     micro_batches=micro_batches, executor=executor)
+                     micro_batches=micro_batches, schedules=schedules,
+                     executor=executor)
         if naive.best is None:
             raise RuntimeError("no feasible configuration on the post-event "
                                "cluster; cannot re-plan")
@@ -352,7 +356,8 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
                     options=options,
                 ).search(global_batch,
                          memory_limit_bytes=memory_limit_bytes,
-                         micro_batches=micro_batches, executor=executor)
+                         micro_batches=micro_batches, schedules=schedules,
+                         executor=executor)
             report.cold = cold_result.best
             report.cold_search_s = cold_result.total_s
             report.cold_result = cold_result

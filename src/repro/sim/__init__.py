@@ -5,19 +5,37 @@ V100/A100 clusters.  Lacking the hardware, this package provides a
 strictly finer-grained ground truth than any of the analytic models
 under study:
 
-* :mod:`repro.sim.schedule` builds the actual per-stage operation
-  sequences of the memory-efficient (1F1B) and memory-unaware (GPipe)
-  pipeline schedules of Fig. 2;
-* :mod:`repro.sim.engine` executes those sequences op-by-op as a
-  dependency DAG over the heterogeneous fabric, so straggler links,
-  the hidden critical path, and exposed data-parallel syncs emerge
-  rather than being assumed;
+* :mod:`repro.sim.schedule` expresses pipeline schedules as abstract
+  per-device instruction sequences (``ForwardPass``/``BackwardPass``
+  framed by activation/gradient transfers) with declarative readiness
+  predicates; 1F1B and GPipe (Fig. 2) and Megatron's interleaved
+  1F1B ship as registered schedules;
+* :mod:`repro.sim.engine` executes any registered schedule's
+  instruction stream as a dependency DAG over the heterogeneous
+  fabric, so straggler links, the hidden critical path, and exposed
+  data-parallel syncs emerge rather than being assumed;
 * :mod:`repro.sim.memory_sim` reports the max per-GPU memory a run
-  would use, including the framework/library overheads the paper's
-  baseline estimator famously misses.
+  would use — with per-schedule peak-activation accounting — including
+  the framework/library overheads the paper's baseline estimator
+  famously misses.
 """
 
-from repro.sim.schedule import PipelineOp, one_f_one_b_schedule, gpipe_schedule, build_schedule
+from repro.sim.schedule import (
+    BackwardPass,
+    ForwardPass,
+    Instruction,
+    PipeSchedule,
+    RecvActivation,
+    RecvGrad,
+    SendActivation,
+    SendGrad,
+    build_schedule,
+    max_in_flight,
+    pipeline_critical_time,
+    register_schedule,
+    registered_schedules,
+    schedule_type,
+)
 from repro.sim.engine import IterationResult, simulate_iteration
 from repro.sim.memory_sim import (
     FrameworkOverheadModel,
@@ -28,10 +46,20 @@ from repro.sim.memory_sim import (
 from repro.sim.runner import ClusterRunner, MeasuredRun
 
 __all__ = [
-    "PipelineOp",
-    "one_f_one_b_schedule",
-    "gpipe_schedule",
+    "Instruction",
+    "ForwardPass",
+    "BackwardPass",
+    "SendActivation",
+    "RecvActivation",
+    "SendGrad",
+    "RecvGrad",
+    "PipeSchedule",
     "build_schedule",
+    "schedule_type",
+    "register_schedule",
+    "registered_schedules",
+    "pipeline_critical_time",
+    "max_in_flight",
     "IterationResult",
     "simulate_iteration",
     "FrameworkOverheadModel",

@@ -1,22 +1,25 @@
 """Discrete-event execution of one training iteration.
 
-The engine plays the per-stage op sequences of a pipeline schedule as
-a dependency DAG:
+The engine executes the compute-instruction stream of any registered
+:class:`~repro.sim.schedule.PipeSchedule` as a dependency DAG:
 
-* a forward op needs the previous stage's forward of the same
-  microbatch, plus the activation transfer over the *actual* link
-  between the two mapped GPUs;
-* a backward op needs the next stage's backward (gradient transfer)
-  and its own stage's forward;
-* ops on one GPU execute in schedule order;
+* each instruction's readiness comes from the schedule's own
+  :meth:`~repro.sim.schedule.PipeSchedule.dependencies` records — a
+  forward waits on the previous chunk's forward, a backward on the
+  next chunk's backward plus its own chunk's forward;
+* a dependency whose ``transfer_from`` names another device charges
+  the boundary-tensor transfer over the *actual* link between the two
+  mapped GPUs;
+* instructions on one device execute in schedule order;
 * after its last backward, each stage joins its data-parallel
   hierarchical all-reduce, whose speed is gated by the slowest
   participating link.
 
-Nothing here assumes the analytic latency model: the hidden critical
-path of §V, straggler effects of slow links, and the exposure of the
-first stage's DP communication all *emerge* from the event ordering.
-This is the "actual time/iter" oracle of Figs. 5-9.
+Nothing here assumes the analytic latency model — nor a particular
+schedule: the hidden critical path of §V, straggler effects of slow
+links, interleaved-1F1B's extra chunk-boundary traffic, and the
+exposure of the first stage's DP communication all *emerge* from the
+event ordering.  This is the "actual time/iter" oracle of Figs. 5-9.
 """
 
 from __future__ import annotations
@@ -33,7 +36,13 @@ from repro.parallel.mapping import Mapping
 from repro.parallel.messages import dp_message_bytes, pp_message_bytes, tp_comm_time
 from repro.model.memory import stage_layer_count
 from repro.profiling.compute import ComputeTimeModel
-from repro.sim.schedule import BACKWARD, FORWARD, build_schedule
+from repro.sim.schedule import (
+    BACKWARD,
+    FORWARD,
+    ForwardPass,
+    PipeSchedule,
+    build_schedule,
+)
 from repro.utils.rng import spawn_rng
 
 #: Fraction of the alpha-beta ring-all-reduce model NCCL attains on the
@@ -58,7 +67,9 @@ class IterationResult:
             hidden behind other stages' compute — the first stage's
             value dominates, which is the paper's §IV observation.
         timeline: optional per-op records ``(gpu, stage, kind,
-            microbatch, start_s, end_s)`` for visualization.
+            microbatch, start_s, end_s)`` for visualization; ``stage``
+            is the executing *device* (interleaved schedules emit one
+            record per chunk).
     """
 
     time_s: float
@@ -69,41 +80,46 @@ class IterationResult:
     timeline: list[tuple] | None = None
 
 
-def _chain_link_times(model: TransformerConfig, config: ParallelConfig,
-                      mapping: Mapping, bandwidth: BandwidthMatrix,
-                      z: int) -> tuple[list[float], list[float]]:
-    """Boundary-crossing times per hop of data-rank ``z``'s pipeline.
+def _boundary_hop_times(model: TransformerConfig, config: ParallelConfig,
+                        mapping: Mapping, bandwidth: BandwidthMatrix,
+                        pairs: "frozenset[tuple[int, int]]",
+                        z: int) -> dict[tuple[int, int], float]:
+    """Boundary-crossing time of each needed device pair, data rank ``z``.
 
-    Every tensor rank sends its boundary tensor to its peer in the
-    next stage concurrently; the hop completes when the slowest rank's
-    transfer lands.  Forward (``x -> x+1``) and backward (``x+1 -> x``)
-    directions are computed separately: real links are only *almost*
-    symmetric.
+    Every tensor rank sends its boundary tensor to its peer on the
+    other device concurrently; the hop completes when the slowest
+    rank's transfer lands.  Each direction is computed separately:
+    real links are only *almost* symmetric.  ``pairs`` comes from the
+    schedule's dependency records, so flat schedules pay adjacent hops
+    only while interleaved schedules also pay the ``pp-1 -> 0``
+    chunk-boundary wrap.
     """
     msg = pp_message_bytes(model, config.micro_batch)
-    fwd, bwd = [], []
-    for x in range(config.pp - 1):
-        worst_f = worst_b = 0.0
+    out: dict[tuple[int, int], float] = {}
+    for a, b in pairs:
+        worst = 0.0
         for y in range(config.tp):
-            g1 = mapping.gpu(x, y, z)
-            g2 = mapping.gpu(x + 1, y, z)
-            worst_f = max(worst_f, bandwidth.transfer_time(msg, g1, g2))
-            worst_b = max(worst_b, bandwidth.transfer_time(msg, g2, g1))
-        fwd.append(worst_f)
-        bwd.append(worst_b)
-    return fwd, bwd
+            worst = max(worst, bandwidth.transfer_time(
+                msg, mapping.gpu(a, y, z), mapping.gpu(b, y, z)))
+        out[(a, b)] = worst
+    return out
 
 
-def _stage_tp_time(model: TransformerConfig, config: ParallelConfig,
-                   mapping: Mapping, bandwidth: BandwidthMatrix,
-                   x: int, z: int) -> float:
-    """Per-microbatch tensor-parallel time of stage ``x``, data rank ``z``."""
+def _virtual_tp_time(model: TransformerConfig, config: ParallelConfig,
+                     mapping: Mapping, bandwidth: BandwidthMatrix,
+                     n_virtual: int, k: int, device: int, z: int) -> float:
+    """Per-microbatch tensor-parallel time of chunk ``k`` on ``device``.
+
+    The chunk holds ``1 / degree`` of the device's layers but runs on
+    the device's own TP group, so link speeds come from the device and
+    layer counts from the chunk.
+    """
     if config.tp == 1:
         return 0.0
-    group = mapping.tp_group(x, z)
+    group = mapping.tp_group(device, z)
     bw = bandwidth.min_over_group(group)
     alpha = bandwidth.max_alpha_over_group(group)
-    layers = stage_layer_count(model.n_layers, config.pp, x)
+    layers = stage_layer_count(model.n_layers, n_virtual, k)
     return tp_comm_time(model, layers, config.micro_batch, config.tp, bw, alpha)
 
 
@@ -148,7 +164,7 @@ def _dp_allreduce_time(model: TransformerConfig, config: ParallelConfig,
 def simulate_iteration(model: TransformerConfig, config: ParallelConfig,
                        mapping: Mapping, bandwidth: BandwidthMatrix,
                        compute: ComputeTimeModel | None = None,
-                       schedule: str = "1f1b",
+                       schedule: str | None = None,
                        jitter_sigma: float = 0.01,
                        dp_efficiency: float = DEFAULT_DP_EFFICIENCY,
                        seed: int = 0,
@@ -164,7 +180,9 @@ def simulate_iteration(model: TransformerConfig, config: ParallelConfig,
             truth, not the profiled observation).
         compute: compute-time model; defaults to the mapped cluster's
             GPU with default curve parameters.
-        schedule: ``"1f1b"`` (default, memory-efficient) or ``"gpipe"``.
+        schedule: name of a registered pipeline schedule (``"1f1b"``,
+            ``"gpipe"``, ``"interleaved_1f1b"``, ...); defaults to
+            ``config.schedule``.
         jitter_sigma: per-op log-normal compute jitter (real kernels
             are not perfectly repeatable).
         dp_efficiency: attained fraction of the alpha-beta model for
@@ -185,72 +203,95 @@ def simulate_iteration(model: TransformerConfig, config: ParallelConfig,
     rng = spawn_rng(seed, f"engine-{config.describe()}")
     run_skew = float(rng.lognormal(0.0, 0.01)) if jitter_sigma > 0 else 1.0
     pp, n_mb = config.pp, config.n_microbatches
-    ops_by_stage = build_schedule(schedule, pp, n_mb)
+    name = config.schedule if schedule is None else schedule
+    sched: PipeSchedule = build_schedule(name, pp, n_mb)
+    n_vs = sched.n_virtual_stages
     timeline: list[tuple] | None = [] if record_timeline else None
 
-    # Per-stage split of the profiled fwd+bwd cost: backward does the
+    # The engine executes each device's *compute* instructions in
+    # order; the framing Send/Recv transfers are charged through the
+    # ``transfer_from`` field of the dependency records instead of as
+    # separate events, so flat schedules keep the exact event ordering
+    # of the pre-instruction engine.
+    steps_by_device = [sched.compute_steps(s) for s in range(pp)]
+    deps_by_device = [[sched.dependencies(inst) for inst in steps]
+                      for steps in steps_by_device]
+    hop_pairs = frozenset(
+        (dep.transfer_from, device)
+        for device in range(pp)
+        for deps in deps_by_device[device]
+        for dep in deps
+        if dep.transfer_from is not None
+    )
+
+    # Per-chunk split of the profiled fwd+bwd cost: backward does the
     # two matmul passes, forward one.
-    stage_c = [compute.stage_compute_time(model, pp, s, config.tp,
+    chunk_c = [compute.stage_compute_time(model, n_vs, k, config.tp,
                                           config.micro_batch)
-               for s in range(pp)]
+               for k in range(n_vs)]
 
     compute_end = 0.0
     last_backward_end = np.zeros((config.dp, pp))
 
     for z in range(config.dp):
-        hops_fwd, hops_bwd = _chain_link_times(model, config, mapping,
-                                               bandwidth, z)
-        tp_t = [_stage_tp_time(model, config, mapping, bandwidth, x, z)
-                for x in range(pp)]
-        dur_f = [stage_c[x] / 3.0 + tp_t[x] / 2.0 for x in range(pp)]
+        hop = _boundary_hop_times(model, config, mapping, bandwidth,
+                                  hop_pairs, z)
+        tp_t = [_virtual_tp_time(model, config, mapping, bandwidth,
+                                 n_vs, k, sched.device_of(k), z)
+                for k in range(n_vs)]
+        dur_f = [chunk_c[k] / 3.0 + tp_t[k] / 2.0 for k in range(n_vs)]
         if config.recompute:
             # Backward re-runs the forward pass (compute and its TP
             # all-reduces) before computing gradients.
-            dur_b = [stage_c[x] + tp_t[x] for x in range(pp)]
+            dur_b = [chunk_c[k] + tp_t[k] for k in range(n_vs)]
         else:
-            dur_b = [2.0 * stage_c[x] / 3.0 + tp_t[x] / 2.0 for x in range(pp)]
+            dur_b = [2.0 * chunk_c[k] / 3.0 + tp_t[k] / 2.0
+                     for k in range(n_vs)]
 
         fwd_end: dict[tuple[int, int], float] = {}
         bwd_end: dict[tuple[int, int], float] = {}
         gpu_free = [0.0] * pp
         pos = [0] * pp
-        remaining = sum(len(ops) for ops in ops_by_stage)
+        remaining = sum(len(steps) for steps in steps_by_device)
 
         while remaining > 0:
             progressed = False
             for s in range(pp):
-                ops = ops_by_stage[s]
-                while pos[s] < len(ops):
-                    op = ops[pos[s]]
-                    if op.kind == FORWARD:
-                        if s > 0 and (s - 1, op.microbatch) not in fwd_end:
+                steps = steps_by_device[s]
+                deps_list = deps_by_device[s]
+                while pos[s] < len(steps):
+                    inst = steps[pos[s]]
+                    deps = deps_list[pos[s]]
+                    is_forward = isinstance(inst, ForwardPass)
+                    arrival = 0.0
+                    ready = True
+                    for dep in deps:
+                        table = fwd_end if dep.kind == FORWARD else bwd_end
+                        done = table.get((dep.virtual_stage, dep.microbatch))
+                        if done is None:
+                            ready = False
                             break
-                        arrival = 0.0 if s == 0 else (
-                            fwd_end[(s - 1, op.microbatch)] + hops_fwd[s - 1]
-                        )
-                        dur = dur_f[s]
-                    else:
-                        if s < pp - 1 and (s + 1, op.microbatch) not in bwd_end:
-                            break
-                        if (s, op.microbatch) not in fwd_end:
-                            break
-                        arrival = 0.0 if s == pp - 1 else (
-                            bwd_end[(s + 1, op.microbatch)] + hops_bwd[s]
-                        )
-                        arrival = max(arrival, fwd_end[(s, op.microbatch)])
-                        dur = dur_b[s]
+                        if dep.transfer_from is not None:
+                            done = done + hop[(dep.transfer_from, s)]
+                        arrival = max(arrival, done)
+                    if not ready:
+                        break
+                    dur = dur_f[inst.virtual_stage] if is_forward \
+                        else dur_b[inst.virtual_stage]
                     start = max(gpu_free[s], arrival)
                     jitter = float(rng.lognormal(0.0, jitter_sigma)) \
                         if jitter_sigma > 0 else 1.0
                     end = start + dur * jitter * run_skew
                     gpu_free[s] = end
-                    if op.kind == FORWARD:
-                        fwd_end[(s, op.microbatch)] = end
+                    key = (inst.virtual_stage, inst.microbatch)
+                    if is_forward:
+                        fwd_end[key] = end
                     else:
-                        bwd_end[(s, op.microbatch)] = end
+                        bwd_end[key] = end
                     if timeline is not None:
-                        timeline.append((mapping.gpu(s, 0, z), s, op.kind,
-                                         op.microbatch, start, end))
+                        timeline.append((mapping.gpu(s, 0, z), s,
+                                         FORWARD if is_forward else BACKWARD,
+                                         inst.microbatch, start, end))
                     pos[s] += 1
                     remaining -= 1
                     progressed = True

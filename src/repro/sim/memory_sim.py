@@ -20,13 +20,11 @@ import math
 from dataclasses import dataclass
 
 from repro.cluster.topology import ClusterSpec
-from repro.model.memory import (
-    analytic_memory_breakdown,
-    one_f_one_b_in_flight,
-)
+from repro.model.memory import analytic_memory_breakdown
 from repro.model.transformer import TransformerConfig
 from repro.parallel.config import ParallelConfig
 from repro.parallel.messages import dp_message_bytes, pp_message_bytes
+from repro.sim.schedule import build_schedule
 from repro.utils.rng import spawn_rng
 from repro.units import MIB
 
@@ -102,25 +100,31 @@ class FrameworkOverheadModel:
 def simulated_memory_by_stage(model: TransformerConfig, config: ParallelConfig,
                               cluster: ClusterSpec,
                               overhead: FrameworkOverheadModel | None = None,
-                              schedule: str = "1f1b",
+                              schedule: str | None = None,
                               seed: int = 0) -> list[float]:
     """Measured peak memory (bytes) of one GPU of each pipeline stage.
 
     The returned values include framework overhead, fragmentation, and
     measurement noise — this is what ``nvidia-smi`` would report on
     the real cluster, and what the MLP estimator is trained against.
+    Peak live activations come from the schedule's own instruction
+    stream (:meth:`~repro.sim.schedule.PipeSchedule.peak_activation_chunks`);
+    interleaved schedules count chunks of ``1 / degree`` of a device's
+    layers, so their effective in-flight factor is fractional.
+
+    Args:
+        schedule: registered schedule name; defaults to
+            ``config.schedule``.
     """
     if overhead is None:
         overhead = FrameworkOverheadModel()
-    if schedule not in ("1f1b", "gpipe"):
-        raise ValueError(f"unknown schedule {schedule!r}")
+    name = config.schedule if schedule is None else schedule
+    sched = build_schedule(name, config.pp, config.n_microbatches)
     usages = []
     for stage in range(config.pp):
-        if schedule == "1f1b":
-            in_flight = one_f_one_b_in_flight(config.pp, stage,
-                                              config.n_microbatches)
-        else:
-            in_flight = config.n_microbatches
+        peak_chunks = sched.peak_activation_chunks(stage)
+        in_flight = peak_chunks if sched.degree == 1 \
+            else peak_chunks / sched.degree
         parts = analytic_memory_breakdown(model, config.pp, config.tp, stage,
                                           config.micro_batch, in_flight,
                                           recompute=config.recompute)
@@ -139,7 +143,7 @@ def simulated_memory_by_stage(model: TransformerConfig, config: ParallelConfig,
 def simulated_max_memory_bytes(model: TransformerConfig, config: ParallelConfig,
                                cluster: ClusterSpec,
                                overhead: FrameworkOverheadModel | None = None,
-                               schedule: str = "1f1b",
+                               schedule: str | None = None,
                                seed: int = 0) -> float:
     """Peak memory of the most-loaded GPU — the quantity of Eq. (7)."""
     return max(simulated_memory_by_stage(model, config, cluster,
@@ -150,7 +154,7 @@ def simulated_max_memory_bytes(model: TransformerConfig, config: ParallelConfig,
 def is_oom(model: TransformerConfig, config: ParallelConfig,
            cluster: ClusterSpec,
            overhead: FrameworkOverheadModel | None = None,
-           schedule: str = "1f1b", seed: int = 0) -> bool:
+           schedule: str | None = None, seed: int = 0) -> bool:
     """Whether the configuration exceeds the per-GPU memory limit.
 
     This is the oracle the paper obtains by actually launching the

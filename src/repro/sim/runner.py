@@ -53,15 +53,16 @@ class ClusterRunner:
     Args:
         fabric: the heterogeneous cluster instance.
         model: architecture to train.
-        schedule: pipeline schedule every run uses (the paper's runs
-            are all memory-efficient 1F1B).
+        schedule: pipeline schedule every run uses; ``None`` (the
+            default) honors each configuration's own ``schedule``
+            field.  The paper's runs are all memory-efficient 1F1B.
         overhead: framework memory-overhead model of this software
             stack.
         seed: run-to-run measurement noise seed.
     """
 
     def __init__(self, fabric: Fabric, model: TransformerConfig,
-                 schedule: str = "1f1b",
+                 schedule: str | None = None,
                  overhead: FrameworkOverheadModel | None = None,
                  seed: int = 0) -> None:
         self.fabric = fabric

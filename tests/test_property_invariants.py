@@ -15,11 +15,12 @@ from repro.model.memory import (
 from repro.parallel import ParallelConfig, enumerate_parallel_configs
 from repro.parallel.collectives import ring_allreduce_time
 from repro.sim.schedule import (
-    BACKWARD,
-    FORWARD,
-    gpipe_schedule,
+    BackwardPass,
+    ForwardPass,
+    GPipeSchedule,
+    Interleaved1F1BSchedule,
+    OneFOneBSchedule,
     max_in_flight,
-    one_f_one_b_schedule,
 )
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import divisors
@@ -48,24 +49,25 @@ class TestScheduleProperties:
     @settings(max_examples=60)
     def test_1f1b_is_complete_and_causal(self, shape):
         pp, n_mb = shape
-        sched = one_f_one_b_schedule(pp, n_mb)
-        for stage_ops in sched:
-            fwd = [o.microbatch for o in stage_ops if o.kind == FORWARD]
-            bwd = [o.microbatch for o in stage_ops if o.kind == BACKWARD]
+        sched = OneFOneBSchedule(pp, n_mb)
+        for s in range(pp):
+            steps = sched.compute_steps(s)
+            fwd = [o.microbatch for o in steps if isinstance(o, ForwardPass)]
+            bwd = [o.microbatch for o in steps if isinstance(o, BackwardPass)]
             assert fwd == list(range(n_mb))
             assert bwd == list(range(n_mb))
             # causality: B(m) after F(m)
-            pos_f = {o.microbatch: i for i, o in enumerate(stage_ops)
-                     if o.kind == FORWARD}
-            for i, o in enumerate(stage_ops):
-                if o.kind == BACKWARD:
+            pos_f = {o.microbatch: i for i, o in enumerate(steps)
+                     if isinstance(o, ForwardPass)}
+            for i, o in enumerate(steps):
+                if isinstance(o, BackwardPass):
                     assert i > pos_f[o.microbatch]
 
     @given(way_splits())
     @settings(max_examples=60)
     def test_1f1b_memory_bound(self, shape):
         pp, n_mb = shape
-        sched = one_f_one_b_schedule(pp, n_mb)
+        sched = OneFOneBSchedule(pp, n_mb)
         for s in range(pp):
             assert max_in_flight(sched, s) \
                 == min(pp - s, n_mb) == one_f_one_b_in_flight(pp, s, n_mb)
@@ -74,8 +76,34 @@ class TestScheduleProperties:
     @settings(max_examples=40)
     def test_gpipe_holds_everything(self, shape):
         pp, n_mb = shape
-        sched = gpipe_schedule(pp, n_mb)
+        sched = GPipeSchedule(pp, n_mb)
         assert all(max_in_flight(sched, s) == n_mb for s in range(pp))
+
+    @given(way_splits())
+    @settings(max_examples=40)
+    def test_interleaved_is_complete_and_causal(self, shape):
+        pp, n_mb = shape
+        ok, _ = Interleaved1F1BSchedule.feasible(pp, n_mb)
+        if not ok:
+            return
+        sched = Interleaved1F1BSchedule(pp, n_mb)
+        for s in range(pp):
+            steps = sched.compute_steps(s)
+            # Every local chunk sees every microbatch once each way.
+            for vs in sched.local_chunks(s):
+                fwd = [o.microbatch for o in steps
+                       if isinstance(o, ForwardPass) and o.virtual_stage == vs]
+                bwd = [o.microbatch for o in steps
+                       if isinstance(o, BackwardPass) and o.virtual_stage == vs]
+                assert sorted(fwd) == list(range(n_mb))
+                assert sorted(bwd) == list(range(n_mb))
+            # causality per (chunk, microbatch): B after F
+            pos_f = {(o.virtual_stage, o.microbatch): i
+                     for i, o in enumerate(steps)
+                     if isinstance(o, ForwardPass)}
+            for i, o in enumerate(steps):
+                if isinstance(o, BackwardPass):
+                    assert i > pos_f[(o.virtual_stage, o.microbatch)]
 
 
 class TestLayerSplitProperties:
