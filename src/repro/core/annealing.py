@@ -28,6 +28,37 @@ one mapping per evaluation, exactly as before.  Either way the RNG
 stream and the floating-point trajectory are identical to
 :func:`anneal_mapping_reference`, the pre-kernel implementation kept
 as an executable specification.
+
+Two refinements ride on top of that contract:
+
+* **Delta evaluation.** An objective exposing ``incremental()`` (the
+  kernel's :meth:`~repro.core.latency_kernel.LatencyKernel.incremental`)
+  lets the sequential loop re-score each move by recomputing only the
+  permutation components it touched.  The incremental values are
+  bit-identical to full re-scores by construction, so the trajectory —
+  and therefore every cached plan — is unchanged; only the cost per
+  proposal changes.  Because range moves (migrate/reverse) touch wide
+  permutation spans, the delta path only outruns the fully vectorized
+  re-score on large permutations, so the loop engages it at or above
+  ``SAOptions.delta_min_slots`` (a pure performance switch — see the
+  knob's docstring for the measured crossover).
+* **Batched proposals** (``SAOptions.batch_size > 1``). With one
+  shared RNG stream, speculating past the first evaluated move is
+  never sound — an accept changes the state later proposals were drawn
+  from, and a reject consumes an acceptance draw — so a bit-identical
+  batched loop is impossible.  Batch mode is therefore an *opt-in
+  deterministic variant* with its own documented schedule: K moves are
+  proposed from the current state, scored in one
+  ``evaluate_batch`` call, and scanned in proposal order; the first
+  Metropolis accept wins and the rest of the batch (drawn from the
+  now-stale state) is discarded.  Same seed, same result, every run —
+  just a different (coarser) proposal schedule than ``batch_size=1``.
+
+Either loop can additionally collect a **portfolio** — the
+``portfolio_k`` best *distinct* states visited — as pure bookkeeping on
+accepted moves: no extra objective calls, no RNG draws.  Elastic
+re-planning warm-starts from these survivors
+(:mod:`repro.service.replan`).
 """
 
 from __future__ import annotations
@@ -70,6 +101,25 @@ class SAOptions:
         moves: subset of ``{"migrate", "swap", "reverse"}`` (ablations
             disable individual moves).
         seed: RNG seed for the move stream.
+        batch_size: proposals scored per objective call.  ``1`` (the
+            default) is the paper's sequential loop, bit-identical to
+            :func:`anneal_mapping_reference`; ``> 1`` selects the
+            deterministic batched-proposal variant (see the module
+            docstring for why the two schedules necessarily differ).
+        portfolio_k: distinct best-visited states carried on
+            :attr:`SAResult.portfolio` (``1`` keeps only the best; the
+            collection itself never perturbs the search).
+        delta_min_slots: permutation length at or above which the
+            sequential loop scores proposals through the objective's
+            incremental (delta) path instead of full re-scores.  Both
+            paths produce bit-identical values, so this is purely a
+            performance switch: range moves touch ~n/3 of the
+            permutation on average, and below the crossover the
+            vectorized full re-score outruns per-move delta
+            bookkeeping (NumPy dispatch dominates either way).
+            Measured on the Table 1 worlds the delta path breaks even
+            around 128-256 slots and wins >2x by 512.  ``0`` forces
+            the delta path; a huge value disables it.
     """
 
     time_limit_s: float | None = None
@@ -78,6 +128,9 @@ class SAOptions:
     initial_temperature: float | None = None
     moves: tuple[str, ...] = DEFAULT_MOVES
     seed: int = 0
+    batch_size: int = 1
+    portfolio_k: int = 1
+    delta_min_slots: int = 128
 
     def __post_init__(self) -> None:
         if self.time_limit_s is None and self.max_iterations is None:
@@ -93,6 +146,15 @@ class SAOptions:
             raise ValueError(f"unknown moves: {sorted(unknown)}")
         if not self.moves:
             raise ValueError("at least one move kind is required")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        if self.portfolio_k < 1:
+            raise ValueError(
+                f"portfolio_k must be >= 1, got {self.portfolio_k}")
+        if self.delta_min_slots < 0:
+            raise ValueError(
+                f"delta_min_slots must be >= 0, got {self.delta_min_slots}")
 
     def with_seed(self, seed: int) -> "SAOptions":
         """These options with a different move-stream seed.
@@ -121,9 +183,17 @@ class SAResult:
         history: best-so-far objective at each improvement.
         evaluations: objective calls made — the starting evaluation,
             the temperature probes (when the temperature was derived),
-            and one per iteration.
+            and one per iteration.  In batch mode an early accept
+            discards the rest of its evaluated batch, so evaluations
+            can exceed iterations.
         exit_reason: which budget ended the run — ``"iteration_budget"``
             or ``"time_limit"``.
+        portfolio: the ``portfolio_k`` best *distinct* states visited,
+            as ``(mapping, value)`` pairs, best first.  Entry 0 is
+            always the returned best; collection is pure bookkeeping on
+            accepted states (no extra objective calls or RNG draws).
+            The reference implementation predates portfolios and
+            leaves this empty.
     """
 
     mapping: Mapping
@@ -135,6 +205,7 @@ class SAResult:
     history: list[float] = field(default_factory=list)
     evaluations: int = 0
     exit_reason: str = "iteration_budget"
+    portfolio: "list[tuple[Mapping, float]]" = field(default_factory=list)
 
     @property
     def improvement(self) -> float:
@@ -190,6 +261,50 @@ def _propose(perm: np.ndarray, move: str, rng: np.random.Generator) -> np.ndarra
     return out
 
 
+def apply_move(perm: np.ndarray, move: "tuple[str, int, int]") -> np.ndarray:
+    """Apply a deterministic ``(kind, i, j)`` move spec to a copy of ``perm``.
+
+    The RNG-free twin of :func:`_propose_into`, with the same index
+    semantics, for callers that name a move rather than draw one —
+    :meth:`repro.core.latency_kernel.LatencyKernel.delta_for_move` and
+    the property tests pinning it against full re-scores:
+
+    * ``("swap", i, j)`` — exchange positions ``i`` and ``j``;
+    * ``("migrate", i, j)`` — remove the element at ``i``, reinsert it
+      at position ``j`` of the shortened string (``0 <= j <= n - 2``);
+    * ``("reverse", i, j)`` — reverse the substring ``[i, j)``, which
+      needs ``j - i >= 2`` (the RNG form's degenerate-window fallback
+      draws fresh indices and has no deterministic counterpart).
+    """
+    kind, i, j = move
+    perm = np.asarray(perm)
+    n = len(perm)
+    i, j = int(i), int(j)
+    out = perm.copy()
+    if kind == "swap":
+        if not (0 <= i < n and 0 <= j < n):
+            raise ValueError(f"swap indices ({i}, {j}) outside [0, {n})")
+        out[i], out[j] = perm[j], perm[i]
+    elif kind == "migrate":
+        if not (0 <= i < n and 0 <= j < n - 1):
+            raise ValueError(
+                f"migrate needs 0 <= i < {n} and 0 <= j < {n - 1}, "
+                f"got ({i}, {j})")
+        if j >= i:
+            out[i:j] = perm[i + 1:j + 1]
+        else:
+            out[j + 1:i + 1] = perm[j:i]
+        out[j] = perm[i]
+    elif kind == "reverse":
+        if not (0 <= i and i + 2 <= j <= n):
+            raise ValueError(
+                f"reverse needs 0 <= i <= j - 2 <= {n - 2}, got ({i}, {j})")
+        out[i:j] = perm[i:j][::-1]
+    else:
+        raise ValueError(f"unknown move kind {kind!r}")
+    return out
+
+
 #: Probe moves drawn when deriving a starting temperature.
 TEMPERATURE_PROBES: int = 16
 
@@ -220,6 +335,39 @@ def _probe_temperature(initial: Mapping, objective, base: float,
     return _temperature_from_spread(deltas, base)
 
 
+def _note_visit(pool: "dict[bytes, float] | None", perm: np.ndarray,
+                value: float) -> None:
+    """Record an accepted state in the portfolio pool (best value wins)."""
+    if pool is None:
+        return
+    key = perm.tobytes()
+    prev = pool.get(key)
+    if prev is None or value < prev:
+        pool[key] = value
+
+
+def _build_portfolio(initial: Mapping, best_mapping: Mapping,
+                     best_value: float, pool: "dict[bytes, float] | None",
+                     portfolio_k: int) -> "list[tuple[Mapping, float]]":
+    """Assemble ``SAResult.portfolio``: the best first, then runner-ups.
+
+    Runner-ups are ordered by ``(value, permutation bytes)`` so ties
+    resolve deterministically regardless of visit order, and the best
+    state is excluded from the pool scan so it never appears twice.
+    """
+    portfolio = [(best_mapping, best_value)]
+    if pool and portfolio_k > 1:
+        best_key = np.asarray(
+            best_mapping.block_to_slot, dtype=np.int64).tobytes()
+        runners = sorted(
+            (value, key) for key, value in pool.items() if key != best_key)
+        for value, key in runners[:portfolio_k - 1]:
+            perm = np.frombuffer(key, dtype=np.int64).copy()
+            portfolio.append(
+                (Mapping(initial.grid, initial.cluster, perm), value))
+    return portfolio
+
+
 def anneal_mapping(initial: Mapping,
                    objective: Callable[[Mapping], float],
                    options: SAOptions | None = None,
@@ -234,16 +382,26 @@ def anneal_mapping(initial: Mapping,
     ``objective`` is either a plain callable on mappings or — the fast
     path — an object exposing ``evaluate_perm(perm) -> float`` such as
     :class:`repro.core.latency_kernel.LatencyKernel`, in which case the
-    loop never constructs a ``Mapping``.  Both paths draw the identical
-    RNG stream, so for a given seed an iteration-budgeted run's
-    accept/reject trajectory, best mapping, and value match
-    :func:`anneal_mapping_reference` exactly (bit-identical when the
-    kernel's objective values are, which
-    :mod:`repro.core.latency_kernel` guarantees).  Wall-clock-budgeted
-    runs are inherently timing-dependent in both implementations; this
-    loop additionally polls the clock only every
+    loop never constructs a ``Mapping``.  A kernel additionally
+    exposing ``incremental()`` is scored through its
+    :class:`~repro.core.latency_kernel.IncrementalEvaluator` once the
+    permutation reaches ``options.delta_min_slots``, recomputing only
+    the components a move touched; the incremental values are
+    bit-identical to full re-scores by construction, so the gate is
+    purely about throughput.  All paths draw the identical RNG stream,
+    so for a
+    given seed an iteration-budgeted run's accept/reject trajectory,
+    best mapping, and value match :func:`anneal_mapping_reference`
+    exactly (bit-identical when the kernel's objective values are,
+    which :mod:`repro.core.latency_kernel` guarantees).
+    Wall-clock-budgeted runs are inherently timing-dependent in both
+    implementations; this loop additionally polls the clock only every
     :data:`TIME_CHECK_INTERVAL` moves, so it may overshoot the limit
     by up to that many iterations.
+
+    ``options.batch_size > 1`` routes to the deterministic
+    batched-proposal variant (see the module docstring); everything
+    below describes the sequential loop.
 
     ``recorder`` is an optional :class:`repro.obs.recorder.
     FlightRecorder` observing the run.  It draws nothing from the RNG
@@ -252,10 +410,144 @@ def anneal_mapping(initial: Mapping,
     pays a single ``is not None`` test per iteration.
     """
     options = options or SAOptions()
+    if options.batch_size > 1:
+        return _anneal_mapping_batched(initial, objective, options, recorder)
     rng = resolve_rng(options.seed)
     start = time.perf_counter()
 
     evaluate_perm = getattr(objective, "evaluate_perm", None)
+    inc = None
+    if evaluate_perm is not None:
+        kernel_grid = getattr(objective, "grid", None)
+        if kernel_grid is not None and kernel_grid != initial.grid:
+            raise ValueError(
+                f"objective kernel compiled for grid {kernel_grid} cannot "
+                f"score mappings of grid {initial.grid}"
+            )
+        make_incremental = getattr(objective, "incremental", None)
+        if make_incremental is not None \
+                and initial.grid.n_blocks >= options.delta_min_slots:
+            inc = make_incremental()
+        evaluate = lambda perm: float(evaluate_perm(perm))  # noqa: E731
+    else:
+        def evaluate(perm: np.ndarray) -> float:
+            return float(objective(initial.with_block_permutation(perm.copy())))
+
+    current = np.array(initial.block_to_slot, dtype=np.int64)
+    scratch = np.empty_like(current)
+    if inc is not None:
+        # One full evaluation binds the partial terms; every proposal
+        # after this point goes through the delta path.
+        inc.bind(current)
+        current_value = float(inc.value)
+        propose_value = lambda perm: float(inc.propose(perm))  # noqa: E731
+    else:
+        current_value = evaluate(current)
+        propose_value = evaluate
+    initial_value = current_value
+    best = current.copy()
+    best_value = current_value
+    history = [best_value]
+    setup_evaluations = 1
+
+    temperature = options.initial_temperature
+    if temperature is None:
+        # Probe moves start from ``initial`` each time, replicating
+        # :func:`_probe_temperature` draw for draw on the permutation
+        # arrays (same move stream, same spread formula).
+        deltas = []
+        for _ in range(TEMPERATURE_PROBES):
+            move = options.moves[int(rng.integers(len(options.moves)))]
+            _propose_into(scratch, current, move, rng)
+            deltas.append(abs(propose_value(scratch) - current_value))
+        temperature = _temperature_from_spread(deltas, current_value)
+        setup_evaluations += TEMPERATURE_PROBES
+
+    if recorder is not None:
+        recorder.start(
+            initial_value, evaluations=setup_evaluations,
+            delta_evaluations=setup_evaluations - 1 if inc is not None else 0)
+
+    pool = {current.tobytes(): current_value} \
+        if options.portfolio_k > 1 else None
+
+    iterations = accepted = 0
+    exit_reason = "iteration_budget"
+    while True:
+        if options.max_iterations is not None \
+                and iterations >= options.max_iterations:
+            break
+        if options.time_limit_s is not None \
+                and iterations % TIME_CHECK_INTERVAL == 0 \
+                and time.perf_counter() - start >= options.time_limit_s:
+            exit_reason = "time_limit"
+            break
+        move = options.moves[int(rng.integers(len(options.moves)))]
+        _propose_into(scratch, current, move, rng)
+        value = propose_value(scratch)
+        delta = value - current_value
+        accepted_move = delta <= 0.0 or (
+            temperature > 0.0
+            and rng.random() < math.exp(-delta / temperature))
+        if accepted_move:
+            if inc is not None:
+                inc.accept()
+            current, scratch = scratch, current
+            current_value = value
+            accepted += 1
+            if value < best_value:
+                best[:] = current
+                best_value = value
+                history.append(best_value)
+            _note_visit(pool, current, value)
+        if recorder is not None:
+            recorder.sample(iterations, temperature, best_value,
+                            accepted_move, move=move,
+                            delta=inc is not None)
+        temperature *= options.alpha
+        iterations += 1
+
+    if recorder is not None:
+        recorder.finish(exit_reason, best_value)
+    best_mapping = Mapping(initial.grid, initial.cluster, best.copy())
+    return SAResult(
+        mapping=best_mapping,
+        value=best_value,
+        initial_value=initial_value,
+        iterations=iterations,
+        accepted=accepted,
+        elapsed_s=time.perf_counter() - start,
+        history=history,
+        evaluations=setup_evaluations + iterations,
+        exit_reason=exit_reason,
+        portfolio=_build_portfolio(initial, best_mapping, best_value, pool,
+                                   options.portfolio_k),
+    )
+
+
+def _anneal_mapping_batched(initial: Mapping,
+                            objective: Callable[[Mapping], float],
+                            options: SAOptions,
+                            recorder=None) -> SAResult:
+    """The deterministic batched-proposal loop (``batch_size > 1``).
+
+    Each round draws up to ``batch_size`` moves from the current state,
+    scores them in one ``evaluate_batch`` call when the objective
+    offers it (falling back to per-row evaluation otherwise), and scans
+    the scores in proposal order: rejects consume their acceptance draw
+    and cool the temperature exactly as the sequential loop would; the
+    first accept wins and discards the rest of the batch, whose
+    proposals were drawn from a now-stale state.  ``iterations`` counts
+    scanned proposals (so budgets mean the same thing as in the
+    sequential loop) while ``evaluations`` counts scored rows, which is
+    why the latter can run ahead.  The wall clock is polled once per
+    round.
+    """
+    rng = resolve_rng(options.seed)
+    start = time.perf_counter()
+
+    evaluate_perm = getattr(objective, "evaluate_perm", None)
+    evaluate_batch = getattr(objective, "evaluate_batch", None)
     if evaluate_perm is not None:
         kernel_grid = getattr(objective, "grid", None)
         if kernel_grid is not None and kernel_grid != initial.grid:
@@ -279,9 +571,6 @@ def anneal_mapping(initial: Mapping,
 
     temperature = options.initial_temperature
     if temperature is None:
-        # Probe moves start from ``initial`` each time, replicating
-        # :func:`_probe_temperature` draw for draw on the permutation
-        # arrays (same move stream, same spread formula).
         deltas = []
         for _ in range(TEMPERATURE_PROBES):
             move = options.moves[int(rng.integers(len(options.moves)))]
@@ -293,50 +582,74 @@ def anneal_mapping(initial: Mapping,
     if recorder is not None:
         recorder.start(initial_value, evaluations=setup_evaluations)
 
+    pool = {current.tobytes(): current_value} \
+        if options.portfolio_k > 1 else None
+
+    batch = np.empty((options.batch_size, len(current)), dtype=np.int64)
+    batch_moves: "list[str]" = [""] * options.batch_size
     iterations = accepted = 0
+    evaluations = setup_evaluations
     exit_reason = "iteration_budget"
     while True:
         if options.max_iterations is not None \
                 and iterations >= options.max_iterations:
             break
         if options.time_limit_s is not None \
-                and iterations % TIME_CHECK_INTERVAL == 0 \
                 and time.perf_counter() - start >= options.time_limit_s:
             exit_reason = "time_limit"
             break
-        move = options.moves[int(rng.integers(len(options.moves)))]
-        _propose_into(scratch, current, move, rng)
-        value = evaluate(scratch)
-        delta = value - current_value
-        accepted_move = delta <= 0.0 or (
-            temperature > 0.0
-            and rng.random() < math.exp(-delta / temperature))
-        if accepted_move:
-            current, scratch = scratch, current
-            current_value = value
-            accepted += 1
-            if value < best_value:
-                best[:] = current
-                best_value = value
-                history.append(best_value)
-        if recorder is not None:
-            recorder.sample(iterations, temperature, best_value,
-                            accepted_move)
-        temperature *= options.alpha
-        iterations += 1
+        k = options.batch_size
+        if options.max_iterations is not None:
+            k = min(k, options.max_iterations - iterations)
+        for b in range(k):
+            move = options.moves[int(rng.integers(len(options.moves)))]
+            batch_moves[b] = move
+            _propose_into(batch[b], current, move, rng)
+        if evaluate_batch is not None:
+            values = np.asarray(evaluate_batch(batch[:k]), dtype=np.float64)
+        else:
+            values = np.array([evaluate(batch[b]) for b in range(k)])
+        evaluations += k
+        for b in range(k):
+            value = float(values[b])
+            delta = value - current_value
+            accepted_move = delta <= 0.0 or (
+                temperature > 0.0
+                and rng.random() < math.exp(-delta / temperature))
+            if accepted_move:
+                current[:] = batch[b]
+                current_value = value
+                accepted += 1
+                if value < best_value:
+                    best[:] = current
+                    best_value = value
+                    history.append(best_value)
+                _note_visit(pool, current, value)
+            if recorder is not None:
+                recorder.sample(iterations, temperature, best_value,
+                                accepted_move, move=batch_moves[b])
+            temperature *= options.alpha
+            iterations += 1
+            if accepted_move:
+                # The rest of the batch was proposed from a state that
+                # no longer exists; discard it and re-propose.
+                break
 
     if recorder is not None:
         recorder.finish(exit_reason, best_value)
+    best_mapping = Mapping(initial.grid, initial.cluster, best.copy())
     return SAResult(
-        mapping=Mapping(initial.grid, initial.cluster, best.copy()),
+        mapping=best_mapping,
         value=best_value,
         initial_value=initial_value,
         iterations=iterations,
         accepted=accepted,
         elapsed_s=time.perf_counter() - start,
         history=history,
-        evaluations=setup_evaluations + iterations,
+        evaluations=evaluations,
         exit_reason=exit_reason,
+        portfolio=_build_portfolio(initial, best_mapping, best_value, pool,
+                                   options.portfolio_k),
     )
 
 
@@ -437,6 +750,13 @@ def anneal_mapping_with_restarts(initial: Mapping,
     starting evaluation, so ``objective(initial)`` is computed exactly
     once across the whole restart portfolio.
 
+    With ``options.portfolio_k > 1`` the per-run portfolios are merged
+    across restarts — the runs genuinely diversify start points, so
+    the merged pool is where portfolio warm starts earn their keep —
+    and the winner's :attr:`SAResult.portfolio` is rebuilt from the
+    pool (best first, then ``(value, bytes)``-ordered runner-ups, all
+    distinct).
+
     ``recorder_factory`` optionally instruments each run: it is called
     with the run's provenance string (``"cold"`` for run 0,
     ``"restart-k"`` after) and returns a flight recorder — or ``None``
@@ -448,6 +768,8 @@ def anneal_mapping_with_restarts(initial: Mapping,
     options = options or SAOptions()
     best: SAResult | None = None
     initial_value: float | None = None
+    merged: "dict[bytes, tuple[float, Mapping]] | None" = \
+        {} if options.portfolio_k > 1 else None
     for k in range(n_restarts):
         run_options = options.with_seed(options.seed + 7919 * k)
         if k == 0:
@@ -464,8 +786,24 @@ def anneal_mapping_with_restarts(initial: Mapping,
             # Run 0 starts at ``initial``, so its starting evaluation
             # *is* objective(initial) — no re-evaluation needed.
             initial_value = result.initial_value
+        if merged is not None:
+            for mapping, value in result.portfolio:
+                key = np.asarray(
+                    mapping.block_to_slot, dtype=np.int64).tobytes()
+                prev = merged.get(key)
+                if prev is None or value < prev[0]:
+                    merged[key] = (value, mapping)
         if best is None or result.value < best.value:
             best = result
     # Report the true improvement against the caller's start.
     best.initial_value = float(initial_value)
+    if merged is not None:
+        best_key = np.asarray(
+            best.mapping.block_to_slot, dtype=np.int64).tobytes()
+        runners = sorted(
+            (value, key) for key, (value, _) in merged.items()
+            if key != best_key)
+        best.portfolio = [(best.mapping, best.value)] + [
+            (merged[key][1], value)
+            for value, key in runners[:options.portfolio_k - 1]]
     return best

@@ -49,13 +49,15 @@ from repro.profiling.profile_run import ComputeProfile
 #: not understand rather than silently mis-deserializing.
 #: Version history: 1 — pre-schedule payloads (configs carry no
 #: ``schedule`` key and are implicitly 1F1B); 2 — configs record their
-#: pipeline schedule.
-PAYLOAD_VERSION = 2
+#: pipeline schedule; 3 — ranked entries carry their annealing
+#: portfolio (runner-up mappings for warm re-plans).
+PAYLOAD_VERSION = 3
 
 #: Payload versions :meth:`PipetteResult.from_payload` can read.
 #: Version-1 configs rehydrate as 1F1B via
-#: :meth:`repro.parallel.config.ParallelConfig.from_payload`.
-READABLE_PAYLOAD_VERSIONS = (1, PAYLOAD_VERSION)
+#: :meth:`repro.parallel.config.ParallelConfig.from_payload`; versions
+#: 1 and 2 rehydrate with empty portfolios.
+READABLE_PAYLOAD_VERSIONS = (1, 2, PAYLOAD_VERSION)
 
 
 @dataclass(frozen=True)
@@ -66,19 +68,26 @@ class PipetteOptions:
         use_worker_dedication: run the SA mapping search (PPT-LF);
             otherwise keep the framework's sequential mapping (PPT-L).
         sa: annealing budget/hyper-parameters per refined candidate.
+            The default carries ``portfolio_k=4`` so every refined
+            candidate ships runner-up mappings for elastic warm
+            starts; collection is pure bookkeeping
+            (:class:`~repro.core.annealing.SAResult`).
         sa_top_k: run SA only on this many of the best candidates (by
             naive-mapping latency).  Algorithm 1 anneals every
             candidate; bounding the refined set is an optimization
             that leaves results unchanged in practice because SA gains
             a few percent and cannot rescue a configuration that
             starts far behind.  Set to 0 to anneal every candidate.
+            The delta-evaluated kernel path made refinement cheap
+            enough to widen the default from 4 to 8.
         max_micro_batch: largest microbatch swept (the paper uses 8).
         seed: seed stream for the annealer.
     """
 
     use_worker_dedication: bool = True
-    sa: SAOptions = field(default_factory=lambda: SAOptions(max_iterations=3000))
-    sa_top_k: int = 4
+    sa: SAOptions = field(default_factory=lambda: SAOptions(
+        max_iterations=3000, portfolio_k=4))
+    sa_top_k: int = 8
     max_micro_batch: int = 8
     seed: int = 0
 
@@ -96,6 +105,12 @@ class RankedConfig:
         memory_ok: whether the memory check passed; ``False`` marks a
             best-effort recommendation (the estimator believed nothing
             fits and returned the least-memory candidates anyway).
+        portfolio: runner-up mappings from the annealing portfolio
+            (:attr:`~repro.core.annealing.SAResult.portfolio` minus its
+            leading entry, which *is* :attr:`mapping`), best first.
+            Elastic re-plans polish the best survivor of these instead
+            of a single plan; empty for unrefined entries and for
+            payloads predating version 3.
     """
 
     config: ParallelConfig
@@ -103,6 +118,7 @@ class RankedConfig:
     estimated_latency_s: float
     estimated_memory_bytes: float | None
     memory_ok: bool
+    portfolio: "tuple[Mapping, ...]" = ()
 
     @property
     def sort_key(self) -> tuple:
@@ -126,18 +142,26 @@ class RankedConfig:
                 "mapping": self.mapping.to_payload(),
                 "estimated_latency_s": self.estimated_latency_s,
                 "estimated_memory_bytes": self.estimated_memory_bytes,
-                "memory_ok": self.memory_ok}
+                "memory_ok": self.memory_ok,
+                "portfolio": [m.to_payload() for m in self.portfolio]}
 
     @classmethod
     def from_payload(cls, payload: dict,
                      cluster: ClusterSpec) -> "RankedConfig":
-        """Inverse of :meth:`to_payload`, rebinding to ``cluster``."""
+        """Inverse of :meth:`to_payload`, rebinding to ``cluster``.
+
+        Version-1/2 payloads carry no ``portfolio`` key; they
+        rehydrate with an empty one (single-survivor warm starts,
+        exactly the pre-portfolio behaviour).
+        """
         return cls(
             config=ParallelConfig.from_payload(payload["config"]),
             mapping=Mapping.from_payload(payload["mapping"], cluster),
             estimated_latency_s=payload["estimated_latency_s"],
             estimated_memory_bytes=payload["estimated_memory_bytes"],
             memory_ok=payload["memory_ok"],
+            portfolio=tuple(Mapping.from_payload(p, cluster)
+                            for p in payload.get("portfolio", ())),
         )
 
 
@@ -339,6 +363,7 @@ def refine_unit(payload: "tuple[SearchContext, tuple]"
             estimated_latency_s=result.value,
             estimated_memory_bytes=entry.estimated_memory_bytes,
             memory_ok=entry.memory_ok,
+            portfolio=tuple(m for m, _ in result.portfolio[1:]),
         ), result.elapsed_s,
             None if recorder is None else recorder.to_payload()))
     return out
@@ -558,6 +583,8 @@ class PipetteConfigurator:
         if flight is not None:
             attributes["anneal_iterations"] = flight["iterations"]
             attributes["anneal_evaluations"] = flight["evaluations"]
+            attributes["anneal_delta_evaluations"] = \
+                flight.get("delta_evaluations", 0)
             attributes["exit_reason"] = flight["exit_reason"]
             attributes["flight"] = flight
         TRACER.record_span("search.candidate", elapsed_s,

@@ -39,6 +39,27 @@ for the same :class:`~repro.core.annealing.SAOptions` seed — cached
 plans, store round-trips, and gateway coalescing see byte-identical
 results, just computed an order of magnitude faster
 (``benchmarks/bench_annealing_kernel.py``).
+
+**The incremental contract.** :meth:`LatencyKernel.evaluate_perm`
+remains the executable spec, but an annealing move touches at most a
+handful of permutation positions, and Eqs. (3)-(6) decompose into
+*per-component partial terms* that each depend only on a slice of the
+permutation:
+
+* the tensor-parallel straggler vector (stage 0 + last stage blocks),
+* one pipeline-chain sum per ``(tensor rank, data rank)`` lane,
+* one data-parallel ring term per exposure-aware stage.
+
+:class:`IncrementalEvaluator` caches those partials for a bound
+permutation and, per proposed move, recomputes only the touched
+components — *with the exact operation order of the full evaluation*
+(chain sums re-accumulate their whole lane sequentially; a stage's
+ring term is recomputed whole), so the incremental value equals
+``evaluate_perm`` to the last bit and the annealer's trajectory is
+unchanged.  :meth:`LatencyKernel.delta_for_move` wraps this as the
+one-shot ``latency(move(perm)) - latency(perm)`` form, and
+:meth:`LatencyKernel.evaluate_batch` scores K permutations per NumPy
+dispatch for the annealer's batched proposal mode.
 """
 
 from __future__ import annotations
@@ -148,6 +169,11 @@ class LatencyKernel:
             rows = grid.stage_blocks()
             self._tp_blocks = np.concatenate([rows[0], rows[-1]]) \
                 if pp > 1 else rows[0]
+            # Which permutation positions feed the TP straggler term —
+            # the incremental path skips it entirely for moves that
+            # touch neither the first nor the last stage.
+            self._tp_touch = np.zeros(n_slots, dtype=bool)
+            self._tp_touch[self._tp_blocks] = True
 
         # ``pair_bw[y, s1, s2]``: bandwidth between tensor rank ``y``'s
         # GPUs of slots ``s1`` and ``s2`` — the table both the pipeline
@@ -278,6 +304,124 @@ class LatencyKernel:
 
         return self._finish(pp, c_tp, t_pp, t_dp)
 
+    def evaluate_batch(self, perms: np.ndarray) -> np.ndarray:
+        """Latencies of K block permutations in one vectorized pass.
+
+        ``perms`` is a ``(K, n_blocks)`` array whose rows are
+        permutations of ``[0, n_blocks)``.  Every gather and reduction
+        of :meth:`evaluate_perm` generalizes with a leading K axis, and
+        the reductions stay per-row independent (the chain
+        ``add.accumulate`` runs along the hop axis, so each lane's sum
+        order is untouched) — row ``k`` of the result is therefore
+        *bit-identical* to ``evaluate_perm(perms[k])``.  The point is
+        dispatch amortization: the annealer's batched proposal mode
+        pays one NumPy call chain for K candidate moves instead of K.
+        """
+        pp, tp, dp = self.grid.pp, self.grid.tp, self.grid.dp
+        perms = np.asarray(perms)
+        if perms.ndim != 2 or perms.shape[1] != self.grid.n_blocks:
+            raise ValueError(
+                f"expected a (K, {self.grid.n_blocks}) batch of "
+                f"permutations, got shape {perms.shape}"
+            )
+        n = perms.shape[0]
+        slots = perms.reshape(n, pp, dp)
+        if pp > 1 or dp > 1:
+            scaled = slots * self._n_slots
+
+        if tp > 1:
+            sel = np.take(self._tp_min_bw,
+                          np.take(perms, self._tp_blocks, axis=1))
+            t = self._tp_layers4 * (self._tp_coef / (sel * GB))
+            c_tp = self._c + self._tp_factor * t.max(axis=1)
+        else:
+            c_tp = np.full(n, self._c)
+
+        t_pp = np.zeros(n)
+        if pp > 1:
+            hop = np.take(self._pp_hop_flat,
+                          scaled[:, :-1] + slots[:, 1:], axis=1)
+            t_pp = np.add.accumulate(hop, axis=2)[:, :, -1].max(axis=(0, 2))
+
+        stage_t = None
+        if dp > 1:
+            ns = self._n_dp_stages
+            pair = np.take(self._pair_flat,
+                           scaled[:, :ns, :, None] + slots[:, :ns, None, :],
+                           axis=1)                         # (tp, K, ns, dp, dp)
+            if self._one_slot_per_node:
+                inter_bw = pair.reshape(tp, n, ns, -1).min(axis=3)
+                inter = self._inter_num_all[None, None] \
+                    / ((dp * inter_bw) * GB)
+                stage_t = inter.max(axis=0)                # (K, ns)
+            else:
+                nodes = np.take(self._node_of_slot, slots[:, :ns])
+                same = nodes[:, :, :, None] == nodes[:, :, None, :]
+                rowmin = np.where(same[None], pair, np.inf).min(axis=4)
+                k = same.sum(axis=3)                       # (K, ns, dp)
+                intra_num = (4.0 * (k - 1)) * self._msg_dp_col
+                intra = (intra_num[None]
+                         / ((k[None] * rowmin) * GB)).max(axis=3)
+                leader = ~((same & self._tril).any(axis=3))
+                kn = leader.sum(axis=2)                    # (K, ns)
+                pairmask = leader[:, :, :, None] & leader[:, :, None, :]
+                masked = np.where(pairmask[None], pair, np.inf)
+                inter_bw = masked.reshape(tp, n, ns, -1).min(axis=3)
+                inter_num = (2.0 * (kn - 1)) * self._msg_dp[:ns]
+                inter = inter_num[None] / ((kn[None] * inter_bw) * GB)
+                stage_t = (intra + inter).max(axis=0)      # (K, ns)
+
+        # Combine per row with the scalar epilogue of ``evaluate_perm``
+        # (same expressions on the same floats), so each row's final
+        # combination is performed in the spec's exact order.
+        out = np.empty(n)
+        for i in range(n):
+            row_c_tp = float(c_tp[i])
+            t_dp = 0.0
+            if stage_t is not None:
+                exposed = float(stage_t[i, 0])
+                if self._n_dp_stages > 1:
+                    backward_slack = 2.0 * row_c_tp / 3.0
+                    adj = stage_t[i, 1:] - self._drain_steps * backward_slack
+                    exposed = max(exposed, float(adj.max()))
+                t_dp = exposed / self._eff
+            out[i] = self._finish(pp, row_c_tp, float(t_pp[i]), t_dp)
+        return out
+
+    # --------------------------------------------------- incremental path
+
+    def incremental(self) -> "IncrementalEvaluator":
+        """A fresh incremental evaluator over this kernel's partial terms.
+
+        The annealer's sequential hot loop binds its current
+        permutation once and then re-scores each proposed move by
+        recomputing only the touched components; see
+        :class:`IncrementalEvaluator` for the exactness argument.
+        """
+        return IncrementalEvaluator(self)
+
+    def delta_for_move(self, perm: np.ndarray, move) -> float:
+        """Exact latency delta of applying ``move`` to ``perm``.
+
+        ``move`` is a ``(kind, i, j)`` tuple with the semantics of
+        :func:`repro.core.annealing.apply_move` (``"swap"``,
+        ``"migrate"``, or ``"reverse"``).  The result equals
+        ``evaluate_perm(apply_move(perm, move)) - evaluate_perm(perm)``
+        computed on bit-identical evaluations, but only the components
+        the move touches are recomputed.  Consecutive calls with the
+        same ``perm`` reuse the bound partial terms; the annealer's hot
+        loop uses the stateful :meth:`incremental` form directly.
+        """
+        from repro.core.annealing import apply_move
+
+        perm = np.asarray(perm, dtype=np.int64)
+        inc = getattr(self, "_delta_inc", None)
+        if inc is None:
+            inc = self._delta_inc = self.incremental()
+        if inc.perm is None or not np.array_equal(inc.perm, perm):
+            inc.bind(perm)
+        return inc.propose(apply_move(perm, move)) - inc.value
+
     def _finish(self, pp: int, c_tp: float, t_pp: float,
                 t_dp: float) -> float:
         if self.options.hidden_critical_path:
@@ -289,6 +433,205 @@ class LatencyKernel:
             return self._critical_time(pp, self._n_mb, c_tp, t_pp) + t_dp
         # Eq. (1): the inter-stage communication is paid only once.
         return (self._n_mb - 1) * c_tp + pp * c_tp + t_pp + t_dp
+
+
+class IncrementalEvaluator:
+    """Exact delta evaluation over single-move perturbations.
+
+    The evaluator caches the permutation-dependent *partial terms* of
+    one bound permutation:
+
+    * ``t_tp`` — the TP straggler vector over the stage-0/last-stage
+      block positions (``None`` when ``tp == 1``);
+    * ``chain_tot`` — the accumulated pipeline-chain sum per
+      ``(tensor rank, data rank)`` lane, shape ``(tp, dp)`` (``None``
+      when ``pp == 1``);
+    * ``stage_t`` — the data-parallel ring term per exposure-aware
+      stage, shape ``(ns,)`` (``None`` when ``dp == 1``).
+
+    :meth:`propose` recomputes only the components a candidate
+    permutation touches.  Exactness rests on component independence:
+    each partial term depends on a disjoint slice of the permutation
+    and is recomputed *whole*, with the same expressions in the same
+    order as :meth:`LatencyKernel.evaluate_perm` (a touched chain lane
+    re-runs its full sequential ``add.accumulate``; a touched stage
+    re-runs its full ring reduction), and the scalar epilogue combines
+    the cached floats exactly as the full evaluation would.  The
+    per-component results are therefore bit-identical to the full
+    re-score's, and so is their combination — which is what lets
+    :func:`repro.core.annealing.anneal_mapping` run this path by
+    default without perturbing its trajectory.
+
+    Usage is a bind/propose/accept cycle::
+
+        inc = kernel.incremental()
+        value = inc.bind(perm)              # full evaluation, cached
+        cand = inc.propose(new_perm)        # delta evaluation
+        inc.accept()                        # new_perm becomes current
+
+    ``propose`` never mutates the bound state, so rejected moves cost
+    nothing beyond their own recomputation; ``accept`` adopts the last
+    proposal in O(n).
+    """
+
+    def __init__(self, kernel: LatencyKernel) -> None:
+        self._k = kernel
+        self.perm: "np.ndarray | None" = None
+        self.value: float = 0.0
+        self._t_tp = None
+        self._chain_tot = None
+        self._stage_t = None
+        self._cand = None
+        self._cand_perm = None
+
+    # ------------------------------------------------------------ binding
+
+    def bind(self, perm: np.ndarray) -> float:
+        """Fully evaluate ``perm`` and cache its partial terms."""
+        k = self._k
+        pp, dp = k.grid.pp, k.grid.dp
+        perm = np.array(perm, dtype=np.int64)
+        self.perm = perm
+        self._cand = None
+        self._t_tp = self._tp_vector(perm) if k.grid.tp > 1 else None
+        slots = perm.reshape(pp, dp)
+        self._chain_tot = self._chain_lanes(slots, slice(None)) \
+            if pp > 1 else None
+        self._stage_t = self._dp_stage_terms(
+            slots, np.arange(k._n_dp_stages)) if dp > 1 else None
+        self.value = self._combine(self._t_tp, self._chain_tot,
+                                   self._stage_t)
+        return self.value
+
+    def propose(self, perm: np.ndarray,
+                touched: "np.ndarray | None" = None) -> float:
+        """Value of ``perm``, recomputing only the touched components.
+
+        ``touched`` lists the positions where ``perm`` differs from the
+        bound permutation; when omitted it is derived by comparison.
+        The proposal is staged — :meth:`accept` adopts it — and the
+        bound state is untouched either way.
+        """
+        k = self._k
+        pp, dp = k.grid.pp, k.grid.dp
+        if touched is None:
+            touched = np.flatnonzero(perm != self.perm)
+        if touched.size == 0:
+            self._cand = (self._t_tp, self._chain_tot, self._stage_t,
+                          self.value)
+            self._cand_perm = perm
+            return self.value
+
+        t_tp = self._t_tp
+        if t_tp is not None and k._tp_touch[touched].any():
+            t_tp = self._tp_vector(perm)
+
+        slots = perm.reshape(pp, dp)
+        chain_tot = self._chain_tot
+        if chain_tot is not None:
+            cols = np.unique(touched % dp)
+            chain_tot = chain_tot.copy()
+            chain_tot[:, cols] = self._chain_lanes(slots, cols)
+
+        stage_t = self._stage_t
+        if stage_t is not None:
+            stages = np.unique(touched // dp)
+            stages = stages[stages < k._n_dp_stages]
+            if stages.size:
+                stage_t = stage_t.copy()
+                stage_t[stages] = self._dp_stage_terms(slots, stages)
+
+        value = self._combine(t_tp, chain_tot, stage_t)
+        self._cand = (t_tp, chain_tot, stage_t, value)
+        self._cand_perm = perm
+        return value
+
+    def accept(self) -> None:
+        """Adopt the last :meth:`propose` as the bound state."""
+        if self._cand is None:
+            raise RuntimeError("no staged proposal to accept")
+        self.perm[:] = self._cand_perm
+        self._t_tp, self._chain_tot, self._stage_t, self.value = self._cand
+        self._cand = None
+        self._cand_perm = None
+
+    # --------------------------------------------------------- components
+
+    def _tp_vector(self, perm: np.ndarray) -> np.ndarray:
+        """The TP straggler vector — same gather chain as the full path."""
+        k = self._k
+        sel = np.take(k._tp_min_bw, np.take(perm, k._tp_blocks))
+        return k._tp_layers4 * (k._tp_coef / (sel * GB))
+
+    def _chain_lanes(self, slots: np.ndarray, cols) -> np.ndarray:
+        """Accumulated chain sums of the selected data-rank lanes.
+
+        Each lane's hops are gathered and sequentially accumulated in
+        full, exactly as the full evaluation's ``add.accumulate`` does
+        for that lane — lanes are independent, so recomputing a subset
+        reproduces the full path's floats for those columns.
+        """
+        k = self._k
+        sub = slots[:, cols]
+        hop = np.take(k._pp_hop_flat,
+                      sub[:-1] * k._n_slots + sub[1:], axis=1)
+        return np.add.accumulate(hop, axis=1)[:, -1]
+
+    def _dp_stage_terms(self, slots: np.ndarray,
+                        stage_idx: np.ndarray) -> np.ndarray:
+        """Ring terms of the selected stages — the full path, sliced.
+
+        A stage's term reads only that stage's ``dp`` slots, and every
+        reduction in :meth:`LatencyKernel.evaluate_perm`'s DP section
+        is per-stage independent, so evaluating a stage subset yields
+        the identical floats.
+        """
+        k = self._k
+        tp, dp = k.grid.tp, k.grid.dp
+        m = len(stage_idx)
+        sub = slots[stage_idx]                                # (m, dp)
+        pair = np.take(k._pair_flat,
+                       (sub * k._n_slots)[:, :, None] + sub[:, None, :],
+                       axis=1)                                # (tp, m, dp, dp)
+        if k._one_slot_per_node:
+            inter_bw = pair.reshape(tp, m, -1).min(axis=2)
+            inter = k._inter_num_all[stage_idx][None] \
+                / ((dp * inter_bw) * GB)
+            return inter.max(axis=0)
+        nodes = np.take(k._node_of_slot, sub)                 # (m, dp)
+        same = nodes[:, :, None] == nodes[:, None, :]
+        rowmin = np.where(same[None], pair, np.inf).min(axis=3)
+        kk = same.sum(axis=2)                                 # (m, dp)
+        intra_num = (4.0 * (kk - 1)) * k._msg_dp[stage_idx, None]
+        intra = (intra_num[None] / ((kk[None] * rowmin) * GB)).max(axis=2)
+        leader = ~((same & k._tril).any(axis=2))              # (m, dp)
+        kn = leader.sum(axis=1)                               # (m,)
+        pairmask = leader[:, :, None] & leader[:, None, :]
+        masked = np.where(pairmask[None], pair, np.inf)
+        inter_bw = masked.reshape(tp, m, -1).min(axis=2)
+        inter_num = (2.0 * (kn - 1)) * k._msg_dp[stage_idx]
+        inter = inter_num[None] / ((kn[None] * inter_bw) * GB)
+        return (intra + inter).max(axis=0)
+
+    def _combine(self, t_tp, chain_tot, stage_t) -> float:
+        """The scalar epilogue over cached partials — the spec's, verbatim."""
+        k = self._k
+        pp = k.grid.pp
+        c_tp = k._c
+        if t_tp is not None:
+            c_tp = k._c + k._tp_factor * float(t_tp.max())
+        t_pp = 0.0
+        if chain_tot is not None:
+            t_pp = float(chain_tot.max())
+        t_dp = 0.0
+        if stage_t is not None:
+            exposed = float(stage_t[0])
+            if k._n_dp_stages > 1:
+                backward_slack = 2.0 * c_tp / 3.0
+                adj = stage_t[1:] - k._drain_steps * backward_slack
+                exposed = max(exposed, float(adj.max()))
+            t_dp = exposed / k._eff
+        return k._finish(pp, c_tp, t_pp, t_dp)
 
 
 def pipette_kernel(model: TransformerConfig, config: ParallelConfig,

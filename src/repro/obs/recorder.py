@@ -52,7 +52,8 @@ class FlightRecorder:
     __slots__ = ("provenance", "max_samples", "stride", "samples",
                  "exit_reason", "iterations", "evaluations", "accepted",
                  "initial_value", "final_value", "_accept_window",
-                 "_window_span")
+                 "_window_span", "moves_proposed", "moves_accepted",
+                 "delta_evaluations", "full_evaluations")
 
     def __init__(self, provenance: str = "cold",
                  max_samples: int = DEFAULT_MAX_SAMPLES,
@@ -74,26 +75,53 @@ class FlightRecorder:
         self.final_value: "float | None" = None
         self._accept_window = 0   # accepts since the last stored sample
         self._window_span = 0     # iterations since the last stored sample
+        #: Per-move-kind proposal / acceptance counters, filled only for
+        #: iterations whose move kind the loop reports.
+        self.moves_proposed: "dict[str, int]" = {}
+        self.moves_accepted: "dict[str, int]" = {}
+        #: How :attr:`evaluations` splits between the kernel's
+        #: incremental path and full re-scores.
+        self.delta_evaluations = 0
+        self.full_evaluations = 0
 
-    def start(self, initial_value: float, evaluations: int = 1) -> None:
+    def start(self, initial_value: float, evaluations: int = 1,
+              delta_evaluations: int = 0) -> None:
         """Record the starting objective and evaluations spent so far.
 
         ``evaluations`` counts objective calls made before iteration 0
-        — the initial evaluation plus any temperature probes.
+        — the initial evaluation plus any temperature probes —
+        ``delta_evaluations`` of which went through the incremental
+        path (the rest were full re-scores).
         """
         self.initial_value = float(initial_value)
         self.evaluations = int(evaluations)
+        self.delta_evaluations = int(delta_evaluations)
+        self.full_evaluations = int(evaluations) - int(delta_evaluations)
 
     def sample(self, iteration: int, temperature: float, best: float,
-               accepted_move: bool) -> None:
+               accepted_move: bool, move: "str | None" = None,
+               delta: bool = False) -> None:
         """Observe one iteration (called from the annealing hot loop).
 
         Every call is O(1); a row is stored only every ``stride``
         iterations, carrying the acceptance *rate over the window*
         since the previous stored row rather than a point sample.
+        ``move`` names the proposed move's kind for the per-kind
+        counters; ``delta`` marks the iteration's evaluation as having
+        gone through the objective's incremental path.  Both are
+        bookkeeping on values the loop already has — no RNG draws.
         """
         self.iterations = iteration + 1
         self.evaluations += 1
+        if delta:
+            self.delta_evaluations += 1
+        else:
+            self.full_evaluations += 1
+        if move is not None:
+            self.moves_proposed[move] = self.moves_proposed.get(move, 0) + 1
+            if accepted_move:
+                self.moves_accepted[move] = \
+                    self.moves_accepted.get(move, 0) + 1
         self._window_span += 1
         if accepted_move:
             self.accepted += 1
@@ -130,6 +158,12 @@ class FlightRecorder:
             "accepted": self.accepted,
             "initial_value": self.initial_value,
             "final_value": self.final_value,
+            "delta_evaluations": self.delta_evaluations,
+            "full_evaluations": self.full_evaluations,
+            "moves": {
+                "proposed": dict(self.moves_proposed),
+                "accepted": dict(self.moves_accepted),
+            },
             "series": {
                 "iteration": [row[0] for row in self.samples],
                 "temperature": [row[1] for row in self.samples],

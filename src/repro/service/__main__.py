@@ -99,7 +99,8 @@ def _build_service(args) -> PlanningService:
 def _options(args) -> PipetteOptions:
     return PipetteOptions(
         use_worker_dedication=not args.no_dedication,
-        sa=SAOptions(max_iterations=args.sa_iterations),
+        sa=SAOptions(max_iterations=args.sa_iterations,
+                     portfolio_k=args.portfolio_k),
         seed=args.seed,
     )
 
@@ -176,7 +177,8 @@ def cmd_replan(args) -> int:
     print(f"warm re-plan:   {report.warm.config.describe():<24} "
           f"{report.warm.estimated_latency_s:7.3f} s/iter "
           f"in {report.warm_search_s:6.2f} s "
-          f"(warm start was {report.warm_start_latency_s:.3f})")
+          f"(warm start was {report.warm_start_latency_s:.3f}, "
+          f"source {report.warm_source})")
     print(f"cold search:    {report.cold.config.describe():<24} "
           f"{report.cold.estimated_latency_s:7.3f} s/iter "
           f"in {report.cold_search_s:6.2f} s")
@@ -473,7 +475,7 @@ def _load_span_dump(path: str) -> "list[dict]":
 #: Span attributes surfaced inline by ``trace`` (everything else stays
 #: in the JSON dump; these are the ones that answer "why was it slow").
 _TRACE_ATTRS = ("outcome", "cluster", "coalesced", "config",
-                "exit_reason", "event_kind", "status")
+                "exit_reason", "event_kind", "warm_source", "status")
 
 
 def _print_span(span: dict, depth: int) -> None:
@@ -548,6 +550,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fabric/profiling/search seed")
         p.add_argument("--sa-iterations", type=int, default=1500,
                        help="annealing budget per refined candidate")
+        p.add_argument("--portfolio-k", type=int, default=4,
+                       help="runner-up mappings kept per refined "
+                            "candidate for elastic warm starts "
+                            "(default 4; 1 keeps only the best)")
         p.add_argument("--no-dedication", action="store_true",
                        help="skip SA worker dedication (PPT-L mode)")
         p.add_argument("--workers", type=int, default=0,

@@ -54,6 +54,7 @@ import asyncio
 import contextlib
 import json
 import time
+from dataclasses import replace as _replace
 
 import numpy as np
 
@@ -131,6 +132,13 @@ async def answer_payload(gateway: PlanGateway, options: PipetteOptions,
     client_id = payload.get("client_id")
     if client_id is not None:
         client_id = str(client_id)
+    if payload.get("portfolio_k") is not None:
+        # Per-request portfolio depth: how many runner-up mappings the
+        # plan carries for elastic warm starts.  SAOptions validates
+        # the value (>= 1) and raises the 400-mapped ValueError.
+        options = _replace(
+            options, sa=_replace(options.sa,
+                                 portfolio_k=int(payload["portfolio_k"])))
     kwargs: dict = {"options": options}
     if payload.get("micro_batches") is not None:
         kwargs["micro_batches"] = tuple(

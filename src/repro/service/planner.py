@@ -144,6 +144,8 @@ class PlanningService:
         self._profiles: "dict[TransformerConfig, ComputeProfile]" = {}
         self._queue: "list[PlanTicket]" = []
         self._submitted = 0
+        # Where re-plan warm starts came from (ReplanReport.warm_source).
+        self._warm_sources = {"best": 0, "portfolio": 0, "cold": 0}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------- profiles
@@ -398,6 +400,8 @@ class PlanningService:
                 executor=self.executor,
                 run_cold=run_cold,
             )
+            self._warm_sources[report.warm_source] = \
+                self._warm_sources.get(report.warm_source, 0) + 1
             if event.kind == "node_failure":
                 self.cluster = report.cluster
                 self.bandwidth = report.bandwidth
@@ -448,6 +452,15 @@ class PlanningService:
             "node failure).",
             ("cluster",)).labels(cluster=cluster).set_function(
                 lambda: self.cluster.n_gpus)
+        warm = metrics.counter(
+            "pipette_replans_warm_source",
+            "Re-plans by warm-start origin: the previous plan's own "
+            "mapping (best), a portfolio runner-up that outscored it "
+            "(portfolio), or no surviving mapping (cold).",
+            ("cluster", "source"))
+        for source in ("best", "portfolio", "cold"):
+            warm.labels(cluster=cluster, source=source).bind(
+                lambda s=source: self._warm_sources[s])
 
     # ---------------------------------------------------------------- stats
 
@@ -471,6 +484,7 @@ class PlanningService:
             "cache_evictions": cache_stats.evictions,
             "cache_stale_drops": cache_stats.stale_drops,
             "profiled_models": len(self._profiles),
+            "replan_warm_sources": dict(self._warm_sources),
         }
         if self.executor is not None:
             executor_stats = self.executor.stats_snapshot()

@@ -194,6 +194,12 @@ class ReplanReport:
         cold: cold-search recommendation (``None`` if skipped).
         cold_search_s: wall-clock of the cold search.
         cold_result: the cold search's full result (``None`` if skipped).
+        warm_source: where the polished warm start came from —
+            ``"best"`` (the previous plan's own mapping),
+            ``"portfolio"`` (one of its runner-up mappings outscored
+            the old best on the post-event cluster), or ``"cold"``
+            (no previous mapping survived; the leader's naive mapping
+            started the polish).
     """
 
     event: ClusterEvent
@@ -206,6 +212,7 @@ class ReplanReport:
     cold: RankedConfig | None = None
     cold_search_s: float | None = None
     cold_result: PipetteResult | None = None
+    warm_source: str = "best"
 
     @property
     def latency_gap(self) -> float:
@@ -223,25 +230,40 @@ class ReplanReport:
         return self.cold_search_s / max(self.warm_search_s, 1e-9)
 
 
-def _warm_mapping(event: ClusterEvent, previous: RankedConfig,
-                  leader: RankedConfig, cluster: ClusterSpec):
-    """The best available warm start for the leader's mapping."""
+def _warm_candidates(event: ClusterEvent, previous: RankedConfig,
+                     leader: RankedConfig, cluster: ClusterSpec
+                     ) -> "list[tuple]":
+    """Every viable warm start, as ``(mapping, source)`` pairs.
+
+    The previous plan's own mapping (source ``"best"``) leads, followed
+    by its portfolio runner-ups (source ``"portfolio"``); each is
+    carried over verbatim on a drift or put through mapping surgery on
+    a failure, dropping candidates the surgery rejects.  When nothing
+    survives — the leader changed shape, or surgery failed on every
+    candidate — the leader's own naive mapping (source ``"cold"``) is
+    the honest start.  The best-first order means latency ties in the
+    caller's argmin resolve toward ``"best"``.
+    """
+    sources = [(previous.mapping, "best")] + \
+        [(m, "portfolio") for m in previous.portfolio]
     if event.kind == "bandwidth_drift":
         if leader.config.pp == previous.config.pp \
                 and leader.config.tp == previous.config.tp \
                 and leader.config.dp == previous.config.dp:
-            return previous.mapping
-        return leader.mapping
+            return sources
+        return [(leader.mapping, "cold")]
     grid = WorkerGrid(pp=leader.config.pp, tp=leader.config.tp,
                       dp=leader.config.dp)
-    try:
-        return compact_mapping_after_failure(previous.mapping,
-                                             event.failed_nodes,
-                                             cluster, grid)
-    except ValueError:
-        # The leader changed tensor-parallel width; slot geometry does
-        # not carry over, so the sequential start is the honest one.
-        return leader.mapping
+    survivors = []
+    for mapping, source in sources:
+        try:
+            survivors.append((compact_mapping_after_failure(
+                mapping, event.failed_nodes, cluster, grid), source))
+        except ValueError:
+            # This mapping's slot geometry does not carry over (e.g.
+            # the leader changed tensor-parallel width).
+            continue
+    return survivors or [(leader.mapping, "cold")]
 
 
 def replan(cluster: ClusterSpec, model: TransformerConfig,
@@ -316,19 +338,32 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
         ctx = SearchContext(cluster=new_cluster, model=model,
                             bandwidth=new_bw, profile=profile,
                             memory_estimator=memory_estimator, sa=warm_sa)
-        start_mapping = _warm_mapping(event, previous, leader, new_cluster)
-        # The warm polish runs against the compiled latency kernel —
-        # same values as the reference estimator bit for bit, so warm
-        # results remain comparable with (and cacheable alongside)
-        # cold searches.  The polish runs inline, so its flight
-        # recorder (provenance "warm-start") lands on the span
-        # directly rather than crossing a pool boundary.
+        # The warm polish (and the candidate selection below) runs
+        # against the compiled latency kernel — same values as the
+        # reference estimator bit for bit, so warm results remain
+        # comparable with (and cacheable alongside) cold searches.
+        kernel = candidate_kernel(ctx, leader.config)
+        candidates = _warm_candidates(event, previous, leader, new_cluster)
+        if len(candidates) > 1:
+            # Score every survivor in one batched kernel call and
+            # polish the best: a re-plan starts from the strongest
+            # member of the previous plan's portfolio, not blindly
+            # from its old best.
+            perms = np.stack([np.asarray(m.block_to_slot, dtype=np.int64)
+                              for m, _ in candidates])
+            pick = int(np.argmin(kernel.evaluate_batch(perms)))
+        else:
+            pick = 0
+        start_mapping, warm_source = candidates[pick]
+        # The polish runs inline, so its flight recorder (provenance
+        # "warm-start") lands on the span directly rather than
+        # crossing a pool boundary.
         recorder = FlightRecorder(provenance="warm-start") \
             if TRACER.enabled else None
         with TRACER.span("replan.warm_anneal") as warm_span:
             sa_result = anneal_mapping(
                 start_mapping,
-                candidate_kernel(ctx, leader.config),
+                kernel,
                 warm_sa.with_seed(options.seed),
                 recorder=recorder,
             )
@@ -341,6 +376,7 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
             estimated_latency_s=sa_result.value,
             estimated_memory_bytes=leader.estimated_memory_bytes,
             memory_ok=leader.memory_ok,
+            portfolio=tuple(m for m, _ in sa_result.portfolio[1:]),
         )
 
         report = ReplanReport(
@@ -348,6 +384,7 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
             previous=previous, warm=warm,
             warm_start_latency_s=sa_result.initial_value,
             warm_search_s=warm_search_s,
+            warm_source=warm_source,
         )
         if run_cold:
             with TRACER.span("replan.cold_search"):
@@ -362,4 +399,5 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
             report.cold_search_s = cold_result.total_s
             report.cold_result = cold_result
         replan_span.set_attribute("warm_search_s", warm_search_s)
+        replan_span.set_attribute("warm_source", warm_source)
         return report

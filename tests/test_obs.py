@@ -264,6 +264,23 @@ class TestMetricsExport:
         assert "pipette_anneal_evaluations_count 1" in text
         assert "not.a.phase" not in text
 
+    def test_delta_eval_counter_accumulates(self, tracer):
+        from repro.service.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
+        tracer.attach_metrics(metrics)
+        tracer.record_span("search.candidate", 0.01,
+                           anneal_iterations=120, anneal_evaluations=137,
+                           anneal_delta_evaluations=136)
+        tracer.record_span("search.candidate", 0.01,
+                           anneal_iterations=60, anneal_evaluations=77,
+                           anneal_delta_evaluations=76)
+        # Candidates without the attribute (e.g. a plain-callable
+        # objective) must not disturb the counter.
+        tracer.record_span("search.candidate", 0.01, anneal_iterations=10,
+                           anneal_evaluations=11)
+        text = metrics.render()
+        assert "pipette_anneal_delta_evals_total 212" in text
+
 
 class TestFlightRecorder:
     def test_payload_shape(self):

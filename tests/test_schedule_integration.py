@@ -115,11 +115,12 @@ def searched(tiny_cluster, toy_model, tiny_network, toy_profile):
 
 
 class TestPayloadMigration:
-    def test_current_payload_is_version_2(self, searched):
+    def test_current_payload_is_version_3(self, searched):
         payload = searched.to_payload()
-        assert payload["version"] == PAYLOAD_VERSION == 2
+        assert payload["version"] == PAYLOAD_VERSION == 3
         for entry in payload["ranked"]:
             assert entry["config"]["schedule"] == "1f1b"
+            assert isinstance(entry["portfolio"], list)
 
     def test_v1_payload_rehydrates_as_1f1b(self, searched):
         # A version-1 payload predates the schedule field entirely.
@@ -127,17 +128,30 @@ class TestPayloadMigration:
         v1["version"] = 1
         for entry in v1["ranked"]:
             del entry["config"]["schedule"]
+            del entry["portfolio"]
         restored = PipetteResult.from_payload(v1)
         assert all(e.config.schedule == "1f1b" for e in restored.ranked)
+        assert all(e.portfolio == () for e in restored.ranked)
+        assert restored.best is restored.ranked[0]
+
+    def test_v2_payload_rehydrates_with_empty_portfolio(self, searched):
+        # A version-2 payload has schedules but predates portfolios.
+        v2 = copy.deepcopy(searched.to_payload())
+        v2["version"] = 2
+        for entry in v2["ranked"]:
+            del entry["portfolio"]
+        restored = PipetteResult.from_payload(v2)
+        assert all(e.portfolio == () for e in restored.ranked)
         assert restored.best is restored.ranked[0]
 
     def test_v1_round_trip_is_stable(self, searched):
-        # Migrating v1 -> v2 must be a fixed point: serializing the
+        # Migrating v1 -> v3 must be a fixed point: serializing the
         # rehydrated result and round-tripping again changes nothing.
         v1 = copy.deepcopy(searched.to_payload())
         v1["version"] = 1
         for entry in v1["ranked"]:
             del entry["config"]["schedule"]
+            del entry["portfolio"]
         once = PipetteResult.from_payload(v1).to_payload()
         assert once["version"] == PAYLOAD_VERSION
         twice = PipetteResult.from_payload(
@@ -148,9 +162,9 @@ class TestPayloadMigration:
     def test_unreadable_version_rejected(self, searched):
         bad = searched.to_payload()
         bad["version"] = 99
-        with pytest.raises(ValueError, match="reads versions 1, 2"):
+        with pytest.raises(ValueError, match="reads versions 1, 2, 3"):
             PipetteResult.from_payload(bad)
-        assert READABLE_PAYLOAD_VERSIONS == (1, 2)
+        assert READABLE_PAYLOAD_VERSIONS == (1, 2, 3)
 
 
 # -------------------------------------------------- determinism regression

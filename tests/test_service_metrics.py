@@ -19,6 +19,7 @@ from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
 from repro.core import PipetteOptions
 from repro.service import (
     ClusterRegistry,
+    ClusterEvent,
     GatewayOverloadedError,
     MetricsError,
     MetricsRegistry,
@@ -371,6 +372,25 @@ class TestStatsAgreement:
         assert metric_value(samples, "pipette_cluster_gpus",
                             cluster="alpha") == \
             registry.service("alpha").cluster.n_gpus
+
+    def test_replan_warm_sources_counted_per_source(self, toy_model):
+        registry = _registry()
+        metrics = MetricsRegistry()
+        registry.attach_metrics(metrics)
+        service = registry.service("alpha")
+        request = service.request(toy_model, 32, options=FAST)
+
+        service.replan(request, ClusterEvent.node_failure(1),
+                       run_cold=False)
+        samples = parse_prometheus(metrics.render())
+        per_source = {source: metric_value(samples,
+                                           "pipette_replans_warm_source",
+                                           cluster="alpha", source=source)
+                      for source in ("best", "portfolio", "cold")}
+        # One replan happened; exactly one source claims it, and the
+        # pull-bound series mirror the planner's own stats.
+        assert sum(per_source.values()) == 1
+        assert per_source == service.stats["replan_warm_sources"]
 
     def test_attach_twice_rejected(self):
         registry = _registry()

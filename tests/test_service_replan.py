@@ -241,3 +241,124 @@ class TestReplanAfterDrift:
         assert report.cluster.n_gpus == tiny_cluster.n_gpus
         assert report.warm.config.n_gpus == tiny_cluster.n_gpus
         assert report.warm_search_s < report.cold_search_s
+
+
+
+class TestWarmSource:
+    """Where the polished warm start came from: best, portfolio, cold.
+
+    The conftest world's drift leader is permutation-invariant (pp=1),
+    so these tests build their own heterogeneous fabric whose post-
+    drift leader runs a real pipeline — random mappings then score
+    differently and the deck can be stacked deterministically.
+    """
+
+    @pytest.fixture(scope="class")
+    def drift_world(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.cluster import Fabric, HeterogeneityModel
+        from repro.cluster.topology import (
+            ClusterSpec,
+            GpuSpec,
+            LinkSpec,
+            NodeSpec,
+        )
+        from repro.core.latency_kernel import pipette_kernel
+        from repro.model import get_model
+        from repro.profiling import profile_compute
+        from repro.units import GIB
+
+        gpu = GpuSpec(name="TestGPU", memory_bytes=4 * GIB,
+                      peak_flops=10e12, achievable_fraction=0.5,
+                      hbm_gb_s=500.0)
+        node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                        intra_link=LinkSpec("TestNVLink", 100.0,
+                                            alpha_s=1e-6))
+        cluster = ClusterSpec(name="tiny", n_nodes=4, node=node,
+                              inter_link=LinkSpec("TestIB", 10.0,
+                                                  alpha_s=1e-5))
+        fabric = Fabric(cluster, heterogeneity=HeterogeneityModel(),
+                        seed=11)
+        model = get_model("gpt-toy")
+        profile = profile_compute(model, cluster, noise_sigma=0.01, seed=5)
+        bandwidth = fabric.bandwidth()
+        drifted = fabric.bandwidth_at_day(30.0)
+        options = PipetteOptions(sa=SAOptions(max_iterations=200),
+                                 sa_top_k=2, seed=3)
+        previous = PipetteConfigurator(
+            cluster, model, bandwidth, profile, None,
+            options=options).search(32).best
+        event = ClusterEvent.bandwidth_drift(day=30.0)
+
+        def run(prev):
+            return replan(cluster, model, bandwidth, profile, prev, event,
+                          new_bandwidth=drifted, options=options,
+                          run_cold=False)
+
+        # The naive re-rank that picks the leader ignores `previous`,
+        # so one probe re-plan reveals the leader's shape; then score
+        # a spread of random mappings on that shape with the same
+        # kernel replan() uses, keeping the strongest and weakest.
+        leader_config = run(previous).warm.config
+        kernel = pipette_kernel(model, leader_config, cluster, drifted,
+                                profile)
+        grid = WorkerGrid(pp=leader_config.pp, tp=leader_config.tp,
+                          dp=leader_config.dp)
+        base = sequential_mapping(grid, cluster)
+        rng = np.random.default_rng(17)
+        perms = np.stack([rng.permutation(grid.n_blocks)
+                          for _ in range(8)]).astype(np.int64)
+        values = kernel.evaluate_batch(perms)
+        assert values.min() < values.max()
+        strong = base.with_block_permutation(
+            perms[int(np.argmin(values))].copy())
+        weak = base.with_block_permutation(
+            perms[int(np.argmax(values))].copy())
+
+        def shaped_previous(mapping, portfolio):
+            return dc_replace(previous, config=leader_config,
+                              mapping=mapping, portfolio=portfolio)
+
+        return shaped_previous, run, (strong, weak), previous, leader_config
+
+    def test_portfolio_member_beating_best_wins(self, drift_world):
+        shaped_previous, run, (strong, weak), _, _ = drift_world
+        report = run(shaped_previous(mapping=weak, portfolio=(strong,)))
+        assert report.warm_source == "portfolio"
+
+    def test_best_wins_when_portfolio_is_weaker(self, drift_world):
+        shaped_previous, run, (strong, weak), _, _ = drift_world
+        report = run(shaped_previous(mapping=strong, portfolio=(weak,)))
+        assert report.warm_source == "best"
+
+    def test_empty_portfolio_warm_starts_from_best(self, drift_world):
+        shaped_previous, run, (strong, weak), _, _ = drift_world
+        report = run(shaped_previous(mapping=weak, portfolio=()))
+        assert report.warm_source == "best"
+
+    def test_shape_change_falls_back_to_cold(self, drift_world):
+        # The unmodified previous plan's shape differs from the
+        # post-drift leader's, so nothing carries over.
+        _, run, _, previous, leader_config = drift_world
+        assert (previous.config.pp, previous.config.tp,
+                previous.config.dp) != (leader_config.pp, leader_config.tp,
+                                        leader_config.dp)
+        report = run(previous)
+        assert report.warm_source == "cold"
+
+    def test_failure_surgery_rejecting_all_is_cold(
+            self, tiny_cluster, toy_model, tiny_network, toy_profile,
+            previous_plan):
+        # On this world the post-failure leader changes tensor-parallel
+        # width, so mapping surgery rejects every carried-over
+        # candidate and the re-plan honestly reports a cold start.
+        report = replan(tiny_cluster, toy_model, tiny_network.bandwidth,
+                        toy_profile, previous_plan,
+                        ClusterEvent.node_failure(1),
+                        options=PipetteOptions(
+                            sa=SAOptions(max_iterations=100), sa_top_k=2,
+                            seed=3),
+                        run_cold=False)
+        assert report.warm.config.tp != previous_plan.config.tp
+        assert report.warm_source == "cold"

@@ -379,6 +379,52 @@ class TestServiceRestart:
         assert response.status == "miss"
         assert reborn.cache.stats.stale_drops == 1
 
+    def test_restart_replans_warm_from_rehydrated_portfolio(self, toy_model,
+                                                            tmp_path):
+        # Acceptance path of the portfolio refactor: a service answers
+        # a plan whose best entry carries annealing runner-ups, dies,
+        # and a reborn process rehydrates the portfolio from the store
+        # and answers a node-failure re-plan warm-started from one of
+        # those runner-ups (not the old best, not a cold start).  The
+        # heterogeneous seed-11 fabric makes the portfolio member
+        # genuinely win the batched candidate scoring.
+        from repro.cluster import Fabric, HeterogeneityModel
+        from repro.service import ClusterEvent
+        from repro.units import GIB
+
+        gpu = GpuSpec(name="TestGPU", memory_bytes=4 * GIB,
+                      peak_flops=10e12, achievable_fraction=0.5,
+                      hbm_gb_s=500.0)
+        node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                        intra_link=LinkSpec("TestNVLink", 100.0,
+                                            alpha_s=1e-6))
+        cluster = ClusterSpec(name="tiny", n_nodes=4, node=node,
+                              inter_link=LinkSpec("TestIB", 10.0,
+                                                  alpha_s=1e-5))
+        bandwidth = Fabric(cluster, heterogeneity=HeterogeneityModel(),
+                           seed=11).bandwidth()
+        options = PipetteOptions(
+            sa=SAOptions(max_iterations=300, portfolio_k=4), sa_top_k=2,
+            seed=3)
+        path = tmp_path / "plans.jsonl"
+
+        first = PlanningService(cluster, bandwidth,
+                                cache=DurablePlanCache(path))
+        cold = first.plan(first.request(toy_model, 64, options=options))
+        assert cold.status == "miss"
+        assert len(cold.best.portfolio) == options.sa.portfolio_k - 1
+
+        reborn = PlanningService(cluster, bandwidth,
+                                 cache=DurablePlanCache(path))
+        request = reborn.request(toy_model, 64, options=options)
+        hot = reborn.plan(request)
+        assert hot.status == "hit"
+        assert len(hot.best.portfolio) == len(cold.best.portfolio)
+        report = reborn.replan(request, ClusterEvent.node_failure(1),
+                               run_cold=False)
+        assert report.warm_source == "portfolio"
+        assert reborn.stats["replan_warm_sources"]["portfolio"] == 1
+
     def test_empty_durable_cache_not_discarded(self, tiny_cluster,
                                                tiny_network, tmp_path):
         cache = DurablePlanCache(tmp_path / "plans.jsonl")
