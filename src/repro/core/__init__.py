@@ -9,7 +9,9 @@
 * :mod:`repro.core.memory_estimator` — the MLP-based memory estimator
   with its soft margin (§VI, Eq. 7);
 * :mod:`repro.core.configurator` — the end-to-end search procedure
-  (Algorithm 1) and its PPT-L / PPT-LF ablation variants.
+  (Algorithm 1) and its PPT-L / PPT-LF ablation variants;
+* :mod:`repro.core.templates` — precomputed pipeline templates across
+  node counts for elastic failover (Oobleck-style).
 """
 
 from repro.core.latency_model import (
@@ -36,6 +38,13 @@ from repro.core.configurator import (
     pipette_l,
     pipette_lf,
 )
+from repro.core.templates import (
+    TEMPLATE_LIBRARY_VERSION,
+    PipelineTemplate,
+    PipelineTemplateGenerator,
+    TemplateLibrary,
+    stage_layer_split,
+)
 
 __all__ = [
     "LatencyModelOptions",
@@ -59,4 +68,9 @@ __all__ = [
     "PipetteConfigurator",
     "pipette_l",
     "pipette_lf",
+    "TEMPLATE_LIBRARY_VERSION",
+    "PipelineTemplate",
+    "PipelineTemplateGenerator",
+    "TemplateLibrary",
+    "stage_layer_split",
 ]

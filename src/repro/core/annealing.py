@@ -187,7 +187,9 @@ class SAResult:
             discards the rest of its evaluated batch, so evaluations
             can exceed iterations.
         exit_reason: which budget ended the run — ``"iteration_budget"``
-            or ``"time_limit"``.
+            or ``"time_limit"`` — or ``"degenerate"`` when the grid
+            has fewer than two blocks and the loop exited after its
+            single possible evaluation.
         portfolio: the ``portfolio_k`` best *distinct* states visited,
             as ``(mapping, value)`` pairs, best first.  Entry 0 is
             always the returned best; collection is pure bookkeeping on
@@ -368,6 +370,30 @@ def _build_portfolio(initial: Mapping, best_mapping: Mapping,
     return portfolio
 
 
+def _degenerate_result(initial: Mapping, value: float, start: float,
+                       recorder, portfolio_k: int) -> SAResult:
+    """The immediate result when the permutation space has one state.
+
+    A grid with fewer than two blocks admits exactly one block
+    permutation, so there is nothing to anneal: every proposal would
+    re-score the starting state.  All three loops exit through here
+    *before* the temperature probe, so a wall-clock-budgeted polish
+    (the one-node-survivor replan, where pp == tp == dp == 1) answers
+    after its single evaluation instead of spinning the whole budget
+    on no-op moves.
+    """
+    if recorder is not None:
+        recorder.start(value, evaluations=1)
+        recorder.finish("degenerate", value)
+    return SAResult(
+        mapping=initial.copy(), value=value, initial_value=value,
+        iterations=0, accepted=0,
+        elapsed_s=time.perf_counter() - start,
+        history=[value], evaluations=1, exit_reason="degenerate",
+        portfolio=[(initial.copy(), value)] if portfolio_k >= 1 else [],
+    )
+
+
 def anneal_mapping(initial: Mapping,
                    objective: Callable[[Mapping], float],
                    options: SAOptions | None = None,
@@ -449,6 +475,10 @@ def anneal_mapping(initial: Mapping,
     best_value = current_value
     history = [best_value]
     setup_evaluations = 1
+
+    if len(current) < 2:
+        return _degenerate_result(initial, current_value, start, recorder,
+                                  options.portfolio_k)
 
     temperature = options.initial_temperature
     if temperature is None:
@@ -569,6 +599,10 @@ def _anneal_mapping_batched(initial: Mapping,
     history = [best_value]
     setup_evaluations = 1
 
+    if len(current) < 2:
+        return _degenerate_result(initial, current_value, start, recorder,
+                                  options.portfolio_k)
+
     temperature = options.initial_temperature
     if temperature is None:
         deltas = []
@@ -676,6 +710,16 @@ def anneal_mapping_reference(initial: Mapping,
     best_value = current_value
     history = [best_value]
     setup_evaluations = 1
+
+    if initial.grid.n_blocks < 2:
+        # Mirrors the fast loops exactly (same guard, same result
+        # fields) so the seed-identity contract holds on degenerate
+        # grids too — except the portfolio, which the reference
+        # implementation never collects.
+        result = _degenerate_result(initial, current_value, start, recorder,
+                                    options.portfolio_k)
+        result.portfolio = []
+        return result
 
     temperature = options.initial_temperature
     if temperature is None:

@@ -1,6 +1,6 @@
 """Command-line front door of the planning service.
 
-Six subcommands, each a small end-to-end story on a simulated
+Seven subcommands, each a small end-to-end story on a simulated
 cluster (swap the simulated fabric for a real profiling campaign to
 use them against physical machines):
 
@@ -22,7 +22,11 @@ use them against physical machines):
   turn on end-to-end plan tracing (``GET /v1/debug/traces``, span
   dump files — see ``docs/OBSERVABILITY.md``);
 * ``trace``    — pretty-print a span dump written by
-  ``serve --trace-dir`` as indented per-trace timing trees.
+  ``serve --trace-dir`` as indented per-trace timing trees;
+* ``templates`` — generate, inspect, or background-warm an elastic
+  pipeline-template library (``--library FILE`` persists it; ``serve
+  --store-dir`` rehydrates per-cluster libraries at startup and
+  exposes ``POST /v1/templates/warm``).
 
 ``--store-path`` (or the registry's ``--store-dir``) makes the plan
 cache durable: re-running the same command answers previously planned
@@ -61,7 +65,9 @@ from repro.service.planner import PlanningService
 from repro.sim.schedule import registered_schedules
 from repro.service.registry import ClusterRegistry
 from repro.service.replan import ClusterEvent
-from repro.service.store import DurablePlanCache, PlanStoreError
+from repro.service.store import DurablePlanCache, PlanStoreError, \
+    TemplateStore
+from repro.service.warmer import TemplateWarmer
 from repro.units import GIB
 
 PRESETS = {"mid-range": mid_range_cluster, "high-end": high_end_cluster}
@@ -281,7 +287,8 @@ async def _handle_line(gateway: PlanGateway, options: PipetteOptions,
         # plan_response_payload reports this caller's own
         # submit-to-answer time — a coalesced follower must not
         # report its leader's full search time.
-        out = plan_response_payload(answer, payload)
+        out = plan_response_payload(answer, payload,
+                                    registry=gateway.registry)
         out["id"] = rid
     except (ValueError, TypeError, RuntimeError, KeyError,
             json.JSONDecodeError) as exc:
@@ -363,6 +370,30 @@ def _parse_client_weights(entries) -> dict:
     return weights
 
 
+def _build_warmers(args, registry: ClusterRegistry
+                   ) -> "dict[str, TemplateWarmer]":
+    """Per-cluster template warmers; store-backed under ``--store-dir``.
+
+    With a store directory each cluster gets a durable
+    ``<name>.templates.json`` library that is rehydrated here, so a
+    restarted server recovers failures warm before any warm-up runs.
+    """
+    warmers = {}
+    for name in registry.names:
+        store = None
+        if args.store_dir is not None:
+            store = TemplateStore(os.path.join(args.store_dir,
+                                               f"{name}.templates.json"))
+        warmer = TemplateWarmer(registry.service(name), store=store)
+        library = warmer.rehydrate()
+        if library is not None:
+            print(f"templates: {name} rehydrated "
+                  f"({library.size} templates)",
+                  file=sys.stderr, flush=True)
+        warmers[name] = warmer
+    return warmers
+
+
 async def _serve_async(args, registry: ClusterRegistry,
                        options: PipetteOptions) -> int:
     metrics = MetricsRegistry()
@@ -371,6 +402,7 @@ async def _serve_async(args, registry: ClusterRegistry,
     # evaluation counts).  The series exist even while tracing is off —
     # they just stay at zero observations until it is enabled.
     TRACER.attach_metrics(metrics)
+    warmers = _build_warmers(args, registry)
     async with PlanGateway(registry, max_queue_depth=args.max_queue_depth,
                            overflow=args.overflow, fairness=args.fairness,
                            max_batch=args.max_batch,
@@ -379,7 +411,8 @@ async def _serve_async(args, registry: ClusterRegistry,
                            metrics=metrics) as gateway:
         servers = []
         if args.http is not None:
-            front = HttpPlanServer(gateway, options, metrics=metrics)
+            front = HttpPlanServer(gateway, options, metrics=metrics,
+                                   warmers=warmers)
             server = await asyncio.start_server(
                 front.handle, host=args.host, port=args.http,
                 limit=1 << 16)  # 64 KiB header lines
@@ -475,7 +508,8 @@ def _load_span_dump(path: str) -> "list[dict]":
 #: Span attributes surfaced inline by ``trace`` (everything else stays
 #: in the JSON dump; these are the ones that answer "why was it slow").
 _TRACE_ATTRS = ("outcome", "cluster", "coalesced", "config",
-                "exit_reason", "event_kind", "warm_source", "status")
+                "exit_reason", "event_kind", "warm_source", "status",
+                "n_nodes", "schedule", "templates")
 
 
 def _print_span(span: dict, depth: int) -> None:
@@ -531,6 +565,65 @@ def cmd_trace(args) -> int:
         for root in roots:
             _print_span(root, 0)
         print()
+    return 0
+
+
+def _print_library(library) -> None:
+    """One template library as a per-node-count table."""
+    print(f"library: {library.model_name} on {library.cluster_name} "
+          f"(x{library.gpus_per_node} GPUs/node), "
+          f"global batch {library.global_batch}, "
+          f"nodes {library.min_nodes}..{library.max_nodes}, "
+          f"{library.size} templates")
+    for n_nodes in range(library.min_nodes, library.max_nodes + 1):
+        entries = library.templates_for(n_nodes)
+        if not entries:
+            reason = library.infeasible_reason(n_nodes) \
+                or "no feasible configuration"
+            print(f"  {n_nodes:>3} nodes: infeasible — {reason}")
+            continue
+        best = entries[0]
+        print(f"  {n_nodes:>3} nodes: {len(entries)} templates, best "
+              f"{best.config.describe():<24} "
+              f"{best.estimated_latency_s:7.3f} s/iter")
+
+
+def cmd_templates(args) -> int:
+    """Generate, inspect, or background-warm a template library."""
+    if args.action == "inspect":
+        if args.library is None:
+            raise ValueError("templates inspect needs --library FILE")
+        library = TemplateStore(args.library).load()
+        if library is None:
+            print(f"no template library at {args.library}",
+                  file=sys.stderr)
+            return 2
+        _print_library(library)
+        return 0
+    service = _build_service(args)
+    model = get_model(args.model)
+    print(f"model:   {model.name}, global batch {args.global_batch}\n")
+    kwargs: dict = {"min_nodes": args.min_nodes,
+                    "max_nodes": args.max_nodes,
+                    "options": _options(args)}
+    if args.per_count is not None:
+        kwargs["templates_per_count"] = args.per_count
+    store = TemplateStore(args.library) if args.library is not None else None
+    if args.action == "warm":
+        # The off-request-path story: generation runs on the warmer's
+        # daemon thread (the CLI just has nothing else to do but wait).
+        warmer = TemplateWarmer(service, store=store)
+        warmer.start(model, args.global_batch, **kwargs)
+        print("warming in the background...")
+        library = warmer.wait()
+    else:  # generate
+        library = service.warm_templates(model, args.global_batch,
+                                         **kwargs)
+        if store is not None:
+            store.save(library)
+    _print_library(library)
+    if store is not None:
+        print(f"\nsaved to {store.path}")
     return 0
 
 
@@ -674,6 +767,30 @@ def build_parser() -> argparse.ArgumentParser:
                           "DIR/trace-<pid>.jsonl (implies --trace; "
                           "pretty-print with the 'trace' subcommand)")
     srv.set_defaults(fn=cmd_serve)
+
+    tpl = sub.add_parser("templates",
+                         help="generate, inspect, or background-warm an "
+                              "elastic pipeline-template library")
+    tpl.add_argument("action", choices=("generate", "inspect", "warm"),
+                     help="generate synchronously, inspect a persisted "
+                          "library, or warm through the background "
+                          "TemplateWarmer")
+    common(tpl)
+    tpl.add_argument("--model", default="gpt-1.1b",
+                     choices=sorted(MODEL_CATALOG),
+                     help="architecture to build templates for")
+    tpl.add_argument("--min-nodes", type=int, default=1,
+                     help="smallest node count to cover (default 1)")
+    tpl.add_argument("--max-nodes", type=int, default=None,
+                     help="largest node count to cover (default: the "
+                          "cluster's full size)")
+    tpl.add_argument("--per-count", type=int, default=None,
+                     metavar="K",
+                     help="templates kept per node count (default 4)")
+    tpl.add_argument("--library", default=None, metavar="FILE",
+                     help="template store: generate/warm save here, "
+                          "inspect reads from here")
+    tpl.set_defaults(fn=cmd_templates)
 
     trc = sub.add_parser("trace", help="pretty-print a span dump written "
                                        "by serve --trace-dir")

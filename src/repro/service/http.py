@@ -15,6 +15,9 @@ Route                 Meaning
                       full result payload)
 ``POST /v1/events/bandwidth``  adopt a re-profiled matrix on one cluster
 ``POST /v1/events/failure``    apply a node failure to one cluster
+``POST /v1/templates/warm``    fill a cluster's elastic template library
+                      (synchronously, or in the background with
+                      ``"wait": false``)
 ``GET /healthz``      liveness, uptime, version, clusters, store paths
 ``GET /metrics``      Prometheus text exposition of the serving metrics
 ``GET /v1/debug/traces``        recent trace summaries (ring buffer)
@@ -55,6 +58,7 @@ import contextlib
 import json
 import time
 from dataclasses import replace as _replace
+from functools import partial
 
 import numpy as np
 
@@ -72,6 +76,7 @@ from repro.obs.trace import (
 from repro.service.gateway import GatewayOverloadedError, PlanGateway
 from repro.service.metrics import MetricsRegistry
 from repro.service.registry import cheapest_rank_key
+from repro.service.warmer import TemplateWarmer
 from repro.units import GIB
 
 __all__ = ["HttpError", "HttpPlanServer", "answer_payload",
@@ -88,6 +93,7 @@ _log = get_logger("service.http")
 
 _REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -186,7 +192,7 @@ async def answer_payload(gateway: PlanGateway, options: PipetteOptions,
     return min(ranked, key=lambda pair: pair[0])[1]
 
 
-def plan_response_payload(answer, payload: dict) -> dict:
+def plan_response_payload(answer, payload: dict, registry=None) -> dict:
     """The JSON answer body for one GatewayResponse.
 
     ``elapsed_ms`` is this caller's own submit-to-answer time — a
@@ -198,7 +204,11 @@ def plan_response_payload(answer, payload: dict) -> dict:
     additionally carries its ``trace_id``, and detail responses embed
     the request's own span tree under ``"timing"`` — the per-request
     twin of ``GET /v1/debug/traces/<id>``, rendered while the trace
-    may still be open.
+    may still be open.  With a ``registry``, detail responses also
+    report the answering cluster's elastic template library under
+    ``"templates"`` (size, covered node counts, and whether the
+    current node count is covered), so a scheduler can see at plan
+    time whether a failure on this cluster would recover warm.
     """
     out = {"cluster": answer.cluster_name,
            "status": answer.status,
@@ -218,6 +228,22 @@ def plan_response_payload(answer, payload: dict) -> dict:
             out["memory_gib"] = round(best.estimated_memory_bytes / GIB, 3)
         if payload.get("detail") and answer.result is not None:
             out["result"] = answer.result.to_payload()
+            if registry is not None:
+                try:
+                    service = registry.service(answer.cluster_name)
+                except ValueError:
+                    service = None
+                if service is not None:
+                    library = service.template_library
+                    covered = [] if library is None else \
+                        sorted(library.covered_counts)
+                    out["templates"] = {
+                        "library_size":
+                            0 if library is None else library.size,
+                        "covered_counts": covered,
+                        "covers_cluster":
+                            service.cluster.n_nodes in covered,
+                    }
             if trace_id is not None:
                 timing = TRACER.trace(trace_id)
                 if timing is not None:
@@ -324,6 +350,11 @@ class HttpPlanServer:
             Pass the registry the gateway and cluster registry are
             attached to, or the page will only show HTTP series.
         max_body_bytes: request-body cap (``413`` beyond it).
+        warmers: per-cluster
+            :class:`~repro.service.warmer.TemplateWarmer`\\ s backing
+            ``POST /v1/templates/warm`` — pass store-backed warmers to
+            persist warmed libraries; clusters without one get an
+            ephemeral in-memory warmer on first use.
 
     Instances are handed to :func:`asyncio.start_server` via
     :meth:`handle`; see ``cmd_serve`` in ``repro.service.__main__``
@@ -333,7 +364,8 @@ class HttpPlanServer:
 
     def __init__(self, gateway: PlanGateway, options: PipetteOptions,
                  metrics: MetricsRegistry | None = None,
-                 max_body_bytes: int = MAX_BODY_BYTES) -> None:
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 warmers: "dict[str, TemplateWarmer] | None" = None) -> None:
         if max_body_bytes < 1:
             raise ValueError(
                 f"max_body_bytes must be >= 1, got {max_body_bytes}")
@@ -341,6 +373,7 @@ class HttpPlanServer:
         self.options = options
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.max_body_bytes = int(max_body_bytes)
+        self._warmers: "dict[str, TemplateWarmer]" = dict(warmers or {})
         self._started_monotonic = time.monotonic()
         self._http_requests = self.metrics.counter(
             "pipette_http_requests_total",
@@ -355,6 +388,7 @@ class HttpPlanServer:
             ("POST", "/v1/plan"): self._plan,
             ("POST", "/v1/events/bandwidth"): self._event_bandwidth,
             ("POST", "/v1/events/failure"): self._event_failure,
+            ("POST", "/v1/templates/warm"): self._templates_warm,
             ("GET", "/healthz"): self._healthz,
             ("GET", "/metrics"): self._metrics_page,
             ("GET", "/v1/debug/traces"): self._traces_index,
@@ -482,7 +516,8 @@ class HttpPlanServer:
                     _json_body({"status": "error",
                                 "error": f"unknown route {path}; serving "
                                          "/v1/plan, /v1/events/bandwidth, "
-                                         "/v1/events/failure, /healthz, "
+                                         "/v1/events/failure, "
+                                         "/v1/templates/warm, /healthz, "
                                          "/metrics, /v1/debug/traces"}),
                     "unmatched", None)
         try:
@@ -522,7 +557,8 @@ class HttpPlanServer:
     async def _plan(self, body: bytes):
         payload = self._json_payload(body)
         answer = await answer_payload(self.gateway, self.options, payload)
-        out = plan_response_payload(answer, payload)
+        out = plan_response_payload(answer, payload,
+                                    registry=self.gateway.registry)
         if answer.best is not None:
             self._plans_by_schedule.labels(
                 cluster=answer.cluster_name,
@@ -583,6 +619,67 @@ class HttpPlanServer:
              "surviving_nodes": service.cluster.n_nodes,
              "epoch": service.bandwidth_fp})
 
+    async def _templates_warm(self, body: bytes):
+        """Fill one cluster's elastic template library.
+
+        Synchronous by default: the request returns once the library
+        is generated, installed, and (with a store-backed warmer)
+        persisted — generation runs on an executor thread, so the
+        event loop keeps serving plans meanwhile.  ``"wait": false``
+        instead kicks the cluster's background
+        :class:`~repro.service.warmer.TemplateWarmer` and answers
+        ``202`` immediately; a second warm-up while one is in flight
+        answers ``400`` (the warmer refuses to race two generations).
+        """
+        payload = self._json_payload(body)
+        name = self._cluster_name(payload)
+        service = self.gateway.registry.service(name)
+        if "model" not in payload:
+            raise HttpError(400, "template warm-up needs a 'model' "
+                                 "(e.g. \"gpt-1.1b\")")
+        model = get_model(str(payload["model"]))
+        global_batch = int(payload.get("global_batch", 64))
+        kwargs: dict = {"options": self.options}
+        if payload.get("min_nodes") is not None:
+            kwargs["min_nodes"] = int(payload["min_nodes"])
+        if payload.get("max_nodes") is not None:
+            kwargs["max_nodes"] = int(payload["max_nodes"])
+        if payload.get("memory_limit_gib") is not None:
+            kwargs["memory_limit_bytes"] = \
+                float(payload["memory_limit_gib"]) * GIB
+        if payload.get("micro_batches") is not None:
+            kwargs["micro_batches"] = tuple(
+                int(m) for m in payload["micro_batches"])
+        if payload.get("schedule") is not None:
+            raw = payload["schedule"]
+            if isinstance(raw, str):
+                raw = [raw]
+            kwargs["schedules"] = tuple(str(s) for s in raw)
+        if payload.get("templates_per_count") is not None:
+            kwargs["templates_per_count"] = \
+                int(payload["templates_per_count"])
+        warmer = self._warmers.get(name)
+        if warmer is None:
+            warmer = TemplateWarmer(service)
+            self._warmers[name] = warmer
+        if not payload.get("wait", True):
+            warmer.start(model, global_batch, **kwargs)
+            return 202, _JSON, _json_body(
+                {"cluster": name, "status": "warming",
+                 "model": model.name, "global_batch": global_batch})
+        t0 = time.monotonic()
+        library = await asyncio.get_running_loop().run_in_executor(
+            None, partial(warmer.warm, model, global_batch, **kwargs))
+        return 200, _JSON, _json_body(
+            {"cluster": name, "status": "ok",
+             "model": library.model_name,
+             "global_batch": library.global_batch,
+             "templates": library.size,
+             "covered_counts": sorted(library.covered_counts),
+             "infeasible": {str(n): reason for n, reason
+                            in sorted(library.infeasible.items())},
+             "elapsed_ms": round((time.monotonic() - t0) * 1000, 3)})
+
     def _cluster_name(self, payload: dict) -> str:
         name = payload.get("cluster")
         if name is None:
@@ -592,16 +689,20 @@ class HttpPlanServer:
     async def _healthz(self, body: bytes):
         counters = self.gateway.stats.snapshot()
         stores = {}
+        templates = {}
         for name in self.gateway.registry.names:
-            store = getattr(self.gateway.registry.service(name).cache,
-                            "store", None)
+            service = self.gateway.registry.service(name)
+            store = getattr(service.cache, "store", None)
             stores[name] = str(store.path) if store is not None else None
+            library = service.template_library
+            templates[name] = 0 if library is None else library.size
         return 200, _JSON, _json_body(
             {"status": "ok",
              "version": repro.__version__,
              "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
              "clusters": self.gateway.registry.names,
              "stores": stores,
+             "templates": templates,
              "tracing": TRACER.enabled,
              "submitted": counters["submitted"],
              "coalesced": counters["coalesced"],

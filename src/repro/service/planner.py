@@ -24,14 +24,25 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cluster.fabric import BandwidthMatrix
 from repro.cluster.topology import ClusterSpec
+from repro.core.annealing import anneal_mapping
 from repro.core.configurator import (
     PipetteConfigurator,
+    PipetteOptions,
     PipetteResult,
     RankedConfig,
+    SearchContext,
+    candidate_kernel,
 )
 from repro.core.memory_estimator import MemoryEstimator
+from repro.core.templates import (
+    PipelineTemplate,
+    PipelineTemplateGenerator,
+    TemplateLibrary,
+)
 from repro.model.transformer import TransformerConfig
 from repro.obs.logs import get_logger
 from repro.obs.trace import TRACER, Span
@@ -42,6 +53,7 @@ from repro.service.replan import (
     DEFAULT_DRIFT_THRESHOLD,
     ClusterEvent,
     ReplanReport,
+    default_warm_sa,
     drift_exceeds,
     replan,
     shrink_cluster,
@@ -145,7 +157,12 @@ class PlanningService:
         self._queue: "list[PlanTicket]" = []
         self._submitted = 0
         # Where re-plan warm starts came from (ReplanReport.warm_source).
-        self._warm_sources = {"best": 0, "portfolio": 0, "cold": 0}
+        self._warm_sources = {"template": 0, "best": 0, "portfolio": 0,
+                              "cold": 0}
+        # Elastic template library (None until warmed) and its lookup
+        # outcomes, exported as pipette_template_lookups_total.
+        self._template_library: TemplateLibrary | None = None
+        self._template_lookups = {"hit": 0, "miss": 0}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------- profiles
@@ -297,6 +314,16 @@ class PlanningService:
                 f"plans for {self.cluster.n_nodes} nodes; re-submit "
                 "against the current cluster"
             )
+        if request.options.use_worker_dedication:
+            # A warmed template library answers covered requests
+            # without running Algorithm 1: instantiate the
+            # precomputed leader and polish its slot assignment
+            # against the *live* fabric.  This is the fast path a
+            # post-failure plan request takes once the service has
+            # shrunk to a covered node count.
+            template = self._lookup_template(request, self.cluster.n_nodes)
+            if template is not None:
+                return self._answer_from_template(request, template)
         configurator = PipetteConfigurator(
             self.cluster, request.model, self.bandwidth,
             self.profile_for(request.model), self.memory_estimator,
@@ -311,6 +338,143 @@ class PlanningService:
             schedules=request.schedules,
             executor=self.executor,
         )
+
+    # ------------------------------------------------------------ templates
+
+    @property
+    def template_library(self) -> TemplateLibrary | None:
+        """The installed elastic template library (``None`` until warmed)."""
+        with self._lock:
+            return self._template_library
+
+    def set_template_library(self,
+                             library: TemplateLibrary | None) -> None:
+        """Install (or clear) the elastic template library.
+
+        The library must describe this service's node family — same
+        GPUs per node — or lookups could instantiate geometrically
+        impossible mappings.
+        """
+        with self._lock:
+            if library is not None \
+                    and library.gpus_per_node != self.cluster.gpus_per_node:
+                raise ValueError(
+                    f"library was generated for {library.gpus_per_node} "
+                    f"GPUs/node but this cluster has "
+                    f"{self.cluster.gpus_per_node}"
+                )
+            self._template_library = library
+
+    def warm_templates(self, model: TransformerConfig, global_batch: int,
+                       min_nodes: int = 1, max_nodes: int | None = None,
+                       memory_limit_bytes: float | None = None,
+                       micro_batches: "list[int] | None" = None,
+                       schedules: "tuple[str, ...] | list[str] | None" = None,
+                       options: PipetteOptions | None = None,
+                       templates_per_count: int | None = None,
+                       ) -> TemplateLibrary:
+        """Generate and install the template library for ``model``.
+
+        Generation runs *outside* the service lock against a snapshot
+        of the cluster state, so plan requests keep draining while the
+        library fills (the :class:`~repro.service.warmer.TemplateWarmer`
+        calls this from a background thread).  Only the final install
+        retakes the lock.
+        """
+        with self._lock:
+            cluster = self.cluster
+            bandwidth = self.bandwidth
+            profile = self.profile_for(model)
+        generator = PipelineTemplateGenerator(
+            model, cluster, bandwidth, profile,
+            memory_estimator=self.memory_estimator,
+            options=options or PipetteOptions(),
+        )
+        kwargs = {} if templates_per_count is None \
+            else {"templates_per_count": templates_per_count}
+        library = generator.generate(
+            global_batch, min_nodes=min_nodes, max_nodes=max_nodes,
+            memory_limit_bytes=memory_limit_bytes,
+            micro_batches=micro_batches, schedules=schedules,
+            executor=self.executor, **kwargs)
+        self.set_template_library(library)
+        _log.info("template library warmed", extra={
+            "cluster": cluster.name, "model": model.name,
+            "templates": library.size,
+            "covered_counts": list(library.covered_counts)})
+        return library
+
+    def _lookup_template(self, request: PlanRequest,
+                         n_nodes: int) -> "PipelineTemplate | None":
+        """Library lookup for ``request`` at ``n_nodes``, with accounting.
+
+        Returns ``None`` (and counts nothing) when no library is
+        installed; otherwise every call counts a hit or a miss in
+        ``pipette_template_lookups_total`` and leaves a
+        ``templates.lookup`` span behind.
+        """
+        library = self._template_library
+        if library is None:
+            return None
+        template = None
+        if library.matches(request.model.name, request.global_batch):
+            template = library.lookup(
+                n_nodes,
+                micro_batches=request.micro_batches,
+                schedules=request.schedules,
+                memory_limit_bytes=request.memory_limit_bytes,
+            )
+        outcome = "hit" if template is not None else "miss"
+        self._template_lookups[outcome] += 1
+        TRACER.record_span("templates.lookup", 0.0, outcome=outcome,
+                           n_nodes=n_nodes, model=request.model.name)
+        return template
+
+    def _answer_from_template(self, request: PlanRequest,
+                              template: PipelineTemplate) -> PipetteResult:
+        """Instantiate a template and polish it against the live fabric.
+
+        The stored placement (and its portfolio runner-ups) are
+        re-scored on the current bandwidth matrix in one batched
+        kernel call; the best seeds a quarter-budget anneal — the same
+        slot-assignment polish an elastic re-plan runs.  The result is
+        a regular :class:`PipetteResult`, cacheable under the current
+        epoch like any searched plan.
+        """
+        t0 = time.perf_counter()
+        with TRACER.span("search.template", warm_source="template",
+                         n_nodes=template.n_nodes,
+                         schedule=template.config.schedule) as span:
+            leader = template.instantiate(self.cluster)
+            warm_sa = default_warm_sa(request.options.sa)
+            ctx = SearchContext(
+                cluster=self.cluster, model=request.model,
+                bandwidth=self.bandwidth,
+                profile=self.profile_for(request.model),
+                memory_estimator=self.memory_estimator, sa=warm_sa)
+            kernel = candidate_kernel(ctx, leader.config)
+            starts = [leader.mapping, *leader.portfolio]
+            if len(starts) > 1:
+                perms = np.stack([np.asarray(m.block_to_slot, dtype=np.int64)
+                                  for m in starts])
+                start = starts[int(np.argmin(kernel.evaluate_batch(perms)))]
+            else:
+                start = starts[0]
+            sa_result = anneal_mapping(
+                start, kernel, warm_sa.with_seed(request.options.seed))
+            entry = RankedConfig(
+                config=leader.config, mapping=sa_result.mapping,
+                estimated_latency_s=sa_result.value,
+                estimated_memory_bytes=leader.estimated_memory_bytes,
+                memory_ok=leader.memory_ok,
+                portfolio=tuple(m for m, _ in sa_result.portfolio[1:]),
+            )
+            span.set_attribute("estimated_latency_s", entry.estimated_latency_s)
+            return PipetteResult(
+                best=entry, ranked=[entry], rejected_oom=0,
+                memory_check_s=0.0, annealing_s=sa_result.elapsed_s,
+                total_s=time.perf_counter() - t0,
+            )
 
     # -------------------------------------------------------------- elastic
 
@@ -387,6 +551,15 @@ class PlanningService:
             if previous is None:
                 raise RuntimeError(
                     "no feasible previous plan to warm-start from")
+            template = None
+            if event.kind == "node_failure":
+                # Consult the warmed library for the surviving node
+                # count first: a hit skips the re-rank search and
+                # reports warm_source="template".
+                survivors = self.cluster.n_nodes \
+                    - len({int(n) for n in event.failed_nodes})
+                if survivors >= 1:
+                    template = self._lookup_template(request, survivors)
             report = replan(
                 self.cluster, request.model, self.bandwidth,
                 self.profile_for(request.model), previous, event,
@@ -399,6 +572,7 @@ class PlanningService:
                 schedules=request.schedules,
                 executor=self.executor,
                 run_cold=run_cold,
+                template=template,
             )
             self._warm_sources[report.warm_source] = \
                 self._warm_sources.get(report.warm_source, 0) + 1
@@ -454,13 +628,30 @@ class PlanningService:
                 lambda: self.cluster.n_gpus)
         warm = metrics.counter(
             "pipette_replans_warm_source",
-            "Re-plans by warm-start origin: the previous plan's own "
-            "mapping (best), a portfolio runner-up that outscored it "
-            "(portfolio), or no surviving mapping (cold).",
+            "Re-plans by warm-start origin: a precomputed pipeline "
+            "template for the surviving node count (template), the "
+            "previous plan's own mapping (best), a portfolio "
+            "runner-up that outscored it (portfolio), or no surviving "
+            "mapping (cold).",
             ("cluster", "source"))
-        for source in ("best", "portfolio", "cold"):
+        for source in ("template", "best", "portfolio", "cold"):
             warm.labels(cluster=cluster, source=source).bind(
                 lambda s=source: self._warm_sources[s])
+        lookups = metrics.counter(
+            "pipette_template_lookups_total",
+            "Template-library lookups by outcome (only counted while "
+            "a library is installed).",
+            ("cluster", "outcome"))
+        for outcome in ("hit", "miss"):
+            lookups.labels(cluster=cluster, outcome=outcome).bind(
+                lambda o=outcome: self._template_lookups[o])
+        metrics.gauge(
+            "pipette_template_library_size",
+            "Pipeline templates held across all covered node counts "
+            "(0 until a library is warmed).",
+            ("cluster",)).labels(cluster=cluster).set_function(
+                lambda: 0 if self._template_library is None
+                else self._template_library.size)
 
     # ---------------------------------------------------------------- stats
 
@@ -485,6 +676,9 @@ class PlanningService:
             "cache_stale_drops": cache_stats.stale_drops,
             "profiled_models": len(self._profiles),
             "replan_warm_sources": dict(self._warm_sources),
+            "template_lookups": dict(self._template_lookups),
+            "template_library_size": 0 if self._template_library is None
+            else self._template_library.size,
         }
         if self.executor is not None:
             executor_stats = self.executor.stats_snapshot()

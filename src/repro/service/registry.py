@@ -281,6 +281,28 @@ class ClusterRegistry:
                 "no cluster can serve the request: " + "; ".join(errors))
         return min(candidates, key=lambda pair: pair[0])[1]
 
+    # ----------------------------------------------------------- templates
+
+    def template_library(self, name: str):
+        """The named cluster's installed template library (or ``None``)."""
+        return self.service(name).template_library
+
+    def set_template_library(self, name: str, library) -> None:
+        """Install a :class:`~repro.core.templates.TemplateLibrary`."""
+        self.service(name).set_template_library(library)
+
+    def warm_templates(self, name: str, model: TransformerConfig,
+                       global_batch: int, **kwargs):
+        """Warm the named cluster's template library synchronously.
+
+        Passes through to
+        :meth:`PlanningService.warm_templates`; background warming
+        goes through :class:`repro.service.warmer.TemplateWarmer`
+        instead.
+        """
+        return self.service(name).warm_templates(model, global_batch,
+                                                 **kwargs)
+
     # ------------------------------------------------------------- elastic
 
     def update_bandwidth(self, name: str, new_bandwidth: BandwidthMatrix,

@@ -14,6 +14,12 @@ overhead of Table II; re-planning instead *reuses* the previous answer:
 * and a short simulated-annealing run polishes that warm start, rather
   than re-growing a placement from the framework default.
 
+When a precomputed :class:`repro.core.templates.PipelineTemplate` for
+the surviving node count is available (a warmed
+:class:`~repro.core.templates.TemplateLibrary`), the re-rank search is
+skipped entirely: the template instantiates onto the survivors and
+only the slot-assignment polish runs — ``warm_source="template"``.
+
 :func:`replan` also runs the cold search for comparison, reporting the
 latency gap and search-time saving of the warm path.
 """
@@ -37,6 +43,7 @@ from repro.core.configurator import (
     candidate_kernel,
 )
 from repro.core.memory_estimator import MemoryEstimator
+from repro.core.templates import PipelineTemplate
 from repro.model.transformer import TransformerConfig
 from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import TRACER
@@ -195,6 +202,8 @@ class ReplanReport:
         cold_search_s: wall-clock of the cold search.
         cold_result: the cold search's full result (``None`` if skipped).
         warm_source: where the polished warm start came from —
+            ``"template"`` (a precomputed pipeline template for the
+            surviving node count answered; no re-rank search ran),
             ``"best"`` (the previous plan's own mapping),
             ``"portfolio"`` (one of its runner-up mappings outscored
             the old best on the post-event cluster), or ``"cold"``
@@ -266,6 +275,22 @@ def _warm_candidates(event: ClusterEvent, previous: RankedConfig,
     return survivors or [(leader.mapping, "cold")]
 
 
+def template_fits(template: PipelineTemplate, cluster: ClusterSpec,
+                  global_batch: int) -> bool:
+    """Whether ``template`` can instantiate onto ``cluster`` for this job.
+
+    A template binds a node count, a GPU-per-node geometry and a
+    global batch; all three must match the post-event world (a library
+    generated for a different family, or a stale lookup raced by a
+    second failure, fails closed and the re-rank path answers instead).
+    """
+    config = template.config
+    return (template.n_nodes == cluster.n_nodes
+            and config.pp * config.tp * config.dp == cluster.n_gpus
+            and cluster.gpus_per_node % config.tp == 0
+            and config.global_batch == global_batch)
+
+
 def replan(cluster: ClusterSpec, model: TransformerConfig,
            bandwidth: BandwidthMatrix, profile: ComputeProfile,
            previous: RankedConfig, event: ClusterEvent,
@@ -276,7 +301,8 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
            memory_limit_bytes: float | None = None,
            micro_batches: "list[int] | None" = None,
            schedules: "tuple[str, ...] | list[str] | None" = None,
-           executor=None, run_cold: bool = True) -> ReplanReport:
+           executor=None, run_cold: bool = True,
+           template: PipelineTemplate | None = None) -> ReplanReport:
     """Re-plan after a cluster event, warm-starting from ``previous``.
 
     Args:
@@ -296,6 +322,14 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
         executor: optional :class:`~repro.service.executor.CandidateExecutor`
             for both the warm re-ranking and the cold search.
         run_cold: also run the full cold search for comparison.
+        template: precomputed pipeline template for the surviving node
+            count (a :meth:`~repro.core.templates.TemplateLibrary.lookup`
+            hit).  On a fitting node-failure template the warm path
+            skips the re-rank search entirely — the template
+            instantiates onto the survivors and only the
+            slot-assignment polish runs (``warm_source="template"``).
+            A template that does not fit the post-event world falls
+            back to the re-rank path.
     """
     options = options or PipetteOptions()
     warm_sa = warm_sa or default_warm_sa(options.sa)
@@ -320,21 +354,32 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
     with TRACER.span("replan", event_kind=event.kind,
                      failed_nodes=list(event.failed_nodes),
                      event_day=event.day) as replan_span:
-        # Warm path: re-rank the configuration space with naive
-        # mappings only (no annealing), then polish the leader's
-        # warm-started mapping with a short anneal.
+        # Warm path: instantiate a precomputed template when one fits
+        # the surviving node count; otherwise re-rank the configuration
+        # space with naive mappings only (no annealing).  Either way a
+        # short anneal then polishes the warm-started mapping.
         t0 = time.perf_counter()
-        with TRACER.span("replan.rerank"):
-            naive = PipetteConfigurator(
-                new_cluster, model, new_bw, profile, memory_estimator,
-                options=replace(options, use_worker_dedication=False),
-            ).search(global_batch, memory_limit_bytes=memory_limit_bytes,
-                     micro_batches=micro_batches, schedules=schedules,
-                     executor=executor)
-        if naive.best is None:
-            raise RuntimeError("no feasible configuration on the post-event "
-                               "cluster; cannot re-plan")
-        leader = naive.best
+        use_template = (template is not None
+                        and event.kind == "node_failure"
+                        and template_fits(template, new_cluster,
+                                          global_batch))
+        if use_template:
+            with TRACER.span("replan.template",
+                             n_nodes=template.n_nodes,
+                             schedule=template.config.schedule):
+                leader = template.instantiate(new_cluster)
+        else:
+            with TRACER.span("replan.rerank"):
+                naive = PipetteConfigurator(
+                    new_cluster, model, new_bw, profile, memory_estimator,
+                    options=replace(options, use_worker_dedication=False),
+                ).search(global_batch, memory_limit_bytes=memory_limit_bytes,
+                         micro_batches=micro_batches, schedules=schedules,
+                         executor=executor)
+            if naive.best is None:
+                raise RuntimeError("no feasible configuration on the "
+                                   "post-event cluster; cannot re-plan")
+            leader = naive.best
         ctx = SearchContext(cluster=new_cluster, model=model,
                             bandwidth=new_bw, profile=profile,
                             memory_estimator=memory_estimator, sa=warm_sa)
@@ -343,7 +388,15 @@ def replan(cluster: ClusterSpec, model: TransformerConfig,
         # reference estimator bit for bit, so warm results remain
         # comparable with (and cacheable alongside) cold searches.
         kernel = candidate_kernel(ctx, leader.config)
-        candidates = _warm_candidates(event, previous, leader, new_cluster)
+        if use_template:
+            # The template's stored placement (plus its portfolio
+            # runner-ups) seeds the polish; the previous plan's
+            # mappings are already folded into the library.
+            candidates = [(leader.mapping, "template")] + \
+                [(m, "template") for m in leader.portfolio]
+        else:
+            candidates = _warm_candidates(event, previous, leader,
+                                          new_cluster)
         if len(candidates) > 1:
             # Score every survivor in one batched kernel call and
             # polish the best: a re-plan starts from the strongest

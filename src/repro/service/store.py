@@ -17,6 +17,9 @@ keeps the cache mirrored on disk:
   across restarts) and mirrors every later mutation back through the
   cache's ``_record_*`` hooks.  Rehydration compacts the log down to
   the live entries.
+* :class:`TemplateStore` — the elastic template library
+  (:class:`~repro.core.templates.TemplateLibrary`) as one atomically
+  replaced canonical-JSON document next to the plan log.
 
 The store is single-writer: one planning service owns one path,
 enforced by an advisory ``fcntl`` lock held across every append and
@@ -352,3 +355,51 @@ class DurablePlanCache(PlanCache):
     def _record_clear(self) -> None:
         if self._backend is not None:
             self._backend.record_clear()
+
+
+class TemplateStore:
+    """Durable home of one cluster's elastic template library.
+
+    The library is a single versioned document, not a mutation log, so
+    it persists as one canonical-JSON file written atomically (tmp +
+    ``os.replace``, same idiom as :meth:`PlanStore.compact`) alongside
+    the plan store — conventionally ``<plans>.templates.json`` next to
+    ``<plans>.jsonl``.  :meth:`save` round-trips byte-identically with
+    :meth:`load` via :meth:`~repro.core.templates.TemplateLibrary.to_json`.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        """Whether a persisted library is present."""
+        return self.path.exists()
+
+    def save(self, library) -> None:
+        """Atomically persist ``library`` (a ``TemplateLibrary``)."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(library.to_json())
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def load(self):
+        """Rehydrate the persisted library, or ``None`` when absent.
+
+        Raises :class:`PlanStoreError` on unreadable content or an
+        unknown payload version, mirroring the plan log's
+        refuse-don't-guess contract.
+        """
+        from repro.core.templates import TemplateLibrary
+        if not self.path.exists():
+            return None
+        text = self.path.read_text(encoding="utf-8")
+        try:
+            return TemplateLibrary.from_json(text)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise PlanStoreError(
+                f"unreadable template library at {self.path}: {exc}"
+            ) from exc

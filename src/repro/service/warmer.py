@@ -1,0 +1,122 @@
+"""Background template warming: fill the library off the request path.
+
+Generating a :class:`~repro.core.templates.TemplateLibrary` costs one
+Algorithm-1-shaped search per node count — exactly the work the
+library exists to keep *off* the failure-recovery path.  The
+:class:`TemplateWarmer` runs that generation on a daemon thread:
+:meth:`~repro.service.planner.PlanningService.warm_templates` already
+snapshots service state and searches outside the service lock (fanning
+over the service's executor), so plan requests keep draining while the
+library fills, and the finished library installs atomically.
+
+A warmer with a :class:`~repro.service.store.TemplateStore` persists
+every freshly generated library and can :meth:`rehydrate` a persisted
+one at startup — the template analogue of the durable plan cache.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.templates import TemplateLibrary
+from repro.model.transformer import TransformerConfig
+from repro.obs.logs import get_logger
+from repro.service.store import TemplateStore
+
+_log = get_logger("service.warmer")
+
+
+class TemplateWarmer:
+    """Fills one service's template library in the background.
+
+    Args:
+        service: the :class:`~repro.service.planner.PlanningService`
+            to warm.
+        store: optional durable home; freshly warmed libraries are
+            saved to it and :meth:`rehydrate` loads from it.
+
+    One warmer runs one generation at a time: :meth:`start` while a
+    previous run is still in flight raises rather than racing two
+    generations against each other (last-install-wins would silently
+    discard one of them).
+    """
+
+    def __init__(self, service, store: TemplateStore | None = None) -> None:
+        self.service = service
+        self.store = store
+        self._thread: threading.Thread | None = None
+        self._result: TemplateLibrary | None = None
+        self._error: BaseException | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ api
+
+    def rehydrate(self) -> TemplateLibrary | None:
+        """Install the persisted library, if the store holds one."""
+        if self.store is None:
+            return None
+        library = self.store.load()
+        if library is not None:
+            self.service.set_template_library(library)
+            _log.info("template library rehydrated", extra={
+                "path": str(self.store.path), "templates": library.size})
+        return library
+
+    def warm(self, model: TransformerConfig, global_batch: int,
+             **kwargs) -> TemplateLibrary:
+        """Generate, install, and (when stored) persist — synchronously.
+
+        ``kwargs`` pass through to
+        :meth:`~repro.service.planner.PlanningService.warm_templates`
+        (node range, memory limit, sweep restrictions, options).
+        """
+        library = self.service.warm_templates(model, global_batch, **kwargs)
+        if self.store is not None:
+            self.store.save(library)
+        return library
+
+    def start(self, model: TransformerConfig, global_batch: int,
+              **kwargs) -> threading.Thread:
+        """Kick off :meth:`warm` on a daemon thread and return it."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                raise RuntimeError("a template warm-up is already running")
+            self._result = None
+            self._error = None
+
+            def _run() -> None:
+                try:
+                    result = self.warm(model, global_batch, **kwargs)
+                    with self._lock:
+                        self._result = result
+                except BaseException as exc:  # surfaced via wait()
+                    with self._lock:
+                        self._error = exc
+                    _log.error("template warm-up failed",
+                               extra={"error": str(exc)})
+
+            self._thread = threading.Thread(
+                target=_run, name="template-warmer", daemon=True)
+            self._thread.start()
+            return self._thread
+
+    def wait(self, timeout: float | None = None) -> TemplateLibrary | None:
+        """Join the background run; return its library.
+
+        Returns ``None`` while still running (timeout expired) or when
+        no run was started; re-raises the run's exception if it failed.
+        """
+        with self._lock:
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            return self._result
+
+    @property
+    def running(self) -> bool:
+        """Whether a background warm-up is in flight."""
+        with self._lock:
+            return self._thread is not None and self._thread.is_alive()

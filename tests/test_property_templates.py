@@ -1,0 +1,219 @@
+"""Property tests: template-library invariants over randomized shapes.
+
+Hypothesis draws random (model, cluster, batch) families and checks
+the :class:`~repro.core.templates.TemplateLibrary` contract holds for
+all of them, not just the fixture world:
+
+* every node count in ``[min_nodes, max_nodes]`` is covered XOR
+  carries an explicit infeasibility reason — no silent gaps;
+* every stored template is well-formed for its node count (GPU-count
+  factorization, layer split, slot permutation) and memory-feasible
+  under the active limit;
+* serialization round-trips byte-identically: ``to_json`` is a fixed
+  point of ``from_json . to_json``, so two stores holding the same
+  library agree on content hash.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.fabric import BandwidthMatrix
+from repro.cluster.topology import ClusterSpec, GpuSpec, LinkSpec, NodeSpec
+from repro.core import (
+    MemoryEstimator,
+    PipetteOptions,
+    SAOptions,
+    build_memory_dataset,
+)
+from repro.core.templates import (
+    PipelineTemplateGenerator,
+    TemplateLibrary,
+    stage_layer_split,
+)
+from repro.model import get_model
+from repro.model.transformer import TransformerConfig
+from repro.profiling import profile_compute
+from repro.units import GIB
+
+FAST = PipetteOptions(sa=SAOptions(max_iterations=20, portfolio_k=1),
+                      sa_top_k=1, seed=3)
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def worlds(draw):
+    """A random (model, cluster, bandwidth, batch) planning family."""
+    n_nodes = draw(st.integers(min_value=1, max_value=4))
+    gpus_per_node = draw(st.sampled_from([1, 2, 4]))
+    n_heads = draw(st.sampled_from([2, 4]))
+    hidden = n_heads * draw(st.sampled_from([8, 16]))
+    n_layers = draw(st.integers(min_value=1, max_value=6))
+    global_batch = draw(st.sampled_from([4, 8, 16]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+
+    model = TransformerConfig(name=f"prop-{n_layers}x{hidden}",
+                              n_layers=n_layers, hidden_size=hidden,
+                              n_heads=n_heads, seq_length=64,
+                              vocab_size=512)
+    gpu = GpuSpec(name="PropGPU", memory_bytes=8 * GIB, peak_flops=10e12,
+                  achievable_fraction=0.5, hbm_gb_s=500.0)
+    node = NodeSpec(gpus_per_node=gpus_per_node, gpu=gpu,
+                    intra_link=LinkSpec("PropNVLink", 100.0, alpha_s=1e-6))
+    cluster = ClusterSpec(name="prop", n_nodes=n_nodes, node=node,
+                          inter_link=LinkSpec("PropIB", 10.0, alpha_s=1e-5))
+
+    rng = np.random.default_rng(seed)
+    n_gpus = cluster.n_gpus
+    matrix = rng.uniform(5.0, 50.0, size=(n_gpus, n_gpus))
+    matrix = (matrix + matrix.T) / 2.0
+    np.fill_diagonal(matrix, np.inf)
+    alpha = np.full((n_gpus, n_gpus), 1e-5)
+    np.fill_diagonal(alpha, 0.0)
+    bandwidth = BandwidthMatrix(matrix=matrix, alpha=alpha)
+    return model, cluster, bandwidth, global_batch
+
+
+def _generate(world):
+    model, cluster, bandwidth, global_batch = world
+    profile = profile_compute(model, cluster, noise_sigma=0.0)
+    generator = PipelineTemplateGenerator(model, cluster, bandwidth,
+                                          profile, options=FAST)
+    return generator.generate(global_batch), model, cluster
+
+
+class TestStructuralInvariants:
+    @SETTINGS
+    @given(world=worlds())
+    def test_covers_or_explains_every_node_count(self, world):
+        library, model, cluster = _generate(world)
+        assert library.min_nodes == 1
+        assert library.max_nodes == cluster.n_nodes
+        for n_nodes in range(library.min_nodes, library.max_nodes + 1):
+            covered = len(library.templates_for(n_nodes)) > 0
+            reason = library.infeasible_reason(n_nodes)
+            assert covered != (reason is not None), \
+                f"n={n_nodes}: covered XOR explained must hold"
+            if reason is not None:
+                assert isinstance(reason, str) and reason
+
+    @SETTINGS
+    @given(world=worlds())
+    def test_templates_are_well_formed_and_ranked(self, world):
+        library, model, cluster = _generate(world)
+        for n_nodes in library.covered_counts:
+            entries = library.templates_for(n_nodes)
+            latencies = [t.estimated_latency_s for t in entries]
+            assert latencies == sorted(latencies)
+            assert all(np.isfinite(lat) and lat > 0 for lat in latencies)
+            assert len({t.key for t in entries}) == len(entries)
+            for template in entries:
+                config = template.config
+                assert template.n_nodes == n_nodes
+                assert config.pp * config.tp * config.dp \
+                    == n_nodes * cluster.gpus_per_node
+                assert config.global_batch == library.global_batch
+                assert template.stage_layers \
+                    == stage_layer_split(model.n_layers, config.pp)
+                assert sorted(template.block_to_slot) \
+                    == list(range(config.pp * config.dp))
+
+    @SETTINGS
+    @given(world=worlds())
+    def test_instantiate_matches_template_shape(self, world):
+        library, model, cluster = _generate(world)
+        for n_nodes in library.covered_counts:
+            sub = cluster.scaled_to(n_nodes)
+            for template in library.templates_for(n_nodes):
+                ranked = template.instantiate(sub)
+                assert ranked.config == template.config
+                assert ranked.estimated_latency_s \
+                    == template.estimated_latency_s
+
+
+class TestSerialization:
+    @SETTINGS
+    @given(world=worlds())
+    def test_json_round_trip_is_byte_identical(self, world):
+        library, _, _ = _generate(world)
+        blob = library.to_json()
+        restored = TemplateLibrary.from_json(blob)
+        assert restored == library
+        assert restored.to_json() == blob
+        # And once more: the serialized form is a true fixed point.
+        assert TemplateLibrary.from_json(restored.to_json()).to_json() \
+            == blob
+
+    @SETTINGS
+    @given(world=worlds())
+    def test_payload_preserves_every_field(self, world):
+        library, _, _ = _generate(world)
+        restored = TemplateLibrary.from_payload(library.to_payload())
+        assert restored.covered_counts == library.covered_counts
+        assert restored.infeasible == library.infeasible
+        for n_nodes in library.covered_counts:
+            assert restored.templates_for(n_nodes) \
+                == library.templates_for(n_nodes)
+
+
+class TestMemoryFeasibility:
+    """Randomized limits against one fitted estimator.
+
+    The estimator fit is expensive, so it is built once per module;
+    Hypothesis then varies the memory limit and asserts no stored
+    template ever exceeds it.
+    """
+
+    @pytest.fixture(scope="class")
+    def fitted_world(self):
+        gpu = GpuSpec(name="MemGPU", memory_bytes=4 * GIB,
+                      peak_flops=10e12, achievable_fraction=0.5,
+                      hbm_gb_s=500.0)
+        node = NodeSpec(gpus_per_node=4, gpu=gpu,
+                        intra_link=LinkSpec("MemNVLink", 100.0,
+                                            alpha_s=1e-6))
+        cluster = ClusterSpec(name="mem", n_nodes=2, node=node,
+                              inter_link=LinkSpec("MemIB", 10.0,
+                                                  alpha_s=1e-5))
+        model = get_model("gpt-toy")
+        dataset = build_memory_dataset(cluster, [model],
+                                       global_batches=[8, 16],
+                                       node_counts=[1, 2], seed=0)
+        estimator = MemoryEstimator(hidden_size=32, n_hidden_layers=2,
+                                    seed=0)
+        estimator.fit(dataset, iterations=1500)
+        rng = np.random.default_rng(11)
+        matrix = rng.uniform(5.0, 50.0, size=(8, 8))
+        matrix = (matrix + matrix.T) / 2.0
+        np.fill_diagonal(matrix, np.inf)
+        alpha = np.full((8, 8), 1e-5)
+        np.fill_diagonal(alpha, 0.0)
+        bandwidth = BandwidthMatrix(matrix=matrix, alpha=alpha)
+        profile = profile_compute(model, cluster, noise_sigma=0.0)
+        return model, cluster, bandwidth, profile, estimator
+
+    @SETTINGS
+    @given(limit_gib=st.floats(min_value=0.5, max_value=6.0),
+           global_batch=st.sampled_from([8, 16]))
+    def test_no_template_exceeds_the_limit(self, fitted_world, limit_gib,
+                                           global_batch):
+        model, cluster, bandwidth, profile, estimator = fitted_world
+        generator = PipelineTemplateGenerator(model, cluster, bandwidth,
+                                              profile,
+                                              memory_estimator=estimator,
+                                              options=FAST)
+        limit = limit_gib * GIB
+        library = generator.generate(global_batch,
+                                     memory_limit_bytes=limit)
+        for n_nodes in range(library.min_nodes, library.max_nodes + 1):
+            entries = library.templates_for(n_nodes)
+            if not entries:
+                assert library.infeasible_reason(n_nodes)
+                continue
+            for template in entries:
+                assert template.memory_ok
+                assert template.estimated_memory_bytes is not None
+                assert template.estimated_memory_bytes <= limit

@@ -259,7 +259,10 @@ class TestBackpressure:
                 leader = asyncio.ensure_future(gateway.plan(request))
                 await _wait_for(started.is_set)
                 follower = asyncio.ensure_future(gateway.plan(request))
-                await asyncio.sleep(0.02)
+                # The join is observable: wait for it, don't guess a
+                # sleep long enough for the scheduler to get there.
+                await _wait_for(
+                    lambda: gateway.stats.read("coalesced") == 1)
                 release.set()
                 return await asyncio.gather(leader, follower)
 
@@ -524,11 +527,18 @@ class TestResilience:
                 blocking = asyncio.ensure_future(gateway.plan(blocker))
                 await _wait_for(started.is_set)
                 leader = asyncio.ensure_future(gateway.plan(shared))
-                await asyncio.sleep(0.02)   # leader parked on the slot
+                # In-flight registration precedes the slot park, so
+                # "leader parked" is observable — no guessed sleeps.
+                await _wait_for(lambda: len(gateway._inflight) == 2)
                 follower = asyncio.ensure_future(gateway.plan(shared))
-                await asyncio.sleep(0.02)   # follower coalesced
+                await _wait_for(
+                    lambda: gateway.stats.read("coalesced") == 1)
                 leader.cancel()
-                await asyncio.sleep(0.02)
+                # The follower un-coalesces and re-leads; wait for the
+                # handoff rather than hoping 20 ms covered it.
+                await _wait_for(
+                    lambda: gateway.stats.read("coalesced") == 0
+                    and len(gateway._inflight) == 2)
                 release.set()
                 blocked_answer = await blocking
                 follower_answer = await follower
@@ -643,7 +653,11 @@ class TestFairness:
                                             options=FAST),
                             client_id="chatty"))
                         for i in range(12)]
-                    await asyncio.sleep(0.02)  # flood is queued/draining
+                    # The whole flood must be enqueued before the quiet
+                    # client asks, or the fairness comparison races the
+                    # chatty submissions themselves.
+                    await _wait_for(
+                        lambda: gateway.stats.read("submitted") == 12)
                     quiet = await gateway.plan(
                         service.request(toy_model, 2048, options=FAST),
                         client_id="quiet")

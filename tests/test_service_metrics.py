@@ -386,7 +386,8 @@ class TestStatsAgreement:
         per_source = {source: metric_value(samples,
                                            "pipette_replans_warm_source",
                                            cluster="alpha", source=source)
-                      for source in ("best", "portfolio", "cold")}
+                      for source in ("template", "best", "portfolio",
+                                     "cold")}
         # One replan happened; exactly one source claims it, and the
         # pull-bound series mirror the planner's own stats.
         assert sum(per_source.values()) == 1
