@@ -13,6 +13,7 @@ searches a *campaign-lifetime* investment, not a process-lifetime one.
 """
 
 import json
+import time
 
 from conftest import run_once
 
@@ -20,7 +21,13 @@ from repro.cluster import NetworkProfiler, make_fabric
 from repro.cluster.presets import mid_range_cluster
 from repro.core import PipetteOptions, SAOptions
 from repro.model import get_model
-from repro.service import DurablePlanCache, PlanningService, PlanStore
+from repro.service import (
+    DurablePlanCache,
+    HashRing,
+    PlanningService,
+    PlanStore,
+    shard_segment_path,
+)
 
 #: One concrete fabric draw, like the other macro-benchmarks.
 SEED = 2
@@ -109,3 +116,72 @@ def test_store_compaction_bounds_log(benchmark, tmp_path):
     assert rehydrated == 2  # LRU bound survived persistence
     assert compact_lines == 1 + rehydrated  # header + one put per plan
     assert churn_lines > compact_lines
+
+
+def test_sharded_segments_restart_cost(benchmark, tmp_path):
+    """Splitting one cluster's log into 4 fleet shard segments does
+    not make restart rehydration slower per record.
+
+    The fleet writes ``<cluster>.shard-<k>.jsonl`` instead of one
+    ``<cluster>.jsonl``; a restarted worker only replays its own
+    segment.  Per-record, 4 segments must cost no more than the single
+    log (2x slack for small-file constants), or sharding would tax
+    every fleet restart.
+    """
+    cluster, bandwidth, model = _world()
+    n_shards, n_records = 4, 256
+
+    # One real plan, reused as the payload of every synthetic record:
+    # rehydration cost is dominated by parse + result decode, so the
+    # records must be real-sized.
+    service = PlanningService(cluster, bandwidth, profile_seed=SEED)
+    fast = PipetteOptions(use_worker_dedication=False, seed=SEED)
+    result = service.plan(service.request(model, GLOBAL_BATCH,
+                                          options=fast)).result
+    keys = [f"plan:synthetic-{index}" for index in range(n_records)]
+    ring = HashRing(range(n_shards))
+
+    def collect():
+        # Single-log layout (standalone server, shard_index=None).
+        single_path = shard_segment_path(str(tmp_path / "single"),
+                                         "bench", None)
+        (tmp_path / "single").mkdir(exist_ok=True)
+        single = DurablePlanCache(single_path, max_entries=n_records)
+        for key in keys:
+            single.put(key, "fp", result)
+        started = time.perf_counter()
+        single_reborn = DurablePlanCache(single_path,
+                                         max_entries=n_records)
+        single_s = time.perf_counter() - started
+
+        # Sharded layout: the same records, placed by the fleet ring.
+        (tmp_path / "sharded").mkdir(exist_ok=True)
+        segment_paths = [shard_segment_path(str(tmp_path / "sharded"),
+                                            "bench", shard)
+                         for shard in range(n_shards)]
+        segments = [DurablePlanCache(path, max_entries=n_records)
+                    for path in segment_paths]
+        for key in keys:
+            segments[ring.lookup(key)].put(key, "fp", result)
+        started = time.perf_counter()
+        reborn = [DurablePlanCache(path, max_entries=n_records)
+                  for path in segment_paths]
+        sharded_s = time.perf_counter() - started
+
+        return (single_s, single_reborn.rehydrated, sharded_s,
+                [segment.rehydrated for segment in reborn])
+
+    single_s, single_n, sharded_s, per_shard = run_once(benchmark,
+                                                        collect)
+    print(f"\n{n_records} records, one real {model.name} plan each")
+    print(f"single log:    {single_s * 1e3:8.1f} ms  "
+          f"({single_s / n_records * 1e6:6.1f} us/record, "
+          f"{single_n} rehydrated)")
+    print(f"{n_shards} segments:    {sharded_s * 1e3:8.1f} ms  "
+          f"({sharded_s / n_records * 1e6:6.1f} us/record, "
+          f"shards {per_shard})")
+    assert single_n == n_records
+    assert sum(per_shard) == n_records
+    assert all(count > 0 for count in per_shard)  # ring actually spread
+    # Per-record parity: 2x slack plus a constant for 4x file opens.
+    assert sharded_s <= 2.0 * single_s + 0.05

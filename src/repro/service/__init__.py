@@ -27,9 +27,18 @@ a programmable service and PipeTune amortizes tuning across jobs:
 * :mod:`repro.service.http` — a hand-rolled asyncio HTTP/1.1 front
   end over the gateway (``POST /v1/plan``, elastic-event routes,
   ``GET /healthz``, Prometheus ``GET /metrics``);
+* :mod:`repro.service.shard` — consistent-hash placement for the
+  fleet: a sha256 ring with virtual nodes, the plan-content routing
+  key, and per-shard durable segment naming;
+* :mod:`repro.service.fleet` — the horizontal scale-out layer:
+  a supervisor over N worker processes (health checks, crash
+  restarts, rolling restarts through graceful drains) and the
+  front-end router (shard routing, event fan-out, aggregated
+  ``/healthz`` + ``/metrics``, per-client admission quotas);
 * ``python -m repro.service`` — a small CLI over all of the above
   (including the ``serve`` front ends: JSON lines over stdin or TCP,
-  and HTTP with ``--http PORT``).
+  HTTP with ``--http PORT``, and the multi-process ``fleet``
+  subcommand).
 
 ``docs/ARCHITECTURE.md`` has the layer diagram and request lifecycle;
 ``docs/SERVING.md`` is the operator guide (schemas, metrics catalog,
@@ -46,6 +55,13 @@ from repro.service.executor import (
     CandidateExecutor,
     ExecutorStats,
     available_workers,
+)
+from repro.service.fleet import (
+    AdmissionController,
+    FleetRouter,
+    FleetSupervisor,
+    TokenBucket,
+    WorkerClient,
 )
 from repro.service.gateway import (
     GatewayOverloadedError,
@@ -88,6 +104,12 @@ from repro.service.registry import (
     ClusterRegistry,
     RoutedResponse,
 )
+from repro.service.shard import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    routing_key,
+    shard_segment_path,
+)
 from repro.service.store import (
     SCHEMA_VERSION,
     DurablePlanCache,
@@ -104,6 +126,15 @@ __all__ = [
     "CandidateExecutor",
     "ExecutorStats",
     "available_workers",
+    "AdmissionController",
+    "FleetRouter",
+    "FleetSupervisor",
+    "TokenBucket",
+    "WorkerClient",
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "routing_key",
+    "shard_segment_path",
     "GatewayOverloadedError",
     "GatewayResponse",
     "GatewayStats",

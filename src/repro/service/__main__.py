@@ -1,6 +1,6 @@
 """Command-line front door of the planning service.
 
-Seven subcommands, each a small end-to-end story on a simulated
+Eight subcommands, each a small end-to-end story on a simulated
 cluster (swap the simulated fabric for a real profiling campaign to
 use them against physical machines):
 
@@ -20,7 +20,19 @@ use them against physical machines):
   across all transports (see ``docs/SERVING.md``).  ``--log-level``
   selects the stderr JSON log threshold; ``--trace``/``--trace-dir``
   turn on end-to-end plan tracing (``GET /v1/debug/traces``, span
-  dump files — see ``docs/OBSERVABILITY.md``);
+  dump files — see ``docs/OBSERVABILITY.md``).  With a socket
+  transport, SIGTERM/SIGINT drain gracefully: stop accepting, finish
+  in-flight plans, compact the durable stores, exit 0.
+  ``--shard-index`` names this process's durable shard segments
+  (``<cluster>.shard-<k>.jsonl``) — normally set by ``fleet``, not by
+  hand;
+* ``fleet``    — run ``--workers N`` ``serve`` processes behind one
+  consistent-hash router: same plan question always lands on the same
+  worker (so per-shard caches and coalescing keep working), elastic
+  events fan to all workers, ``/metrics`` aggregates the fleet onto
+  one page, crashed workers are restarted over their shard stores,
+  and ``--quota-rate`` enforces per-``client_id`` admission at the
+  front door;
 * ``trace``    — pretty-print a span dump written by
   ``serve --trace-dir`` as indented per-trace timing trees;
 * ``templates`` — generate, inspect, or background-warm an elastic
@@ -44,6 +56,7 @@ import contextlib
 import itertools
 import json
 import os
+import signal
 import sys
 from functools import partial
 
@@ -54,6 +67,12 @@ from repro.model import MODEL_CATALOG, get_model
 from repro.obs import TRACER, configure_logging, get_logger
 from repro.service.cache import PlanRequest
 from repro.service.executor import CandidateExecutor, available_workers
+from repro.service.fleet import (
+    AdmissionController,
+    FleetRouter,
+    FleetSupervisor,
+    WorkerClient,
+)
 from repro.service.gateway import PlanGateway
 from repro.service.http import (
     HttpPlanServer,
@@ -65,6 +84,7 @@ from repro.service.planner import PlanningService
 from repro.sim.schedule import registered_schedules
 from repro.service.registry import ClusterRegistry
 from repro.service.replan import ClusterEvent
+from repro.service.shard import shard_segment_path
 from repro.service.store import DurablePlanCache, PlanStoreError, \
     TemplateStore
 from repro.service.warmer import TemplateWarmer
@@ -216,8 +236,11 @@ def _build_registry(args) -> ClusterRegistry:
                                             seed=seed)
         cache = None
         if args.store_dir is not None:
-            cache = _durable_cache(os.path.join(args.store_dir,
-                                                f"{name}.jsonl"))
+            # Under a fleet each worker owns per-shard segments
+            # (<name>.shard-<k>.jsonl) in the shared directory; a
+            # standalone server keeps the plain <name>.jsonl path.
+            cache = _durable_cache(shard_segment_path(
+                args.store_dir, name, getattr(args, "shard_index", None)))
         registry.add_cluster(name, cluster, network.bandwidth, cache=cache,
                              profile_seed=seed)
         print(f"registered {name}: {cluster.n_nodes} nodes x "
@@ -377,21 +400,51 @@ def _build_warmers(args, registry: ClusterRegistry
     With a store directory each cluster gets a durable
     ``<name>.templates.json`` library that is rehydrated here, so a
     restarted server recovers failures warm before any warm-up runs.
+
+    Template libraries are *not* sharded: every fleet worker answers
+    every cluster, so all shards share one library file read-only and
+    only shard 0 (or a standalone server) writes it — concurrent
+    workers saving the same path would race.
     """
+    read_only = getattr(args, "shard_index", None) not in (None, 0)
     warmers = {}
     for name in registry.names:
         store = None
         if args.store_dir is not None:
             store = TemplateStore(os.path.join(args.store_dir,
                                                f"{name}.templates.json"))
-        warmer = TemplateWarmer(registry.service(name), store=store)
-        library = warmer.rehydrate()
+        warmer = TemplateWarmer(registry.service(name),
+                                store=None if read_only else store)
+        if read_only and store is not None:
+            library = store.load()
+            if library is not None:
+                registry.service(name).set_template_library(library)
+        else:
+            library = warmer.rehydrate()
         if library is not None:
             print(f"templates: {name} rehydrated "
                   f"({library.size} templates)",
                   file=sys.stderr, flush=True)
         warmers[name] = warmer
     return warmers
+
+
+async def _drain_servers(servers, front, line_tasks) -> None:
+    """Graceful shutdown of the socket transports, in order.
+
+    Listeners are already closed (no new connections).  The HTTP
+    front finishes every in-flight request and closes idle
+    keep-alives; JSON-lines connection tasks are then cancelled —
+    ``_serve_stream``'s ``finally`` gathers their started handlers,
+    so every accepted request line still gets its answer before the
+    connection dies.
+    """
+    if front is not None:
+        await front.drain()
+    for task in list(line_tasks):
+        task.cancel()
+    if line_tasks:
+        await asyncio.gather(*line_tasks, return_exceptions=True)
 
 
 async def _serve_async(args, registry: ClusterRegistry,
@@ -410,6 +463,19 @@ async def _serve_async(args, registry: ClusterRegistry,
                                args.client_weight),
                            metrics=metrics) as gateway:
         servers = []
+        front = None
+        line_tasks: "set[asyncio.Task]" = set()
+
+        async def serve_lines(reader, writer) -> None:
+            task = asyncio.current_task()
+            if task is not None:
+                line_tasks.add(task)
+            try:
+                await _serve_connection(gateway, options, reader, writer)
+            finally:
+                if task is not None:
+                    line_tasks.discard(task)
+
         if args.http is not None:
             front = HttpPlanServer(gateway, options, metrics=metrics,
                                    warmers=warmers)
@@ -422,19 +488,54 @@ async def _serve_async(args, registry: ClusterRegistry,
             servers.append(server)
         if args.port is not None:
             server = await asyncio.start_server(
-                partial(_serve_connection, gateway, options),
-                host=args.host, port=args.port,
+                serve_lines, host=args.host, port=args.port,
                 limit=1 << 20)  # 1 MiB request lines
             names = ", ".join(str(sock.getsockname())
                               for sock in server.sockets)
             print(f"serving on {names}", file=sys.stderr, flush=True)
             servers.append(server)
         if servers:
-            async with contextlib.AsyncExitStack() as stack:
-                for server in servers:
-                    await stack.enter_async_context(server)
-                await asyncio.gather(
-                    *(server.serve_forever() for server in servers))
+            # SIGTERM/SIGINT drain instead of dying mid-request: stop
+            # accepting, answer everything in flight, then fall out of
+            # the gateway context (which awaits its own in-flight
+            # futures) and compact the durable stores below.  Stdin
+            # mode keeps the default signal behavior — there is no
+            # clean way to abandon a blocked stdin read at shutdown.
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            handled = []
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError,
+                                         RuntimeError):
+                    loop.add_signal_handler(signum, stop.set)
+                    handled.append(signum)
+            try:
+                async with contextlib.AsyncExitStack() as stack:
+                    for server in servers:
+                        await stack.enter_async_context(server)
+                    serve_tasks = [asyncio.ensure_future(
+                        server.serve_forever()) for server in servers]
+                    stop_task = asyncio.ensure_future(stop.wait())
+                    await asyncio.wait([*serve_tasks, stop_task],
+                                       return_when=asyncio.FIRST_COMPLETED)
+                    for server in servers:
+                        server.close()
+                    for task in serve_tasks:
+                        task.cancel()
+                    await asyncio.gather(*serve_tasks,
+                                         return_exceptions=True)
+                    stop_task.cancel()
+                    await asyncio.gather(stop_task, return_exceptions=True)
+                    if stop.is_set():
+                        print("draining: listeners closed, finishing "
+                              "in-flight requests",
+                              file=sys.stderr, flush=True)
+                    await _drain_servers(servers, front, line_tasks)
+            finally:
+                for signum in handled:
+                    with contextlib.suppress(NotImplementedError,
+                                             RuntimeError):
+                        loop.remove_signal_handler(signum)
         else:
             loop = asyncio.get_running_loop()
 
@@ -450,6 +551,13 @@ async def _serve_async(args, registry: ClusterRegistry,
               f"{stats.coalesced} coalesced, {stats.rejected} rejected, "
               f"{stats.batches} drain batches "
               f"(largest {stats.max_batch})", file=sys.stderr, flush=True)
+    # The gateway context has answered every in-flight future, so the
+    # durable logs are final: leave each store compacted (live entries
+    # only, fsynced) for the next process over this shard.
+    compacted = registry.compact_stores()
+    if compacted:
+        print(f"stores: {compacted} durable caches compacted",
+              file=sys.stderr, flush=True)
     return 0
 
 
@@ -475,6 +583,97 @@ def cmd_serve(args) -> int:
     finally:
         if tracing:
             TRACER.disable()  # flushes and closes the span dump file
+
+
+def _fleet_worker_args(args) -> "list[str]":
+    """The ``serve`` arguments every fleet worker is spawned with.
+
+    The supervisor appends ``--http <port> --shard-index <k>`` per
+    worker; everything plan-determining (clusters, seed, search knobs)
+    must be identical across the fleet so any worker would answer any
+    question byte-identically — routing only decides *where* the
+    answer is cached.
+    """
+    worker_args = ["--clusters", *args.clusters,
+                   "--seed", str(args.seed),
+                   "--sa-iterations", str(args.sa_iterations),
+                   "--portfolio-k", str(args.portfolio_k),
+                   "--workers", str(args.executor_workers),
+                   "--log-level", args.log_level]
+    if args.no_dedication:
+        worker_args.append("--no-dedication")
+    if args.store_dir is not None:
+        worker_args += ["--store-dir", args.store_dir]
+    return worker_args
+
+
+async def _fleet_async(args) -> int:
+    base_port = args.base_port if args.base_port is not None \
+        else args.http + 1
+    supervisor = FleetSupervisor(
+        args.workers, base_port, host=args.host,
+        worker_args=_fleet_worker_args(args), log_dir=args.log_dir)
+    quota = None
+    if args.quota_rate is not None:
+        quota = AdmissionController(args.quota_rate, args.quota_burst)
+    print(f"fleet: starting {args.workers} workers on "
+          f"{args.host}:{base_port}..{base_port + args.workers - 1}",
+          file=sys.stderr, flush=True)
+    try:
+        await supervisor.start()
+    except BaseException:
+        await supervisor.stop(graceful=False)
+        raise
+    clients = [WorkerClient(args.host, supervisor.worker_port(k), k)
+               for k in range(args.workers)]
+    router = FleetRouter(clients, supervisor=supervisor, quota=quota)
+    server = await asyncio.start_server(router.handle, host=args.host,
+                                        port=args.http,
+                                        limit=1 << 16)  # 64 KiB headers
+    names = ", ".join(str(sock.getsockname()) for sock in server.sockets)
+    print(f"fleet router on {names}", file=sys.stderr, flush=True)
+    watch_task = asyncio.ensure_future(supervisor.watch())
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    handled = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, stop.set)
+            handled.append(signum)
+    codes = None
+    try:
+        async with server:
+            await stop.wait()
+            print("fleet draining: router closed, finishing in-flight "
+                  "requests", file=sys.stderr, flush=True)
+            server.close()
+            await router.drain()
+    finally:
+        for signum in handled:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.remove_signal_handler(signum)
+        watch_task.cancel()
+        await asyncio.gather(watch_task, return_exceptions=True)
+        # Workers drain themselves on SIGTERM (finish in-flight plans,
+        # compact shard stores, exit 0).
+        codes = await supervisor.stop(graceful=True)
+        for client in clients:
+            client.close()
+    print(f"fleet stopped: worker exit codes {codes}, "
+          f"restarts {dict(supervisor.restarts)}",
+          file=sys.stderr, flush=True)
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """Run N serve workers behind the consistent-hash fleet router."""
+    configure_logging(args.log_level)
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
+    if args.quota_rate is not None and not args.quota_rate > 0:
+        raise ValueError(f"--quota-rate must be positive, "
+                         f"got {args.quota_rate}")
+    return asyncio.run(_fleet_async(args))
 
 
 def _load_span_dump(path: str) -> "list[dict]":
@@ -726,6 +925,12 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--store-dir", default=None, metavar="DIR",
                      help="directory of per-cluster durable stores "
                           "(one <name>.jsonl each)")
+    srv.add_argument("--shard-index", type=int, default=None, metavar="K",
+                     help="serve as fleet shard K: durable stores use "
+                          "per-shard segments (<name>.shard-K.jsonl) "
+                          "and shards > 0 share template libraries "
+                          "read-only (normally set by the fleet "
+                          "supervisor, not by hand)")
     srv.add_argument("--port", type=int, default=None, metavar="PORT",
                      help="listen for JSON lines on TCP PORT instead "
                           "of stdin/stdout")
@@ -767,6 +972,62 @@ def build_parser() -> argparse.ArgumentParser:
                           "DIR/trace-<pid>.jsonl (implies --trace; "
                           "pretty-print with the 'trace' subcommand)")
     srv.set_defaults(fn=cmd_serve)
+
+    flt = sub.add_parser("fleet", help="run N serve workers behind one "
+                                       "consistent-hash HTTP router")
+    flt.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="worker processes in the fleet (default 2)")
+    flt.add_argument("--http", type=int, default=8080, metavar="PORT",
+                     help="router listen port (default 8080)")
+    flt.add_argument("--base-port", type=int, default=None, metavar="PORT",
+                     help="worker K serves on PORT+K "
+                          "(default: router port + 1)")
+    flt.add_argument("--host", default="127.0.0.1",
+                     help="bind address for router and workers "
+                          "(default 127.0.0.1)")
+    flt.add_argument("--clusters", nargs="+",
+                     default=["mid-range:2", "high-end:2"],
+                     metavar="PRESET[:NODES]",
+                     help="clusters every worker serves (default: one "
+                          "mid-range and one high-end cluster of 2 "
+                          "nodes each)")
+    flt.add_argument("--store-dir", default=None, metavar="DIR",
+                     help="shared durable-store directory; worker K "
+                          "owns <name>.shard-K.jsonl segments and "
+                          "template libraries are shared read-only")
+    flt.add_argument("--quota-rate", type=float, default=None,
+                     metavar="R",
+                     help="admission quota: sustained plan requests "
+                          "per second per client_id; over-budget "
+                          "requests answer 429 (default: no quota)")
+    flt.add_argument("--quota-burst", type=float, default=None,
+                     metavar="B",
+                     help="admission burst per client_id "
+                          "(default: max(1, 2 * rate))")
+    flt.add_argument("--seed", type=int, default=0,
+                     help="fabric/profiling/search seed (forwarded to "
+                          "every worker)")
+    flt.add_argument("--sa-iterations", type=int, default=1500,
+                     help="annealing budget per refined candidate "
+                          "(forwarded)")
+    flt.add_argument("--portfolio-k", type=int, default=4,
+                     help="runner-up mappings kept per refined "
+                          "candidate (forwarded)")
+    flt.add_argument("--no-dedication", action="store_true",
+                     help="skip SA worker dedication (forwarded)")
+    flt.add_argument("--executor-workers", type=int, default=0,
+                     metavar="W",
+                     help="candidate-executor width inside each "
+                          "worker (serve's --workers; default 0 = "
+                          "serial)")
+    flt.add_argument("--log-dir", default=None, metavar="DIR",
+                     help="append worker K's output to "
+                          "DIR/worker-K.log (default: inherit stderr)")
+    flt.add_argument("--log-level", default="info",
+                     choices=("debug", "info", "warning", "error"),
+                     help="stderr JSON log threshold, router and "
+                          "workers (default info)")
+    flt.set_defaults(fn=cmd_fleet)
 
     tpl = sub.add_parser("templates",
                          help="generate, inspect, or background-warm an "

@@ -608,6 +608,16 @@ class PlanGateway:
 
     # ------------------------------------------------------------ lifecycle
 
+    @property
+    def inflight(self) -> int:
+        """Distinct (cluster, fingerprint, epoch) requests in flight.
+
+        What a graceful drain waits on: :meth:`aclose` answers exactly
+        these before stopping the lanes, so a supervisor can log how
+        much work a terminating worker still owes.
+        """
+        return len(self._inflight)
+
     async def aclose(self) -> None:
         """Answer everything in flight, then stop the lanes and pool."""
         if self._closed:

@@ -98,9 +98,11 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     505: "HTTP Version Not Supported",
 }
@@ -375,6 +377,13 @@ class HttpPlanServer:
         self.max_body_bytes = int(max_body_bytes)
         self._warmers: "dict[str, TemplateWarmer]" = dict(warmers or {})
         self._started_monotonic = time.monotonic()
+        # Live connections (handler task -> writer) and the subset
+        # currently serving a request, for graceful drain: idle
+        # keep-alive connections can be closed outright, busy ones get
+        # to finish their in-flight request first.
+        self._connections: "dict[asyncio.Task, asyncio.StreamWriter]" = {}
+        self._busy: "set[asyncio.Task]" = set()
+        self._draining = False
         self._http_requests = self.metrics.counter(
             "pipette_http_requests_total",
             "HTTP requests served, by method, route, and status code.",
@@ -399,6 +408,9 @@ class HttpPlanServer:
     async def handle(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
         """Serve one client connection (the start_server callback)."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections[task] = writer
         try:
             while True:
                 try:
@@ -419,6 +431,8 @@ class HttpPlanServer:
                     break
                 if parsed is None:
                     break
+                if task is not None:
+                    self._busy.add(task)
                 method, path, version, headers, body = parsed
                 keep_alive = _keep_alive(version, headers)
                 span = self._request_span(method, path, headers)
@@ -444,18 +458,44 @@ class HttpPlanServer:
                     span.set_attribute("status", status)
                 span.end()
                 self._count(method, route, status)
+                # A draining server answers what it already accepted
+                # but refuses to keep the connection for more.
+                keep_alive = keep_alive and not self._draining
                 _write_response(writer, status, out, content_type,
                                 keep_alive, allow=allow,
                                 extra_headers=extra)
                 await writer.drain()
+                if task is not None:
+                    self._busy.discard(task)
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError, TimeoutError):
             pass  # client went away; nothing left to answer
         finally:
+            if task is not None:
+                self._busy.discard(task)
+                self._connections.pop(task, None)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+
+    async def drain(self, poll_s: float = 0.05) -> None:
+        """Finish in-flight requests, then close every connection.
+
+        The graceful-shutdown half of the server (the caller closes
+        the listener first, so no *new* connections arrive): in-flight
+        requests run to completion and get complete responses (with
+        ``Connection: close``), while idle keep-alive connections are
+        closed outright — a client parked between requests must not
+        hold the shutdown hostage.  Returns once no connection is
+        left; bound it with :func:`asyncio.wait_for` to force exit.
+        """
+        self._draining = True
+        while self._connections:
+            for conn_task, conn_writer in list(self._connections.items()):
+                if conn_task not in self._busy:
+                    conn_writer.close()
+            await asyncio.wait(set(self._connections), timeout=poll_s)
 
     def _count(self, method: str, route: str, status: int) -> None:
         self._http_requests.labels(method=method, route=route,
@@ -687,6 +727,11 @@ class HttpPlanServer:
         return str(name)
 
     async def _healthz(self, body: bytes):
+        # A liveness probe must answer while every executor thread is
+        # deep in a cache-miss search: nothing here may take a lock a
+        # drain holds across searches (the template-library read is
+        # lock-free for exactly this reason; the stats snapshot and
+        # store-path reads hold only briefly-held locks).
         counters = self.gateway.stats.snapshot()
         stores = {}
         templates = {}
@@ -697,7 +742,7 @@ class HttpPlanServer:
             library = service.template_library
             templates[name] = 0 if library is None else library.size
         return 200, _JSON, _json_body(
-            {"status": "ok",
+            {"status": "draining" if self._draining else "ok",
              "version": repro.__version__,
              "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
              "clusters": self.gateway.registry.names,

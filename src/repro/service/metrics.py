@@ -49,6 +49,7 @@ __all__ = [
     "MetricsError",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "merge_expositions",
 ]
 
 #: Histogram bucket bounds (seconds) used for plan latency: the low
@@ -437,3 +438,84 @@ class MetricsRegistry:
             lines.append(f"# TYPE {family.name} {family.kind}")
             lines.extend(family._sample_lines())
         return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------- fleet aggregation
+
+_MERGE_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s(.+)$")
+_HISTOGRAM_SUFFIX_RE = re.compile(r"_(bucket|sum|count)$")
+
+
+def merge_expositions(pages, label: str = "worker") -> str:
+    """Merge several Prometheus pages into one labeled exposition.
+
+    The fleet router's ``GET /metrics`` problem: every worker renders
+    the same families (``pipette_requests_total``, ...), and a valid
+    exposition declares each family's ``# HELP``/``# TYPE`` exactly
+    once with all its samples grouped together.  This function takes
+    ``(label value, page text)`` pairs — one per worker — injects
+    ``label="value"`` as the first label of every sample, and regroups
+    samples under a single declaration per family (the first page's
+    wording wins), so the merged page is scrapeable and per-worker
+    series stay distinguishable.
+
+    Samples must not already carry ``label`` (the router guarantees
+    this: workers know nothing of their shard index); a malformed
+    sample line raises :class:`MetricsError` rather than producing an
+    exposition a scraper would reject.  Families keep first-seen
+    order, which keeps merged pages stable across scrapes.
+    """
+    if not _LABEL_RE.match(label):
+        raise MetricsError(f"invalid merge label name {label!r}")
+    families: "dict[str, dict]" = {}
+    for value, text in pages:
+        escaped = _escape_label(str(value))
+        current = None
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                name = line.split(None, 3)[2]
+                family = families.setdefault(
+                    name, {"help": None, "type": None, "samples": []})
+                if family["help"] is None:
+                    family["help"] = line
+                continue
+            if line.startswith("# TYPE "):
+                name = line.split(None, 3)[2]
+                family = families.setdefault(
+                    name, {"help": None, "type": None, "samples": []})
+                if family["type"] is None:
+                    family["type"] = line
+                current = name
+                continue
+            if line.startswith("#"):
+                continue  # other comments carry no samples
+            match = _MERGE_SAMPLE_RE.match(line)
+            if match is None:
+                raise MetricsError(f"malformed sample line {line!r}")
+            name, labels, sample_value = match.groups()
+            if name in families:
+                family_name = name
+            elif _HISTOGRAM_SUFFIX_RE.sub("", name) in families:
+                family_name = _HISTOGRAM_SUFFIX_RE.sub("", name)
+            elif current is not None:
+                family_name = current
+            else:
+                raise MetricsError(
+                    f"sample {name!r} has no preceding # TYPE")
+            if labels:
+                relabeled = f'{{{label}="{escaped}",{labels[1:-1]}}}'
+            else:
+                relabeled = f'{{{label}="{escaped}"}}'
+            families[family_name]["samples"].append(
+                f"{name}{relabeled} {sample_value}")
+    lines = []
+    for name, family in families.items():
+        if family["help"] is not None:
+            lines.append(family["help"])
+        if family["type"] is not None:
+            lines.append(family["type"])
+        lines.extend(family["samples"])
+    return "\n".join(lines) + "\n" if lines else ""

@@ -343,9 +343,16 @@ class PlanningService:
 
     @property
     def template_library(self) -> TemplateLibrary | None:
-        """The installed elastic template library (``None`` until warmed)."""
-        with self._lock:
-            return self._template_library
+        """The installed elastic template library (``None`` until warmed).
+
+        Deliberately lock-free: ``drain()`` holds the service lock for
+        the whole of every search, and ``/healthz`` reads this property
+        per cluster — taking the lock here would queue liveness probes
+        behind cache-miss searches.  A single attribute read is atomic
+        under the GIL, and installs swap the whole reference, so the
+        worst a racing reader sees is the previous complete library.
+        """
+        return self._template_library
 
     def set_template_library(self,
                              library: TemplateLibrary | None) -> None:

@@ -325,6 +325,24 @@ class ClusterRegistry:
         """
         return self.service(name).apply_failure(*failed_nodes)
 
+    def compact_stores(self) -> int:
+        """Compact every cluster's durable store to its live entries.
+
+        The graceful-drain path calls this after the last request is
+        answered: each :class:`~repro.service.store.DurablePlanCache`
+        rewrites its log (fsynced, atomically replaced) so a restarted
+        worker rehydrates live plans instead of replaying the
+        session's churn.  In-memory caches are skipped.  Returns the
+        number of stores compacted.
+        """
+        compacted = 0
+        for _, service in self._snapshot():
+            compact = getattr(service.cache, "compact_now", None)
+            if compact is not None:
+                compact()
+                compacted += 1
+        return compacted
+
     # ------------------------------------------------------------- metrics
 
     def attach_metrics(self, metrics) -> None:

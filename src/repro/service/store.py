@@ -16,7 +16,8 @@ keeps the cache mirrored on disk:
   fingerprints intact, so stale-epoch invalidation keeps working
   across restarts) and mirrors every later mutation back through the
   cache's ``_record_*`` hooks.  Rehydration compacts the log down to
-  the live entries.
+  the live entries, and sustained churn compacts it *online* once the
+  appended records outnumber the live set by ``compact_factor``.
 * :class:`TemplateStore` — the elastic template library
   (:class:`~repro.core.templates.TemplateLibrary`) as one atomically
   replaced canonical-JSON document next to the plan log.
@@ -306,20 +307,43 @@ class DurablePlanCache(PlanCache):
         max_entries: LRU capacity bound, as in :class:`PlanCache`;
             also applied while rehydrating, so an over-full log is
             trimmed to the newest entries.
+        compact_min: fewest appended records before an online
+            compaction is considered (keeps short-lived processes from
+            rewriting the log over and over).
+        compact_factor: online compaction triggers once the records
+            appended since the last rewrite exceed
+            ``max(compact_min, compact_factor * live entries)`` — the
+            log then holds mostly tombstones and overwrites, and one
+            rewrite is cheaper than replaying the churn at the next
+            restart.
 
     Construction replays the log (``rehydrated`` reports how many
     plans came back), compacts it, and from then on every ``put``,
     eviction, stale drop, epoch invalidation, and ``clear`` is
-    persisted before the mutating call returns.  Cache *stats* restart
-    at zero — they describe this process's lifetime, not the store's.
+    persisted before the mutating call returns.  A long-running
+    process no longer grows the log without bound: churn past the
+    compaction threshold rewrites it online (``compactions`` counts
+    the rewrites), under the same cross-process lock as every append.
+    Cache *stats* restart at zero — they describe this process's
+    lifetime, not the store's.
     """
 
     def __init__(self, store: "PlanStore | str | os.PathLike[str]",
-                 max_entries: int = 128) -> None:
+                 max_entries: int = 128, compact_min: int = 64,
+                 compact_factor: int = 4) -> None:
         super().__init__(max_entries=max_entries)
+        if compact_min < 1:
+            raise ValueError(f"compact_min must be >= 1, got {compact_min}")
+        if compact_factor < 1:
+            raise ValueError(
+                f"compact_factor must be >= 1, got {compact_factor}")
         if not isinstance(store, PlanStore):
             store = PlanStore(store)
         self._backend: PlanStore | None = None  # silence hooks on replay
+        self._compact_min = int(compact_min)
+        self._compact_factor = int(compact_factor)
+        self._appends_since_compact = 0
+        self.compactions = 0
         # One lock hold across replay + compaction: a second writer
         # squeezing an append between our load and our rewrite would
         # have its acknowledged record silently erased by the compact.
@@ -337,24 +361,48 @@ class DurablePlanCache(PlanCache):
         assert self._backend is not None
         return self._backend
 
+    def compact_now(self) -> None:
+        """Rewrite the log to the live entries immediately.
+
+        The graceful-drain path calls this at shutdown so a restarted
+        worker replays live plans, not the session's churn.
+        """
+        if self._backend is not None:
+            self._backend.compact(self.entries())
+            self._appends_since_compact = 0
+            self.compactions += 1
+
+    def _bump_appends(self, n: int) -> None:
+        # Hooks fire under the cache lock, so the counter and the
+        # compaction decision cannot race other mutators.
+        self._appends_since_compact += n
+        threshold = max(self._compact_min,
+                        self._compact_factor * max(1, len(self)))
+        if self._appends_since_compact > threshold:
+            self.compact_now()
+
     # ------------------------------------------------- persistence hooks
 
     def _record_put(self, key: str, bandwidth_fp: str,
                     result: PipetteResult) -> None:
         if self._backend is not None:
             self._backend.record_put(key, bandwidth_fp, result)
+            self._bump_appends(1)
 
     def _record_drop(self, key: str) -> None:
         if self._backend is not None:
             self._backend.record_drop(key)
+            self._bump_appends(1)
 
     def _record_drops(self, keys: "list[str]") -> None:
         if self._backend is not None:
             self._backend.record_drops(keys)
+            self._bump_appends(len(keys))
 
     def _record_clear(self) -> None:
         if self._backend is not None:
             self._backend.record_clear()
+            self._bump_appends(1)
 
 
 class TemplateStore:

@@ -74,10 +74,11 @@ class _Server:
         self.gateway = PlanGateway(self.registry, metrics=self.metrics,
                                    **self._gateway_kwargs)
         await self.gateway.__aenter__()
-        front = HttpPlanServer(self.gateway, FAST, metrics=self.metrics,
-                               max_body_bytes=self._max_body_bytes)
+        self.front = HttpPlanServer(self.gateway, FAST,
+                                    metrics=self.metrics,
+                                    max_body_bytes=self._max_body_bytes)
         self.server = await asyncio.start_server(
-            front.handle, host="127.0.0.1", port=0)
+            self.front.handle, host="127.0.0.1", port=0)
         self.port = self.server.sockets[0].getsockname()[1]
         return self
 
@@ -425,3 +426,114 @@ class TestIdentity:
                                                      options=FAST)
             assert _payload_bytes(out["result"]) == \
                 references[(name, request.fingerprint())]
+
+
+class TestLivenessUnderLoad:
+    def test_healthz_and_metrics_answer_during_a_long_search(self,
+                                                             toy_model):
+        """The probes a supervisor relies on must never sit behind the
+        executor: with a search parked on the drain thread, /healthz
+        and /metrics still answer from the event loop — fast."""
+        import threading
+        import time
+
+        registry = _registry()
+        release = threading.Event()
+        service = registry.service("alpha")
+        original = service._search
+
+        def slow_search(request):
+            release.wait(timeout=30.0)
+            return original(request)
+
+        service._search = slow_search
+        payload = {"model": "gpt-toy", "global_batch": 32,
+                   "cluster": "alpha"}
+
+        async def main():
+            async with _Server(registry) as server:
+                inflight = asyncio.ensure_future(
+                    _request(server.port, "POST", "/v1/plan", payload))
+                await asyncio.sleep(0.1)  # the search is now parked
+                started = time.monotonic()
+                health = await asyncio.wait_for(
+                    _request(server.port, "GET", "/healthz"), timeout=2.0)
+                metrics = await asyncio.wait_for(
+                    _request(server.port, "GET", "/metrics"), timeout=2.0)
+                probe_s = time.monotonic() - started
+                assert not inflight.done()  # the search is still held
+                release.set()
+                plan = await inflight
+                return health, metrics, probe_s, plan
+
+        health, metrics, probe_s, plan = asyncio.run(main())
+        assert health[0] == 200 and _json(health[2])["status"] == "ok"
+        assert metrics[0] == 200
+        parse_prometheus(metrics[2].decode())
+        # Latency assertion: both probes answered while the executor
+        # was occupied, nowhere near the wait_for guard.
+        assert probe_s < 1.0
+        assert plan[0] == 200 and _json(plan[2])["status"] == "miss"
+
+
+class TestGracefulDrain:
+    def test_drain_completes_inflight_and_closes_idle(self, toy_model):
+        """serve's SIGTERM path in miniature: after drain() starts, the
+        in-flight request is answered in full and idle keep-alive
+        connections are closed without losing anything."""
+        import threading
+
+        registry = _registry()
+        release = threading.Event()
+        service = registry.service("alpha")
+        original = service._search
+
+        def slow_search(request):
+            release.wait(timeout=30.0)
+            return original(request)
+
+        service._search = slow_search
+        payload = {"model": "gpt-toy", "global_batch": 32,
+                   "cluster": "alpha", "detail": True}
+
+        async def main():
+            async with _Server(registry) as server:
+                # A busy connection: the plan request is mid-search
+                # when the drain begins.
+                busy = asyncio.ensure_future(
+                    _request(server.port, "POST", "/v1/plan", payload))
+                # An idle keep-alive connection: connected, no request.
+                idle_reader, idle_writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                await asyncio.sleep(0.1)
+
+                server.server.close()  # stop accepting, as serve does
+                drain = asyncio.ensure_future(server.front.drain())
+                await asyncio.sleep(0.1)
+                assert not drain.done()  # held open by the busy request
+                release.set()
+                await asyncio.wait_for(drain, timeout=10.0)
+                status, _, body = await busy
+                idle_eof = await idle_reader.read(1)
+                idle_writer.close()
+                return status, body, idle_eof
+
+        status, body, idle_eof = asyncio.run(main())
+        assert status == 200
+        out = _json(body)
+        assert out["status"] == "miss"
+        assert "result" in out  # the full answer, not a truncation
+        assert idle_eof == b""  # idle connection closed by the drain
+
+    def test_healthz_reports_draining(self):
+        async def main():
+            async with _Server(_registry()) as server:
+                before = await _request(server.port, "GET", "/healthz")
+                server.front._draining = True
+                after = await _request(server.port, "GET", "/healthz")
+                return before, after
+
+        (s1, _, b1), (s2, _, b2) = asyncio.run(main())
+        assert s1 == s2 == 200
+        assert _json(b1)["status"] == "ok"
+        assert _json(b2)["status"] == "draining"

@@ -345,6 +345,55 @@ class TestDurablePlanCache:
         assert "k3" in tight and "k4" in tight  # newest survive
 
 
+class TestOnlineCompaction:
+    """A long-running server must not grow its log without bound."""
+
+    def test_churn_triggers_compaction_and_bounds_the_log(self, tmp_path,
+                                                          a_result):
+        path = tmp_path / "plans.jsonl"
+        cache = DurablePlanCache(path, max_entries=4, compact_min=8,
+                                 compact_factor=2)
+        # Far more appends than live entries: puts plus the eviction
+        # drops they trigger keep the log churning.
+        for i in range(200):
+            cache.put(f"k{i}", "fp", a_result)
+        assert cache.compactions >= 1
+        # The log holds the live entries plus at most one
+        # yet-uncompacted churn window, not the whole history.
+        with open(path, encoding="utf-8") as handle:
+            records = sum(1 for line in handle if line.strip())
+        threshold = max(8, 2 * len(cache))
+        assert records <= 1 + len(cache) + threshold + 1  # header + slack
+        # ...and the compacted log replays to exactly the live view.
+        assert set(PlanStore(path).load()) == {
+            key for key, _, _ in cache.entries()}
+
+    def test_quiet_cache_never_compacts(self, tmp_path, a_result):
+        cache = DurablePlanCache(tmp_path / "plans.jsonl",
+                                 compact_min=64)
+        for i in range(10):
+            cache.put(f"k{i}", "fp", a_result)
+        assert cache.compactions == 0
+
+    def test_compact_now_is_idempotent(self, tmp_path, a_result):
+        path = tmp_path / "plans.jsonl"
+        cache = DurablePlanCache(path)
+        cache.put("k1", "fp", a_result)
+        cache.put("k2", "fp", a_result)
+        cache.get("k1", "stale-fp")  # leaves a drop record behind
+        before = cache.compactions
+        cache.compact_now()
+        cache.compact_now()
+        assert cache.compactions == before + 2
+        assert list(PlanStore(path).load()) == ["k2"]
+
+    def test_thresholds_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurablePlanCache(tmp_path / "p.jsonl", compact_min=0)
+        with pytest.raises(ValueError):
+            DurablePlanCache(tmp_path / "p.jsonl", compact_factor=0)
+
+
 class TestServiceRestart:
     def test_restart_hits_with_identical_plan(self, tiny_cluster,
                                               tiny_network, toy_model,
